@@ -1,0 +1,153 @@
+#include "common/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kdv/bandwidth.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace slam::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = ParseDouble(value);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  config.dataset_scale = EnvDouble("SLAM_BENCH_SCALE", config.dataset_scale);
+  config.budget_seconds =
+      EnvDouble("SLAM_BENCH_BUDGET", config.budget_seconds);
+  if (const char* res = std::getenv("SLAM_BENCH_RES")) {
+    int w = 0, h = 0;
+    if (std::sscanf(res, "%dx%d", &w, &h) == 2 && w > 0 && h > 0) {
+      config.width = w;
+      config.height = h;
+    }
+  }
+  return config;
+}
+
+std::string CellResult::ToString() const {
+  if (censored) {
+    return StringPrintf(">%g", seconds);
+  }
+  if (!status.ok()) return "ERR";
+  return StringPrintf("%.3f", seconds);
+}
+
+CellResult RunCell(const KdvTask& task, Method method,
+                   const BenchConfig& config,
+                   const EngineOptions& engine_options) {
+  CellResult result;
+  const Deadline deadline(config.budget_seconds);
+  EngineOptions options = engine_options;
+  options.compute.deadline = &deadline;
+  Timer timer;
+  const auto map = ComputeKdv(task, method, options);
+  result.seconds = timer.ElapsedSeconds();
+  if (!map.ok()) {
+    if (map.status().code() == StatusCode::kCancelled) {
+      result.censored = true;
+      result.seconds = config.budget_seconds;
+    } else {
+      result.status = map.status();
+    }
+  }
+  return result;
+}
+
+Result<BenchDataset> LoadBenchDataset(City city, const BenchConfig& config) {
+  BenchDataset out;
+  out.city = city;
+  SLAM_ASSIGN_OR_RETURN(
+      out.data, GenerateCityDataset(city, config.dataset_scale, config.seed));
+  SLAM_ASSIGN_OR_RETURN(out.scott_bandwidth,
+                        ScottBandwidth(out.data.coords()));
+  return out;
+}
+
+Result<std::vector<BenchDataset>> LoadBenchDatasets(
+    const BenchConfig& config) {
+  std::vector<BenchDataset> out;
+  for (const City city : {City::kSeattle, City::kLosAngeles, City::kNewYork,
+                          City::kSanFrancisco}) {
+    SLAM_ASSIGN_OR_RETURN(BenchDataset ds, LoadBenchDataset(city, config));
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+Result<KdvTask> DatasetTask(const BenchDataset& dataset, int width,
+                            int height, KernelType kernel,
+                            double bandwidth_scale) {
+  SLAM_ASSIGN_OR_RETURN(
+      Viewport viewport,
+      Viewport::Create(dataset.data.Extent(), width, height));
+  KdvTask task = MakeTask(dataset.data, viewport, kernel,
+                          dataset.scott_bandwidth * bandwidth_scale);
+  return task;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      if (c + 1 < cells.size()) {
+        line.append(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  size_t total = headers_.size() * 2;
+  for (const size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total - 2, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(const std::string& experiment, const BenchConfig& config) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf(
+      "scale=%.4g of paper dataset sizes, budget=%.3gs per cell "
+      "(paper: 14400s), default resolution %dx%d\n",
+      config.dataset_scale, config.budget_seconds, config.width,
+      config.height);
+  std::printf(
+      "override with SLAM_BENCH_SCALE / SLAM_BENCH_BUDGET / SLAM_BENCH_RES\n\n");
+}
+
+std::string FormatSpeedup(const CellResult& baseline, const CellResult& ours) {
+  if (!ours.status.ok() || ours.censored || ours.seconds <= 0.0) return "-";
+  if (baseline.censored) {
+    return StringPrintf(">=%.1fx", baseline.seconds / ours.seconds);
+  }
+  if (!baseline.status.ok()) return "-";
+  return StringPrintf("%.1fx", baseline.seconds / ours.seconds);
+}
+
+}  // namespace slam::bench

@@ -1,0 +1,90 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Every bench binary reproduces one table or figure of the paper at a
+// laptop/CI-friendly scale: the datasets are the synthetic city stand-ins
+// (DESIGN.md §2) scaled down from the paper's sizes, and the paper's
+// ">14400 sec" timeout becomes a per-cell budget (default a few seconds).
+// Scale knobs are environment variables so the same binaries can run the
+// full-size experiments on a bigger machine:
+//   SLAM_BENCH_SCALE   fraction of the paper's dataset sizes (default 0.05)
+//   SLAM_BENCH_BUDGET  per-cell time budget in seconds      (default 10)
+//   SLAM_BENCH_RES     default resolution "WxH"             (default 240x180)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "geom/viewport.h"
+#include "kdv/engine.h"
+#include "util/result.h"
+#include "util/string_util.h"
+
+namespace slam::bench {
+
+struct BenchConfig {
+  double dataset_scale = 0.05;
+  double budget_seconds = 10.0;
+  int width = 240;
+  int height = 180;
+  uint64_t seed = 42;
+
+  /// Reads the SLAM_BENCH_* environment overrides.
+  static BenchConfig FromEnv();
+};
+
+/// One measured cell: a (method, task) pair run under a budget.
+struct CellResult {
+  double seconds = 0.0;
+  bool censored = false;  // exceeded the budget (paper: "> 14400")
+  Status status;          // non-OK and !censored = real failure
+
+  /// "12.345" or ">10" (censored) or "ERR".
+  std::string ToString() const;
+};
+
+/// Runs the method once under the config's budget.
+CellResult RunCell(const KdvTask& task, Method method,
+                   const BenchConfig& config,
+                   const EngineOptions& engine_options = {});
+
+/// The four paper datasets at the configured scale, with Scott-rule
+/// default bandwidths computed on the generated data (mirroring Table 5).
+struct BenchDataset {
+  City city;
+  PointDataset data;
+  double scott_bandwidth = 0.0;
+};
+
+Result<std::vector<BenchDataset>> LoadBenchDatasets(const BenchConfig& config);
+Result<BenchDataset> LoadBenchDataset(City city, const BenchConfig& config);
+
+/// Builds the KDV task for a dataset over its MBR at the given resolution.
+Result<KdvTask> DatasetTask(const BenchDataset& dataset, int width,
+                            int height, KernelType kernel,
+                            double bandwidth_scale = 1.0);
+
+// ---- Reporting -----------------------------------------------------------
+
+/// Fixed-width table printer: header row then one row per line.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Prints to stdout with column alignment.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard experiment banner (name, scale, budget, resolution).
+void PrintBanner(const std::string& experiment, const BenchConfig& config);
+
+/// Formats a speedup like "23.4x"; censored baselines give a ">= Nx" form.
+std::string FormatSpeedup(const CellResult& baseline, const CellResult& ours);
+
+}  // namespace slam::bench

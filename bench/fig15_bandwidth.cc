@@ -1,0 +1,82 @@
+// Figure 15 of the paper: response time vs bandwidth, multiplying the
+// Scott-rule default by {0.25, 0.5, 1, 2, 4} at the default resolution.
+// Expected shape: every method slows down as b grows (more points per
+// range set); SLAM_BUCKET_RAO consistently beats the top-2 competitors
+// (the paper measures 5.76x-34.77x over Z-order and QUAD).
+#include <cstdio>
+
+#include "common/harness.h"
+
+namespace slam::bench {
+namespace {
+
+constexpr Method kFigureMethods[] = {
+    Method::kScan,  Method::kRqsKd, Method::kRqsBall, Method::kZorder,
+    Method::kAkde,  Method::kQuad,  Method::kSlamBucketRao,
+};
+
+int Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintBanner("Figure 15: response time (sec) vs bandwidth", config);
+
+  const auto datasets = LoadBenchDatasets(config);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 datasets.status().ToString().c_str());
+    return 1;
+  }
+  const double ratios[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+  for (const BenchDataset& ds : *datasets) {
+    std::printf("[%s] n=%s, default b=%.1f m\n",
+                std::string(CityName(ds.city)).c_str(),
+                FormatWithCommas(static_cast<int64_t>(ds.data.size())).c_str(),
+                ds.scott_bandwidth);
+    std::vector<std::string> headers{"Method"};
+    for (const double r : ratios) {
+      headers.push_back(StringPrintf("b x%g", r));
+    }
+    TablePrinter table(std::move(headers));
+
+    // Track the two best competitors at the default ratio for the paper's
+    // headline comparison.
+    CellResult quad_default, zorder_default, slam_default;
+    for (const Method m : kFigureMethods) {
+      std::vector<std::string> row{std::string(MethodName(m))};
+      bool censored_before = false;
+      for (const double r : ratios) {
+        if (censored_before) {
+          row.push_back(StringPrintf(">%g", config.budget_seconds));
+          continue;
+        }
+        const auto task = DatasetTask(ds, config.width, config.height,
+                                      KernelType::kEpanechnikov, r);
+        if (!task.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        const CellResult cell = RunCell(*task, m, config);
+        row.push_back(cell.ToString());
+        // Bandwidth cost is monotone for the scan-family; SLAM's per-row
+        // envelope also grows with b, so the skip is safe there too.
+        censored_before = cell.censored;
+        if (r == 1.0) {
+          if (m == Method::kQuad) quad_default = cell;
+          if (m == Method::kZorder) zorder_default = cell;
+          if (m == Method::kSlamBucketRao) slam_default = cell;
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("SLAM_BUCKET_RAO vs QUAD at default b: %s; vs Z-order: %s\n\n",
+                FormatSpeedup(quad_default, slam_default).c_str(),
+                FormatSpeedup(zorder_default, slam_default).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slam::bench
+
+int main() { return slam::bench::Run(); }

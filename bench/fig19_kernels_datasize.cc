@@ -1,0 +1,88 @@
+// Figure 19 of the paper: other kernels (uniform a/b, quartic c/d) on the
+// Los Angeles and San Francisco datasets, varying dataset size (25%..100%
+// samples). Expected shape: SLAM_BUCKET_RAO achieves one to two orders of
+// magnitude speedup in many test cases for both kernels.
+#include <cstdio>
+
+#include "common/harness.h"
+#include "data/sampling.h"
+
+namespace slam::bench {
+namespace {
+
+constexpr Method kFigureMethods[] = {
+    Method::kScan,  Method::kRqsKd, Method::kRqsBall, Method::kZorder,
+    Method::kAkde,  Method::kQuad,  Method::kSlamBucketRao,
+};
+
+int Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintBanner(
+      "Figure 19: uniform and quartic kernels, response time (sec) vs "
+      "dataset size",
+      config);
+  const double fractions[] = {0.25, 0.5, 0.75, 1.0};
+
+  for (const City city : {City::kLosAngeles, City::kSanFrancisco}) {
+    const auto ds = LoadBenchDataset(city, config);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<BenchDataset> subsets;
+    for (const double f : fractions) {
+      BenchDataset sub = *ds;
+      if (f < 1.0) {
+        auto sampled = SampleFraction(ds->data, f, config.seed + 11);
+        if (!sampled.ok()) {
+          std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+          return 1;
+        }
+        sub.data = *std::move(sampled);
+      }
+      subsets.push_back(std::move(sub));
+    }
+    for (const KernelType kernel :
+         {KernelType::kUniform, KernelType::kQuartic}) {
+      std::printf("[%s, %s kernel] full n=%s, b=%.1f m\n",
+                  std::string(CityName(city)).c_str(),
+                  std::string(KernelTypeName(kernel)).c_str(),
+                  FormatWithCommas(static_cast<int64_t>(ds->data.size()))
+                      .c_str(),
+                  ds->scott_bandwidth);
+      std::vector<std::string> headers{"Method"};
+      for (const double f : fractions) {
+        headers.push_back(StringPrintf("%d%%", static_cast<int>(f * 100)));
+      }
+      TablePrinter table(std::move(headers));
+      for (const Method m : kFigureMethods) {
+        std::vector<std::string> row{std::string(MethodName(m))};
+        bool censored_before = false;
+        for (const BenchDataset& sub : subsets) {
+          if (censored_before) {
+            row.push_back(StringPrintf(">%g", config.budget_seconds));
+            continue;
+          }
+          const auto task =
+              DatasetTask(sub, config.width, config.height, kernel);
+          if (!task.ok()) {
+            row.push_back("ERR");
+            continue;
+          }
+          const CellResult cell = RunCell(*task, m, config);
+          row.push_back(cell.ToString());
+          censored_before = cell.censored;
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slam::bench
+
+int main() { return slam::bench::Run(); }

@@ -1,0 +1,69 @@
+// Table 7 of the paper: response time of all ten methods on the four
+// datasets under the default setting (MBR viewport, default resolution,
+// Scott-rule bandwidth, Epanechnikov kernel). The paper reports seconds
+// with a 14400 s timeout; this binary reports seconds at the configured
+// scale with the configured budget, plus the speedup of SLAM_BUCKET_RAO
+// over each competitor (the paper's headline "one to two orders of
+// magnitude in many test cases").
+#include <cstdio>
+
+#include "common/harness.h"
+
+namespace slam::bench {
+namespace {
+
+int Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintBanner("Table 7: response time (sec), default parameters", config);
+
+  const auto datasets = LoadBenchDatasets(config);
+  if (!datasets.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 datasets.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> headers{"Dataset", "n", "b(m)"};
+  for (const Method m : AllMethods()) headers.emplace_back(MethodName(m));
+  headers.emplace_back("best-vs-SLAM_B_RAO");
+  TablePrinter table(std::move(headers));
+
+  for (const BenchDataset& ds : *datasets) {
+    const auto task = DatasetTask(ds, config.width, config.height,
+                                  KernelType::kEpanechnikov);
+    if (!task.ok()) {
+      std::fprintf(stderr, "%s\n", task.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row{
+        std::string(CityName(ds.city)),
+        FormatWithCommas(static_cast<int64_t>(ds.data.size())),
+        StringPrintf("%.1f", ds.scott_bandwidth)};
+    CellResult best_competitor;
+    best_competitor.censored = true;
+    best_competitor.seconds = config.budget_seconds;
+    CellResult slam_bucket_rao;
+    for (const Method m : AllMethods()) {
+      const CellResult cell = RunCell(*task, m, config);
+      row.push_back(cell.ToString());
+      if (m == Method::kSlamBucketRao) {
+        slam_bucket_rao = cell;
+      } else if (!MethodIsSlam(m) && cell.status.ok() && !cell.censored &&
+                 cell.seconds < best_competitor.seconds) {
+        best_competitor = cell;
+      }
+    }
+    row.push_back(FormatSpeedup(best_competitor, slam_bucket_rao));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape check: SLAM_BUCKET_RAO < SLAM_BUCKET < SLAM_SORT, all "
+      "SLAM variants well below QUAD/Z-order, and SCAN/aKDE slowest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace slam::bench
+
+int main() { return slam::bench::Run(); }

@@ -1,0 +1,76 @@
+// Ecological-modeling use case (paper Section 1: home-range / pollution
+// density estimation): events arrive as lon/lat observations, get projected
+// to local meters, and the kernel choice is compared — including the
+// engine's refusal of the Gaussian kernel for SLAM, with the documented
+// fallback.
+//
+//   ./ecology_model
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "explore/viewport_ops.h"
+#include "geom/projection.h"
+#include "kdv/bandwidth.h"
+#include "kdv/engine.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "viz/render.h"
+
+int main() {
+  using namespace slam;
+
+  // Simulated animal-tracking fixes: three home ranges around a wetland,
+  // recorded in WGS84 degrees (lon, lat).
+  Rng rng(2024);
+  std::vector<Point> lonlat;
+  const Point ranges[] = {{8.54, 47.36}, {8.58, 47.38}, {8.52, 47.40}};
+  for (int i = 0; i < 6000; ++i) {
+    const Point& c = ranges[rng.NextBelow(3)];
+    lonlat.push_back(
+        {c.x + rng.Gaussian(0.0, 0.008), c.y + rng.Gaussian(0.0, 0.006)});
+  }
+
+  const auto projection = LocalProjection::ForData(lonlat);
+  projection.status().AbortIfNotOk();
+  const auto dataset = PointDataset::FromPoints(
+      "wetland-fixes", projection->ForwardAll(lonlat));
+  const auto bandwidth = ScottBandwidth(dataset.coords());
+  bandwidth.status().AbortIfNotOk();
+  std::printf("tracking fixes: n = %zu, Scott bandwidth = %.1f m\n\n",
+              dataset.size(), *bandwidth);
+
+  const auto viewport = DatasetViewport(dataset, 240, 180);
+  viewport.status().AbortIfNotOk();
+
+  // Kernel comparison: all three GIS kernels through SLAM.
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    const KdvTask task = MakeTask(dataset, *viewport, kernel, *bandwidth);
+    Timer timer;
+    const auto map = ComputeKdv(task, Method::kSlamBucketRao);
+    map.status().AbortIfNotOk();
+    std::printf("%-13s %7.1f ms   density range [%.3g, %.3g]\n",
+                std::string(KernelTypeName(kernel)).c_str(),
+                timer.ElapsedMillis(), map->MinValue(), map->MaxValue());
+    if (kernel == KernelType::kQuartic) {
+      WriteDensityPpm(*map, "ecology_home_range.ppm").AbortIfNotOk();
+      std::printf("              wrote ecology_home_range.ppm\n");
+    }
+  }
+
+  // The Gaussian kernel has no aggregate decomposition (paper Section 3.7):
+  // SLAM refuses it, and the supported path is an exact competitor (QUAD)
+  // or bounded-error aKDE.
+  const KdvTask gaussian_task =
+      MakeTask(dataset, *viewport, KernelType::kGaussian, *bandwidth);
+  const auto refused = ComputeKdv(gaussian_task, Method::kSlamBucketRao);
+  std::printf("\nGaussian via SLAM -> %s\n",
+              refused.status().ToString().c_str());
+  Timer timer;
+  const auto gaussian_map = ComputeKdv(gaussian_task, Method::kAkde);
+  gaussian_map.status().AbortIfNotOk();
+  std::printf("Gaussian via aKDE fallback: %.1f ms (eps-bounded error)\n",
+              timer.ElapsedMillis());
+  return 0;
+}

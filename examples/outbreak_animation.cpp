@@ -1,0 +1,82 @@
+// Disease-outbreak monitoring (paper Section 1: epidemiologists use KDV to
+// detect outbreaks): time-sliced KDV over monthly windows produces the
+// frames of a hotspot animation, and hotspot extraction tracks how the
+// dominant cluster moves month to month.
+//
+//   ./outbreak_animation [frames_dir]   (default: writes frame_NN.ppm here)
+#include <cstdio>
+#include <string>
+
+#include "analysis/hotspot.h"
+#include "data/dataset.h"
+#include "explore/filter.h"
+#include "explore/temporal.h"
+#include "kdv/grid.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "viz/render.h"
+
+int main(int argc, char** argv) {
+  using namespace slam;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  // Simulated outbreak: cases start in one district and drift north-east
+  // over nine months of 2019, with background sporadic cases year-round.
+  PointDataset cases("outbreak-2019");
+  Rng rng(3141);
+  for (int month = 1; month <= 9; ++month) {
+    const Point center{2000.0 + month * 800.0, 1500.0 + month * 600.0};
+    const int64_t t0 = UnixFromDate(2019, month, 1).ValueOrDie();
+    const int surge = 150 + 60 * (month >= 4 && month <= 7 ? 3 : 1);
+    for (int i = 0; i < surge; ++i) {
+      cases.Add({center.x + rng.Gaussian(0, 350),
+                 center.y + rng.Gaussian(0, 350)},
+                t0 + static_cast<int64_t>(rng.NextBelow(25 * 86400)));
+    }
+  }
+  for (int i = 0; i < 800; ++i) {  // background noise
+    cases.Add({rng.Uniform(0, 12000), rng.Uniform(0, 9000)},
+              UnixFromDate(2019, 1, 1).ValueOrDie() +
+                  static_cast<int64_t>(rng.NextBelow(270LL * 86400)));
+  }
+  std::printf("cases: n = %zu over Jan-Sep 2019\n\n", cases.size());
+
+  const auto viewport =
+      Viewport::Create(BoundingBox({0, 0}, {12000, 9000}), 240, 180);
+  viewport.status().AbortIfNotOk();
+
+  TimeSliceConfig config;
+  config.window_seconds = 30LL * 86400;
+  config.step_seconds = 30LL * 86400;
+  config.bandwidth = 700.0;
+  config.weight_by_total = true;  // frames share one intensity scale
+  const auto slices = ComputeTimeSlicedKdv(cases, *viewport, config);
+  slices.status().AbortIfNotOk();
+
+  const Grid grid = Grid::FromViewport(*viewport);
+  std::printf("%-5s %-8s %-10s %s\n", "frame", "cases", "peak", "hotspot center (m)");
+  for (size_t i = 0; i < slices->size(); ++i) {
+    const TimeSlice& slice = (*slices)[i];
+    const std::string path = dir + StringPrintf("/frame_%02zu.ppm", i);
+    WriteDensityPpm(slice.map, path).AbortIfNotOk();
+    std::string where = "-";
+    if (slice.map.MaxValue() > 0.0) {
+      HotspotOptions hs;
+      hs.relative_threshold = 0.5;
+      hs.max_hotspots = 1;
+      const auto hotspots = ExtractHotspots(slice.map, hs);
+      hotspots.status().AbortIfNotOk();
+      if (!hotspots->empty()) {
+        const Point geo = RasterToGeo(grid, (*hotspots)[0].centroid.x,
+                                      (*hotspots)[0].centroid.y);
+        where = StringPrintf("(%.0f, %.0f)", geo.x, geo.y);
+      }
+    }
+    std::printf("%-5zu %-8zu %-10.4g %s\n", i, slice.event_count,
+                slice.map.MaxValue(), where.c_str());
+  }
+  std::printf("\nwrote %zu PPM frames to %s (the hotspot center drifts "
+              "north-east, tracking the simulated outbreak)\n",
+              slices->size(), dir.c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at the configured scale.
+# Usage: scripts/run_experiments.sh [output-file]
+#   SLAM_BENCH_SCALE / SLAM_BENCH_BUDGET / SLAM_BENCH_RES override the
+#   laptop-scale defaults (see bench/common/harness.h).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-experiments_output.txt}"
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+{
+  for b in build/bench/bench_*; do
+    echo "##### $b"
+    "$b"
+  done
+} | tee "$out"
+echo "wrote $out"

@@ -1,0 +1,137 @@
+#include "analysis/hotspot.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+
+double ResolveThreshold(const DensityMap& map, const HotspotOptions& options) {
+  if (options.relative_threshold > 0.0) {
+    return options.relative_threshold * map.MaxValue();
+  }
+  return options.threshold;
+}
+
+}  // namespace
+
+Result<std::vector<int>> LabelHotspots(const DensityMap& map,
+                                       const HotspotOptions& options,
+                                       std::vector<Hotspot>* hotspots) {
+  if (map.empty()) {
+    return Status::InvalidArgument("cannot extract hotspots of an empty map");
+  }
+  if (options.relative_threshold < 0.0 || options.relative_threshold > 1.0) {
+    return Status::InvalidArgument(StringPrintf(
+        "relative_threshold must be in [0, 1], got %f",
+        options.relative_threshold));
+  }
+  if (options.min_pixels < 1) {
+    return Status::InvalidArgument("min_pixels must be at least 1");
+  }
+  const double threshold = ResolveThreshold(map, options);
+  const int w = map.width();
+  const int h = map.height();
+  std::vector<int> labels(static_cast<size_t>(w) * h, -1);
+  std::vector<Hotspot> regions;
+
+  // BFS flood fill per unvisited above-threshold pixel.
+  const auto index = [w](int x, int y) {
+    return static_cast<size_t>(y) * w + x;
+  };
+  std::queue<std::pair<int, int>> frontier;
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      if (labels[index(sx, sy)] != -1 || map.at(sx, sy) < threshold) {
+        continue;
+      }
+      Hotspot region;
+      region.id = static_cast<int>(regions.size());
+      region.peak_density = -1.0;
+      double cx = 0.0, cy = 0.0;
+      labels[index(sx, sy)] = region.id;
+      frontier.push({sx, sy});
+      while (!frontier.empty()) {
+        const auto [x, y] = frontier.front();
+        frontier.pop();
+        const double v = map.at(x, y);
+        ++region.pixel_count;
+        region.total_density += v;
+        cx += v * x;
+        cy += v * y;
+        if (v > region.peak_density) {
+          region.peak_density = v;
+          region.peak_x = x;
+          region.peak_y = y;
+        }
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            if (!options.eight_connected && dx != 0 && dy != 0) continue;
+            const int nx = x + dx;
+            const int ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            if (labels[index(nx, ny)] != -1 || map.at(nx, ny) < threshold) {
+              continue;
+            }
+            labels[index(nx, ny)] = region.id;
+            frontier.push({nx, ny});
+          }
+        }
+      }
+      if (region.total_density > 0.0) {
+        region.centroid = {cx / region.total_density,
+                           cy / region.total_density};
+      } else {
+        // A flat all-zero region (threshold 0): geometric center of mass.
+        region.centroid = {static_cast<double>(region.peak_x),
+                           static_cast<double>(region.peak_y)};
+      }
+      regions.push_back(region);
+    }
+  }
+
+  // Filter small regions and rank by peak density.
+  std::vector<int> id_remap(regions.size(), -1);
+  std::vector<Hotspot> kept;
+  for (const Hotspot& r : regions) {
+    if (r.pixel_count >= options.min_pixels) kept.push_back(r);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Hotspot& a, const Hotspot& b) {
+    return a.peak_density != b.peak_density
+               ? a.peak_density > b.peak_density
+               : a.pixel_count > b.pixel_count;
+  });
+  if (options.max_hotspots > 0 &&
+      kept.size() > static_cast<size_t>(options.max_hotspots)) {
+    kept.resize(options.max_hotspots);
+  }
+  for (size_t rank = 0; rank < kept.size(); ++rank) {
+    id_remap[kept[rank].id] = static_cast<int>(rank);
+    kept[rank].id = static_cast<int>(rank);
+  }
+  for (int& label : labels) {
+    if (label >= 0) label = id_remap[label];
+  }
+  if (hotspots != nullptr) *hotspots = std::move(kept);
+  return labels;
+}
+
+Result<std::vector<Hotspot>> ExtractHotspots(const DensityMap& map,
+                                             const HotspotOptions& options) {
+  std::vector<Hotspot> hotspots;
+  SLAM_ASSIGN_OR_RETURN(std::vector<int> labels,
+                        LabelHotspots(map, options, &hotspots));
+  (void)labels;
+  return hotspots;
+}
+
+Point RasterToGeo(const Grid& grid, double raster_x, double raster_y) {
+  return {grid.x_axis().origin + raster_x * grid.x_axis().gap,
+          grid.y_axis().origin + raster_y * grid.y_axis().gap};
+}
+
+}  // namespace slam

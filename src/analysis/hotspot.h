@@ -1,0 +1,54 @@
+// Hotspot extraction: the downstream analysis the paper's applications run
+// on a KDV raster (crime hotspots, traffic blackspots, outbreak clusters).
+// A hotspot is a connected region of pixels whose density is at or above a
+// threshold; regions are ranked by peak density.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "kdv/density_map.h"
+#include "kdv/grid.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct Hotspot {
+  int id = 0;                 // rank, 0 = strongest
+  int64_t pixel_count = 0;    // region area in pixels
+  double peak_density = 0.0;
+  double total_density = 0.0;     // sum over the region's pixels
+  int peak_x = 0, peak_y = 0;     // raster coordinates of the peak
+  Point centroid;                 // density-weighted, raster coordinates
+};
+
+struct HotspotOptions {
+  /// Absolute density threshold; pixels >= threshold belong to hotspots.
+  /// If relative_threshold is set instead, threshold = fraction * max.
+  double threshold = 0.0;
+  /// If > 0, overrides `threshold` with fraction-of-max (e.g. 0.5).
+  double relative_threshold = 0.0;
+  /// 4- or 8-connectivity for region growing.
+  bool eight_connected = true;
+  /// Drop regions smaller than this many pixels (speckle removal).
+  int64_t min_pixels = 1;
+  /// Keep at most this many regions (0 = all), strongest first.
+  int max_hotspots = 0;
+};
+
+/// Extracts hotspots from a raster, strongest (highest peak) first.
+Result<std::vector<Hotspot>> ExtractHotspots(const DensityMap& map,
+                                             const HotspotOptions& options);
+
+/// Connected-component label map: -1 for below-threshold pixels, otherwise
+/// the hotspot id of ExtractHotspots run with the same options. Exposed
+/// for rendering overlays and for tests.
+Result<std::vector<int>> LabelHotspots(const DensityMap& map,
+                                       const HotspotOptions& options,
+                                       std::vector<Hotspot>* hotspots);
+
+/// Maps a hotspot's raster centroid / peak to geographic coordinates given
+/// the grid the raster was computed on.
+Point RasterToGeo(const Grid& grid, double raster_x, double raster_y);
+
+}  // namespace slam

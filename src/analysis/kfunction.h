@@ -1,0 +1,45 @@
+// Ripley's K-function — the spatial point-pattern statistic the paper
+// names as the next GIS operation for SLAM-style acceleration (Section 6,
+// citing Baddeley et al. [8]).
+//
+//   K(r) = (|A| / n²) · Σ_{i≠j} 1[dist(p_i, p_j) <= r]
+//
+// Under complete spatial randomness K(r) = πr²; values above indicate
+// clustering at scale r, values below indicate dispersion/regularity.
+// Implemented two ways, as with the KDV methods:
+//  * naive O(n² · 1) pair scan (the oracle), and
+//  * kd-tree accelerated: one range-count pass at r_max per point,
+//    histogrammed over the radii and turned into cumulative counts —
+//    O(n (log n + m_max) + |radii|) where m_max is the largest
+//    neighborhood size.
+// No edge correction is applied (the uncorrected estimator); both methods
+// compute exactly the same quantity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct KFunctionResult {
+  std::vector<double> radii;     // as requested, ascending
+  std::vector<double> k_values;  // K(r) per radius
+  /// Reference value πr² for each radius (CSR baseline).
+  std::vector<double> csr_values;
+};
+
+/// Radii must be positive and strictly ascending; needs >= 2 points and a
+/// non-degenerate region (used for |A|).
+Result<KFunctionResult> ComputeKFunctionNaive(std::span<const Point> points,
+                                              const BoundingBox& region,
+                                              std::span<const double> radii);
+
+Result<KFunctionResult> ComputeKFunction(std::span<const Point> points,
+                                         const BoundingBox& region,
+                                         std::span<const double> radii);
+
+}  // namespace slam

@@ -1,0 +1,32 @@
+#include "baselines/akde.h"
+
+#include "index/kdtree.h"
+
+namespace slam {
+
+Status ComputeAkde(const KdvTask& task, const ComputeOptions& options,
+                   DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  if (options.akde_epsilon < 0.0) {
+    return Status::InvalidArgument("akde_epsilon must be non-negative");
+  }
+  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points));
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Cancelled("aKDE exceeded the time budget");
+    }
+    std::span<double> row = map.mutable_row(iy);
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const Point q = task.grid.PixelCenter(ix, iy);
+      row[ix] = task.weight *
+                index.AccumulateKernelBounded(q, task.kernel, task.bandwidth,
+                                              options.akde_epsilon);
+    }
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace slam

@@ -1,0 +1,45 @@
+#include "baselines/quad.h"
+
+#include "index/quadtree.h"
+
+namespace slam {
+
+Status ComputeQuad(const KdvTask& task, const ComputeOptions& options,
+                   DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  if (options.quad_epsilon < 0.0) {
+    return Status::InvalidArgument("quad_epsilon must be non-negative");
+  }
+  SLAM_ASSIGN_OR_RETURN(QuadTree index, QuadTree::Build(task.points));
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  // Exact mode decomposes the density over R(q) aggregates (possible for
+  // the polynomial kernels); the epsilon mode and the Gaussian kernel go
+  // through the bound-midpoint traversal.
+  const bool exact_via_aggregates =
+      options.quad_epsilon == 0.0 && KernelSupportedBySlam(task.kernel);
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Cancelled("QUAD exceeded the time budget");
+    }
+    std::span<double> row = map.mutable_row(iy);
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const Point q = task.grid.PixelCenter(ix, iy);
+      if (exact_via_aggregates) {
+        const RangeAggregates agg =
+            index.RangeAggregateQuery(q, task.bandwidth);
+        row[ix] = DensityFromAggregates(task.kernel, q, agg, task.bandwidth,
+                                        task.weight);
+      } else {
+        row[ix] = task.weight *
+                  index.AccumulateKernelBounded(q, task.kernel,
+                                                task.bandwidth,
+                                                options.quad_epsilon);
+      }
+    }
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace slam

@@ -1,0 +1,53 @@
+#include "baselines/rqs.h"
+
+#include "index/balltree.h"
+#include "index/kdtree.h"
+
+namespace slam {
+
+namespace {
+
+/// Shared pixel loop: `index` must provide RangeQuery(q, radius, fn).
+template <typename Index>
+Status RqsLoop(const Index& index, const KdvTask& task,
+               const ComputeOptions& options, DensityMap* out) {
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  const KernelType kernel = task.kernel;
+  const double b = task.bandwidth;
+  const double w = task.weight;
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Cancelled("RQS exceeded the time budget");
+    }
+    std::span<double> row = map.mutable_row(iy);
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const Point q = task.grid.PixelCenter(ix, iy);
+      double sum = 0.0;
+      index.RangeQuery(q, b, [&](const Point& p) {
+        sum += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      });
+      row[ix] = w * sum;
+    }
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ComputeRqsKd(const KdvTask& task, const ComputeOptions& options,
+                    DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points));
+  return RqsLoop(index, task, options, out);
+}
+
+Status ComputeRqsBall(const KdvTask& task, const ComputeOptions& options,
+                      DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  SLAM_ASSIGN_OR_RETURN(BallTree index, BallTree::Build(task.points));
+  return RqsLoop(index, task, options, out);
+}
+
+}  // namespace slam

@@ -1,0 +1,31 @@
+#include "baselines/scan.h"
+
+namespace slam {
+
+Status ComputeScan(const KdvTask& task, const ComputeOptions& options,
+                   DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  const KernelType kernel = task.kernel;
+  const double b = task.bandwidth;
+  const double w = task.weight;
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Cancelled("SCAN exceeded the time budget");
+    }
+    std::span<double> row = map.mutable_row(iy);
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const Point q = task.grid.PixelCenter(ix, iy);
+      double sum = 0.0;
+      for (const Point& p : task.points) {
+        sum += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      }
+      row[ix] = w * sum;
+    }
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace slam

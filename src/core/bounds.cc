@@ -1,0 +1,25 @@
+#include "core/bounds.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace slam {
+
+void ComputeBoundIntervals(std::span<const Point> envelope, double k,
+                           double bandwidth,
+                           std::vector<BoundInterval>* out) {
+  out->clear();
+  out->reserve(envelope.size());
+  const double b2 = bandwidth * bandwidth;
+  for (const Point& p : envelope) {
+    const double dy = k - p.y;
+    const double rem = b2 - dy * dy;
+    SLAM_DCHECK(rem >= 0.0) << "point outside the envelope of row " << k;
+    // max() guards the tiny negative remainder FP can produce at |dy| == b.
+    const double half_width = std::sqrt(std::max(rem, 0.0));
+    out->push_back({p.x - half_width, p.x + half_width, p});
+  }
+}
+
+}  // namespace slam

@@ -1,0 +1,25 @@
+// Per-point sweep intervals (paper Section 3.3): for a row at y = k, the
+// data point p contributes to pixel q exactly when
+//   LB_k(p) = p.x - sqrt(b² - (k - p.y)²)  <=  q.x  <=  UB_k(p) (Eqs. 8-9).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace slam {
+
+struct BoundInterval {
+  double lb = 0.0;
+  double ub = 0.0;
+  Point p;  // the data point, carried along for the aggregate updates
+};
+
+/// Clears `out` and fills it with the interval of every envelope point.
+/// Precondition (Definition 1): |k - p.y| <= bandwidth for all inputs —
+/// guaranteed by FindEnvelope / EnvelopeScanner; DCHECKed here.
+void ComputeBoundIntervals(std::span<const Point> envelope, double k,
+                           double bandwidth, std::vector<BoundInterval>* out);
+
+}  // namespace slam

@@ -1,0 +1,33 @@
+#include "core/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slam {
+
+void FindEnvelope(std::span<const Point> points, double k, double bandwidth,
+                  std::vector<Point>* out) {
+  out->clear();
+  for (const Point& p : points) {
+    if (std::abs(k - p.y) <= bandwidth) out->push_back(p);
+  }
+}
+
+EnvelopeScanner::EnvelopeScanner(std::span<const Point> points)
+    : sorted_by_y_(points.begin(), points.end()) {
+  std::sort(sorted_by_y_.begin(), sorted_by_y_.end(),
+            [](const Point& a, const Point& b) { return a.y < b.y; });
+}
+
+std::span<const Point> EnvelopeScanner::Envelope(double k,
+                                                 double bandwidth) const {
+  const auto lo = std::lower_bound(
+      sorted_by_y_.begin(), sorted_by_y_.end(), k - bandwidth,
+      [](const Point& p, double v) { return p.y < v; });
+  const auto hi = std::upper_bound(
+      lo, sorted_by_y_.end(), k + bandwidth,
+      [](double v, const Point& p) { return v < p.y; });
+  return {lo, hi};
+}
+
+}  // namespace slam

@@ -1,0 +1,40 @@
+// Envelope point set E(k) (paper Definition 1): the points whose
+// y-coordinate is within the bandwidth of pixel row y = k. Every range set
+// R(q) of a pixel in that row is a subset of E(k), so the sweep only ever
+// touches envelope points.
+//
+// Two implementations:
+//  * FindEnvelope — the paper's O(n) per-row scan (Lemma 1).
+//  * EnvelopeScanner — our extension (DESIGN.md §4.4): points pre-sorted by
+//    y once, then each row's envelope is a contiguous run found with two
+//    binary searches, O(log n + |E(k)|) per row. Exact, same output order
+//    not guaranteed (order is irrelevant to the sweep's result).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Clears `out` and fills it with E(k) for row coordinate `k`.
+void FindEnvelope(std::span<const Point> points, double k, double bandwidth,
+                  std::vector<Point>* out);
+
+class EnvelopeScanner {
+ public:
+  /// Sorts a copy of the points by y (O(n log n), once per KDV).
+  explicit EnvelopeScanner(std::span<const Point> points);
+
+  /// The envelope as a contiguous span of the y-sorted points.
+  std::span<const Point> Envelope(double k, double bandwidth) const;
+
+  size_t size() const { return sorted_by_y_.size(); }
+
+ private:
+  std::vector<Point> sorted_by_y_;
+};
+
+}  // namespace slam

@@ -1,0 +1,41 @@
+#include "core/rao.h"
+
+#include "core/slam_bucket.h"
+#include "core/slam_sort.h"
+
+namespace slam {
+
+namespace {
+
+using BaseMethod = Status (*)(const KdvTask&, const ComputeOptions&,
+                              DensityMap*);
+
+Status ComputeWithRao(BaseMethod base, const KdvTask& task,
+                      const ComputeOptions& options, DensityMap* out) {
+  if (!RaoWouldTranspose(task)) {
+    return base(task, options, out);  // X >= Y: the default row sweep wins
+  }
+  const TransposedTask transposed(task);
+  DensityMap transposed_map;
+  SLAM_RETURN_NOT_OK(base(transposed.task(), options, &transposed_map));
+  *out = transposed_map.Transposed();
+  return Status::OK();
+}
+
+}  // namespace
+
+bool RaoWouldTranspose(const KdvTask& task) {
+  return task.grid.height() > task.grid.width();
+}
+
+Status ComputeSlamSortRao(const KdvTask& task, const ComputeOptions& options,
+                          DensityMap* out) {
+  return ComputeWithRao(&ComputeSlamSort, task, options, out);
+}
+
+Status ComputeSlamBucketRao(const KdvTask& task,
+                            const ComputeOptions& options, DensityMap* out) {
+  return ComputeWithRao(&ComputeSlamBucket, task, options, out);
+}
+
+}  // namespace slam

@@ -1,0 +1,26 @@
+// Resolution-Aware Optimization (paper Section 3.6): the sweep's per-line
+// cost is paid once per line perpendicular to the sweep axis, so sweep
+// along whichever axis has MORE pixels — i.e. iterate over the min(X, Y)
+// lines. Implemented by transposing the task (swap x/y in points and grid)
+// when Y > X, running the base algorithm, and transposing the raster back.
+// Exact; lowers the complexity to O(min(X,Y) (max(X,Y) + n [log n]))
+// (Theorem 3).
+#pragma once
+
+#include "kdv/density_map.h"
+#include "kdv/task.h"
+#include "util/status.h"
+
+namespace slam {
+
+Status ComputeSlamSortRao(const KdvTask& task, const ComputeOptions& options,
+                          DensityMap* out);
+
+Status ComputeSlamBucketRao(const KdvTask& task,
+                            const ComputeOptions& options, DensityMap* out);
+
+/// True when RAO would transpose this task (Y > X). Exposed for tests and
+/// the ablation bench.
+bool RaoWouldTranspose(const KdvTask& task);
+
+}  // namespace slam

@@ -1,0 +1,139 @@
+#include "core/slam_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/envelope.h"
+#include "core/sweep_state.h"
+
+namespace slam {
+
+namespace {
+
+/// Counting-sort style buckets, reused across rows so a KDV allocates the
+/// bucket arrays once. Bucket i (0 <= i < X) holds the endpoints applied
+/// when the sweep line reaches pixel i; bucket X holds endpoints beyond the
+/// last pixel, which the sweep never applies.
+struct BucketWorkspace {
+  std::vector<Point> envelope;
+  std::vector<BoundInterval> intervals;
+  // Per-bucket counts -> exclusive prefix offsets; points scattered into
+  // contiguous arrays.
+  std::vector<int32_t> lower_offsets;  // size X + 2
+  std::vector<int32_t> upper_offsets;
+  std::vector<Point> lower_points;
+  std::vector<Point> upper_points;
+
+  void PrepareRow(int num_pixels) {
+    lower_offsets.assign(num_pixels + 2, 0);
+    upper_offsets.assign(num_pixels + 2, 0);
+  }
+};
+
+/// Bucket of a lower bound: the first pixel index i with value <= x_i,
+/// i.e. ceil((value - x0) / gap), clamped to [0, X] (Eq. 19).
+inline int LowerBucket(double value, const GridAxis& xs) {
+  const double t = std::ceil((value - xs.origin) / xs.gap);
+  if (t <= 0.0) return 0;
+  if (t >= static_cast<double>(xs.count)) return xs.count;
+  return static_cast<int>(t);
+}
+
+/// Bucket of an upper bound: the first pixel index i with value < x_i,
+/// i.e. floor((value - x0) / gap) + 1, clamped to [0, X] (Eq. 20; strict
+/// so boundary points still count at the pixel they end on, see
+/// sweep_state.h).
+inline int UpperBucket(double value, const GridAxis& xs) {
+  const double t = std::floor((value - xs.origin) / xs.gap) + 1.0;
+  if (t <= 0.0) return 0;
+  if (t >= static_cast<double>(xs.count)) return xs.count;
+  return static_cast<int>(t);
+}
+
+void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs) {
+  const int X = xs.count;
+  ws.PrepareRow(X);
+  // Count per bucket (offset index shifted by one for the exclusive scan).
+  for (const BoundInterval& iv : ws.intervals) {
+    ++ws.lower_offsets[LowerBucket(iv.lb, xs) + 1];
+    ++ws.upper_offsets[UpperBucket(iv.ub, xs) + 1];
+  }
+  for (int i = 1; i <= X + 1; ++i) {
+    ws.lower_offsets[i] += ws.lower_offsets[i - 1];
+    ws.upper_offsets[i] += ws.upper_offsets[i - 1];
+  }
+  ws.lower_points.resize(ws.intervals.size());
+  ws.upper_points.resize(ws.intervals.size());
+  // Scatter, advancing a cursor per bucket (the offsets are restored by
+  // shifting: after scattering, offsets[i] holds the start of bucket i+1,
+  // so we keep a scratch copy instead).
+  std::vector<int32_t> lower_cursor(ws.lower_offsets.begin(),
+                                    ws.lower_offsets.end() - 1);
+  std::vector<int32_t> upper_cursor(ws.upper_offsets.begin(),
+                                    ws.upper_offsets.end() - 1);
+  for (const BoundInterval& iv : ws.intervals) {
+    ws.lower_points[lower_cursor[LowerBucket(iv.lb, xs)]++] = iv.p;
+    ws.upper_points[upper_cursor[UpperBucket(iv.ub, xs)]++] = iv.p;
+  }
+}
+
+void SweepRowBuckets(const BucketWorkspace& ws, const KdvTask& task,
+                     double row_y, std::span<double> row) {
+  SweepState state;
+  const GridAxis& xs = task.grid.x_axis();
+  for (int ix = 0; ix < xs.count; ++ix) {
+    for (int32_t i = ws.lower_offsets[ix]; i < ws.lower_offsets[ix + 1]; ++i) {
+      state.PassLowerBound(ws.lower_points[i]);
+    }
+    for (int32_t i = ws.upper_offsets[ix]; i < ws.upper_offsets[ix + 1]; ++i) {
+      state.PassUpperBound(ws.upper_points[i]);
+    }
+    row[ix] = state.Density(task.kernel, {xs.Coord(ix), row_y},
+                            task.bandwidth, task.weight);
+  }
+}
+
+}  // namespace
+
+Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
+                         DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  if (!KernelSupportedBySlam(task.kernel)) {
+    return Status::InvalidArgument(
+        "SLAM has no aggregate decomposition for the " +
+        std::string(KernelTypeName(task.kernel)) +
+        " kernel (paper Section 3.7)");
+  }
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  std::unique_ptr<EnvelopeScanner> scanner;
+  if (options.incremental_envelope) {
+    scanner = std::make_unique<EnvelopeScanner>(task.points);
+  }
+
+  BucketWorkspace ws;
+  const GridAxis& ys = task.grid.y_axis();
+  for (int iy = 0; iy < ys.count; ++iy) {
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      return Status::Cancelled("SLAM_BUCKET exceeded the time budget");
+    }
+    const double k = ys.Coord(iy);
+    std::span<const Point> envelope;
+    if (scanner) {
+      envelope = scanner->Envelope(k, task.bandwidth);
+    } else {
+      FindEnvelope(task.points, k, task.bandwidth, &ws.envelope);
+      envelope = ws.envelope;
+    }
+    ComputeBoundIntervals(envelope, k, task.bandwidth, &ws.intervals);
+    BucketEndpoints(ws, task.grid.x_axis());
+    SweepRowBuckets(ws, task, k, map.mutable_row(iy));
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace slam

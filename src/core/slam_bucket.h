@@ -1,0 +1,18 @@
+// SLAM_BUCKET (paper Algorithm 2, Section 3.5): instead of sorting the
+// interval endpoints, drop each endpoint into the bucket between the two
+// consecutive pixels that bracket it (O(1) per endpoint thanks to the
+// uniform pixel gap, Eqs. 19-20), then sweep pixels left to right, merging
+// each pixel's buckets into the L/U aggregates. Exact. O(Y (n + X)) total
+// (Theorem 2) — the log n of SLAM_SORT is gone.
+#pragma once
+
+#include "kdv/density_map.h"
+#include "kdv/task.h"
+#include "util/status.h"
+
+namespace slam {
+
+Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
+                         DensityMap* out);
+
+}  // namespace slam

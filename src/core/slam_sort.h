@@ -1,0 +1,16 @@
+// SLAM_SORT (paper Algorithm 1, Section 3.4): per pixel row, sort the
+// interval endpoints of the envelope points and sweep them together with
+// the (already sorted) pixel x-coordinates, maintaining the L/U aggregates.
+// Exact. O(Y (n log n + X)) total (Theorem 1).
+#pragma once
+
+#include "kdv/density_map.h"
+#include "kdv/task.h"
+#include "util/status.h"
+
+namespace slam {
+
+Status ComputeSlamSort(const KdvTask& task, const ComputeOptions& options,
+                       DensityMap* out);
+
+}  // namespace slam

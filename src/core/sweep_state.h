@@ -1,0 +1,40 @@
+// The sweep line's running state (paper Section 3.4): the aggregates of
+//   L_ell = {p in E(k) : LB_k(p) <= ell.x}   (lower bounds passed)
+//   U_ell = {p in E(k) : UB_k(p) <  ell.x}   (upper bounds passed)
+// R(q) = L \ U when the sweep line sits on q.x, so the range aggregates are
+// the component-wise difference (Lemmas 3 and 5).
+//
+// Note the strict inequality in U: the paper uses <= (Eq. 11), under which
+// a point at distance exactly b from q is dropped — harmless for the
+// Epanechnikov/quartic kernels (their value at b is 0) but off by w/b for
+// the uniform kernel. The strict form matches direct evaluation
+// (dist <= b contributes) for every kernel, so all methods agree bit-wise
+// on boundary points.
+#pragma once
+
+#include "geom/point.h"
+#include "kdv/kernel.h"
+
+namespace slam {
+
+struct SweepState {
+  RangeAggregates lower;  // aggregates of L_ell
+  RangeAggregates upper;  // aggregates of U_ell
+
+  void PassLowerBound(const Point& p) { lower.Add(p); }
+  void PassUpperBound(const Point& p) { upper.Add(p); }
+
+  void Reset() {
+    lower = RangeAggregates{};
+    upper = RangeAggregates{};
+  }
+
+  /// Exact density at pixel q (Lemma 3 / Lemma 5 + Eq. 5).
+  double Density(KernelType kernel, const Point& q, double bandwidth,
+                 double weight) const {
+    return DensityFromAggregates(kernel, q, lower.Minus(upper), bandwidth,
+                                 weight);
+  }
+};
+
+}  // namespace slam

@@ -1,0 +1,99 @@
+#include "data/csv_io.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+struct ColumnMap {
+  int x = -1;
+  int y = -1;
+  int time = -1;
+  int category = -1;
+};
+}  // namespace
+
+Result<PointDataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  ColumnMap columns;
+  PointDataset ds(path);
+  const Status st = ReadCsvStream(
+      in, CsvOptions{},
+      [&columns](const std::vector<std::string>& header) -> Status {
+        for (size_t i = 0; i < header.size(); ++i) {
+          const std::string name = ToLower(Trim(header[i]));
+          const int idx = static_cast<int>(i);
+          if (name == "x" || name == "lon" || name == "longitude") {
+            columns.x = idx;
+          } else if (name == "y" || name == "lat" || name == "latitude") {
+            columns.y = idx;
+          } else if (name == "time" || name == "timestamp") {
+            columns.time = idx;
+          } else if (name == "category" || name == "type") {
+            columns.category = idx;
+          }
+        }
+        if (columns.x < 0 || columns.y < 0) {
+          return Status::InvalidArgument(
+              "CSV header must contain x and y columns");
+        }
+        return Status::OK();
+      },
+      [&columns, &ds](int64_t row,
+                      const std::vector<std::string>& fields) -> Status {
+        const auto need = [&](int idx) -> Result<std::string_view> {
+          if (idx < 0 || static_cast<size_t>(idx) >= fields.size()) {
+            return Status::InvalidArgument(StringPrintf(
+                "row %lld: missing column %d", static_cast<long long>(row),
+                idx));
+          }
+          return std::string_view(fields[idx]);
+        };
+        SLAM_ASSIGN_OR_RETURN(std::string_view xs, need(columns.x));
+        SLAM_ASSIGN_OR_RETURN(std::string_view ys, need(columns.y));
+        SLAM_ASSIGN_OR_RETURN(double x, ParseDouble(xs));
+        SLAM_ASSIGN_OR_RETURN(double y, ParseDouble(ys));
+        int64_t t = 0;
+        int32_t category = 0;
+        if (columns.time >= 0 &&
+            static_cast<size_t>(columns.time) < fields.size()) {
+          SLAM_ASSIGN_OR_RETURN(t, ParseInt64(fields[columns.time]));
+        }
+        if (columns.category >= 0 &&
+            static_cast<size_t>(columns.category) < fields.size()) {
+          SLAM_ASSIGN_OR_RETURN(int64_t c,
+                                ParseInt64(fields[columns.category]));
+          category = static_cast<int32_t>(c);
+        }
+        ds.Add({x, y}, t, category);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return ds;
+}
+
+Status SaveDatasetCsv(const PointDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  WriteCsvRecord(out, {"x", "y", "time", "category"});
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    WriteCsvRecord(out, {StringPrintf("%.9g", dataset.coord(i).x),
+                         StringPrintf("%.9g", dataset.coord(i).y),
+                         std::to_string(dataset.event_time(i)),
+                         std::to_string(dataset.category(i))});
+  }
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace slam

@@ -1,0 +1,19 @@
+// Load/save PointDataset as CSV with columns x,y,time,category. Lets users
+// run the library on the real municipal exports the paper used (after
+// projecting lon/lat to meters; see geom/projection.h).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Expected header: x,y[,time[,category]]. Extra columns are ignored;
+/// missing time/category default to 0.
+Result<PointDataset> LoadDatasetCsv(const std::string& path);
+
+Status SaveDatasetCsv(const PointDataset& dataset, const std::string& path);
+
+}  // namespace slam

@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include "util/string_util.h"
+
+namespace slam {
+
+PointDataset PointDataset::FromPoints(std::string name,
+                                      std::vector<Point> coords) {
+  PointDataset ds(std::move(name));
+  ds.coords_ = std::move(coords);
+  ds.event_times_.assign(ds.coords_.size(), 0);
+  ds.categories_.assign(ds.coords_.size(), 0);
+  return ds;
+}
+
+Result<PointDataset> PointDataset::FromColumns(
+    std::string name, std::vector<Point> coords,
+    std::vector<int64_t> event_times, std::vector<int32_t> categories) {
+  if (coords.size() != event_times.size() ||
+      coords.size() != categories.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "column lengths differ: coords=%zu event_times=%zu categories=%zu",
+        coords.size(), event_times.size(), categories.size()));
+  }
+  PointDataset ds(std::move(name));
+  ds.coords_ = std::move(coords);
+  ds.event_times_ = std::move(event_times);
+  ds.categories_ = std::move(categories);
+  return ds;
+}
+
+void PointDataset::Reserve(size_t n) {
+  coords_.reserve(n);
+  event_times_.reserve(n);
+  categories_.reserve(n);
+}
+
+void PointDataset::Add(const Point& p, int64_t event_time, int32_t category) {
+  coords_.push_back(p);
+  event_times_.push_back(event_time);
+  categories_.push_back(category);
+  extent_valid_ = false;
+}
+
+const BoundingBox& PointDataset::Extent() const {
+  if (!extent_valid_) {
+    extent_ = BoundingBox::FromPoints(coords_);
+    extent_valid_ = true;
+  }
+  return extent_;
+}
+
+Result<PointDataset> PointDataset::Select(
+    std::span<const size_t> indices) const {
+  PointDataset out(name_);
+  out.Reserve(indices.size());
+  for (const size_t i : indices) {
+    if (i >= size()) {
+      return Status::OutOfRange(
+          StringPrintf("Select index %zu out of range (n=%zu)", i, size()));
+    }
+    out.Add(coords_[i], event_times_[i], categories_[i]);
+  }
+  return out;
+}
+
+}  // namespace slam

@@ -1,0 +1,66 @@
+// Columnar container for a location event dataset: coordinates plus the
+// per-event attributes the paper's exploratory operations filter on
+// (event time for time-based filtering, category for attribute-based
+// filtering). Columnar layout keeps the hot KDV path — a contiguous
+// span<const Point> — free of attribute baggage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+class PointDataset {
+ public:
+  PointDataset() = default;
+  explicit PointDataset(std::string name) : name_(std::move(name)) {}
+
+  /// Builds a dataset from bare coordinates (time = 0, category = 0).
+  static PointDataset FromPoints(std::string name, std::vector<Point> coords);
+
+  /// All three columns; they must have equal length.
+  static Result<PointDataset> FromColumns(std::string name,
+                                          std::vector<Point> coords,
+                                          std::vector<int64_t> event_times,
+                                          std::vector<int32_t> categories);
+
+  void Reserve(size_t n);
+  void Add(const Point& p, int64_t event_time = 0, int32_t category = 0);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return coords_.size(); }
+  bool empty() const { return coords_.empty(); }
+
+  std::span<const Point> coords() const { return coords_; }
+  std::span<const int64_t> event_times() const { return event_times_; }
+  std::span<const int32_t> categories() const { return categories_; }
+
+  const Point& coord(size_t i) const { return coords_[i]; }
+  int64_t event_time(size_t i) const { return event_times_[i]; }
+  int32_t category(size_t i) const { return categories_[i]; }
+
+  /// Recomputed on demand and cached; invalidated by Add().
+  const BoundingBox& Extent() const;
+
+  /// New dataset containing rows at `indices` (order preserved).
+  /// Out-of-range indices are an error.
+  Result<PointDataset> Select(std::span<const size_t> indices) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> coords_;
+  std::vector<int64_t> event_times_;
+  std::vector<int32_t> categories_;
+  mutable BoundingBox extent_;
+  mutable bool extent_valid_ = false;
+};
+
+}  // namespace slam

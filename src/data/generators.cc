@@ -1,0 +1,280 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+
+Point ClampToBox(Point p, const BoundingBox& box) {
+  p.x = std::clamp(p.x, box.min().x, box.max().x);
+  p.y = std::clamp(p.y, box.min().y, box.max().y);
+  return p;
+}
+
+/// Zipf-ish category draw: category c with probability ~ 1/(c+1).
+int32_t DrawCategory(Rng& rng, int num_categories) {
+  if (num_categories <= 1) return 0;
+  // Precomputing the CDF per call would be wasteful; harmonic numbers are
+  // tiny (num_categories <= ~32), so compute inline.
+  double h = 0.0;
+  for (int c = 0; c < num_categories; ++c) h += 1.0 / (c + 1);
+  double u = rng.NextDouble() * h;
+  for (int c = 0; c < num_categories; ++c) {
+    u -= 1.0 / (c + 1);
+    if (u <= 0.0) return c;
+  }
+  return num_categories - 1;
+}
+
+constexpr int64_t kUnix20180101 = 1514764800;
+// Default event-time window ends mid-2020 so the 2019 calendar-year filter
+// (paper Figure 16) always selects a strict subset with events on both
+// sides.
+constexpr int64_t kUnix20200701 = 1593561600;
+
+}  // namespace
+
+PointDataset GenerateUniform(size_t n, const BoundingBox& extent,
+                             uint64_t seed, std::string name) {
+  Rng rng(seed);
+  PointDataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add({rng.Uniform(extent.min().x, extent.max().x),
+            rng.Uniform(extent.min().y, extent.max().y)});
+  }
+  return ds;
+}
+
+PointDataset GenerateGaussianClusters(size_t n, const BoundingBox& extent,
+                                      const std::vector<Point>& centers,
+                                      double stddev, uint64_t seed,
+                                      std::string name) {
+  Rng rng(seed);
+  PointDataset ds(std::move(name));
+  ds.Reserve(n);
+  if (centers.empty()) return ds;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = centers[rng.NextBelow(centers.size())];
+    const Point p{rng.Gaussian(c.x, stddev), rng.Gaussian(c.y, stddev)};
+    ds.Add(ClampToBox(p, extent));
+  }
+  return ds;
+}
+
+Result<PointDataset> GenerateCity(const CityConfig& config) {
+  if (config.n == 0) {
+    return Status::InvalidArgument("city dataset size must be positive");
+  }
+  if (config.width_m <= 0.0 || config.height_m <= 0.0) {
+    return Status::InvalidArgument("city extent must be positive");
+  }
+  if (config.cluster_fraction < 0.0 || config.street_fraction < 0.0 ||
+      config.cluster_fraction + config.street_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "mixture fractions must be non-negative and sum to at most 1");
+  }
+  if (config.num_clusters <= 0 || config.num_categories <= 0) {
+    return Status::InvalidArgument("cluster/category counts must be positive");
+  }
+  if (config.time_end_unix < config.time_begin_unix) {
+    return Status::InvalidArgument("time_end_unix before time_begin_unix");
+  }
+
+  Rng rng(config.seed);
+  const BoundingBox extent({0.0, 0.0}, {config.width_m, config.height_m});
+
+  // Hotspot cluster shapes: center, anisotropic stddevs, orientation.
+  struct Cluster {
+    Point center;
+    double sx, sy;  // stddev along rotated axes
+    double cos_t, sin_t;
+    double weight;  // unnormalized mixture weight
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(config.num_clusters);
+  double total_weight = 0.0;
+  for (int c = 0; c < config.num_clusters; ++c) {
+    Cluster cl;
+    // Bias cluster centers toward the middle of the city (downtowns), by
+    // averaging two uniform draws per coordinate.
+    cl.center = {(rng.Uniform(0, config.width_m) + rng.Uniform(0, config.width_m)) / 2.0,
+                 (rng.Uniform(0, config.height_m) + rng.Uniform(0, config.height_m)) / 2.0};
+    const double base =
+        rng.Uniform(config.cluster_stddev_min_m, config.cluster_stddev_max_m);
+    const double aniso = rng.Uniform(1.0, config.cluster_anisotropy_max);
+    cl.sx = base * aniso;
+    cl.sy = base;
+    const double theta = rng.Uniform(0.0, std::numbers::pi);
+    cl.cos_t = std::cos(theta);
+    cl.sin_t = std::sin(theta);
+    // Skewed cluster intensities: a few dominant hotspots.
+    cl.weight = rng.Exponential(1.0) + 0.1;
+    total_weight += cl.weight;
+    clusters.push_back(cl);
+  }
+  // Cumulative weights for mixture draws.
+  std::vector<double> cdf(clusters.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    acc += clusters[i].weight / total_weight;
+    cdf[i] = acc;
+  }
+
+  const int64_t t0 =
+      config.time_begin_unix != 0 ? config.time_begin_unix : kUnix20180101;
+  const int64_t t1 =
+      config.time_end_unix != 0 ? config.time_end_unix : kUnix20200701;
+
+  PointDataset ds(config.name);
+  ds.Reserve(config.n);
+  const size_t n_cluster =
+      static_cast<size_t>(config.cluster_fraction * config.n);
+  const size_t n_street = static_cast<size_t>(config.street_fraction * config.n);
+
+  for (size_t i = 0; i < config.n; ++i) {
+    Point p;
+    if (i < n_cluster) {
+      // Gaussian mixture draw.
+      const double u = rng.NextDouble();
+      size_t ci = std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+      if (ci >= clusters.size()) ci = clusters.size() - 1;
+      const Cluster& cl = clusters[ci];
+      const double gx = rng.NextGaussian() * cl.sx;
+      const double gy = rng.NextGaussian() * cl.sy;
+      p = {cl.center.x + gx * cl.cos_t - gy * cl.sin_t,
+           cl.center.y + gx * cl.sin_t + gy * cl.cos_t};
+    } else if (i < n_cluster + n_street) {
+      // Snap one coordinate to a street-lattice line, jittered.
+      const bool horizontal = rng.NextU64() & 1;
+      if (horizontal) {
+        const int64_t line = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(
+                std::max(1.0, config.height_m / config.street_spacing_m))));
+        p = {rng.Uniform(0, config.width_m),
+             line * config.street_spacing_m +
+                 rng.Gaussian(0.0, config.street_jitter_m)};
+      } else {
+        const int64_t line = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(
+                std::max(1.0, config.width_m / config.street_spacing_m))));
+        p = {line * config.street_spacing_m +
+                 rng.Gaussian(0.0, config.street_jitter_m),
+             rng.Uniform(0, config.height_m)};
+      }
+    } else {
+      p = {rng.Uniform(0, config.width_m), rng.Uniform(0, config.height_m)};
+    }
+    const int64_t t = t0 + static_cast<int64_t>(rng.NextBelow(
+                               static_cast<uint64_t>(t1 - t0 + 1)));
+    ds.Add(ClampToBox(p, extent), t, DrawCategory(rng, config.num_categories));
+  }
+  return ds;
+}
+
+std::string_view CityName(City city) {
+  switch (city) {
+    case City::kSeattle:
+      return "Seattle";
+    case City::kLosAngeles:
+      return "Los Angeles";
+    case City::kNewYork:
+      return "New York";
+    case City::kSanFrancisco:
+      return "San Francisco";
+  }
+  return "?";
+}
+
+size_t CityPaperSize(City city) {
+  switch (city) {
+    case City::kSeattle:
+      return 862873;  // crime events
+    case City::kLosAngeles:
+      return 1255668;  // crime events
+    case City::kNewYork:
+      return 1499928;  // traffic accidents
+    case City::kSanFrancisco:
+      return 4333098;  // 311 calls
+  }
+  return 0;
+}
+
+double CityPaperBandwidth(City city) {
+  switch (city) {
+    case City::kSeattle:
+      return 671.39;
+    case City::kLosAngeles:
+      return 1588.47;
+    case City::kNewYork:
+      return 1062.53;
+    case City::kSanFrancisco:
+      return 279.27;
+  }
+  return 0.0;
+}
+
+CityConfig CityPresetConfig(City city, double scale, uint64_t seed) {
+  CityConfig cfg;
+  cfg.name = std::string(CityName(city));
+  cfg.n = std::max<size_t>(
+      1, static_cast<size_t>(CityPaperSize(city) * scale + 0.5));
+  cfg.seed = seed + static_cast<uint64_t>(city) * 1000003ULL;
+  switch (city) {
+    case City::kSeattle:
+      // Long, narrow city between water bodies.
+      cfg.width_m = 14000.0;
+      cfg.height_m = 28000.0;
+      cfg.num_clusters = 10;
+      cfg.cluster_fraction = 0.60;
+      cfg.street_fraction = 0.25;
+      break;
+    case City::kLosAngeles:
+      // Sprawling, many moderate hotspots.
+      cfg.width_m = 70000.0;
+      cfg.height_m = 50000.0;
+      cfg.num_clusters = 24;
+      cfg.cluster_fraction = 0.50;
+      cfg.street_fraction = 0.35;
+      cfg.cluster_stddev_max_m = 2000.0;
+      break;
+    case City::kNewYork:
+      // Dense, grid-dominated (collisions concentrate on avenues).
+      cfg.width_m = 35000.0;
+      cfg.height_m = 45000.0;
+      cfg.num_clusters = 16;
+      cfg.cluster_fraction = 0.45;
+      cfg.street_fraction = 0.45;
+      cfg.street_spacing_m = 250.0;
+      break;
+    case City::kSanFrancisco:
+      // Compact, very dense 311 reporting.
+      cfg.width_m = 12000.0;
+      cfg.height_m = 12000.0;
+      cfg.num_clusters = 14;
+      cfg.cluster_fraction = 0.55;
+      cfg.street_fraction = 0.30;
+      cfg.cluster_stddev_min_m = 80.0;
+      cfg.cluster_stddev_max_m = 600.0;
+      break;
+  }
+  return cfg;
+}
+
+Result<PointDataset> GenerateCityDataset(City city, double scale,
+                                         uint64_t seed) {
+  if (!(scale > 0.0)) {
+    return Status::InvalidArgument(
+        StringPrintf("city scale must be positive, got %f", scale));
+  }
+  return GenerateCity(CityPresetConfig(city, scale, seed));
+}
+
+}  // namespace slam

@@ -1,0 +1,38 @@
+#include "data/sampling.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<PointDataset> SampleFraction(const PointDataset& dataset,
+                                    double fraction, uint64_t seed) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("sample fraction must be in (0, 1], got %f", fraction));
+  }
+  if (fraction == 1.0) {
+    std::vector<size_t> all(dataset.size());
+    std::iota(all.begin(), all.end(), size_t{0});
+    return dataset.Select(all);
+  }
+  const size_t k = static_cast<size_t>(fraction * dataset.size() + 0.5);
+  return SampleCount(dataset, k, seed);
+}
+
+Result<PointDataset> SampleCount(const PointDataset& dataset, size_t k,
+                                 uint64_t seed) {
+  if (k > dataset.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("cannot sample %zu of %zu rows", k, dataset.size()));
+  }
+  Rng rng(seed);
+  const std::vector<size_t> indices =
+      rng.SampleWithoutReplacement(dataset.size(), k);
+  return dataset.Select(indices);
+}
+
+}  // namespace slam

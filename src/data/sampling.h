@@ -1,0 +1,22 @@
+// Random sampling without replacement — the mechanism behind the paper's
+// dataset-size sweeps (Figures 14, 17, 19 sample 25/50/75/100% of each
+// dataset).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Uniformly samples `fraction` (0 < fraction <= 1) of the rows without
+/// replacement. fraction == 1 returns a copy in original order.
+Result<PointDataset> SampleFraction(const PointDataset& dataset,
+                                    double fraction, uint64_t seed);
+
+/// Uniformly samples exactly k rows without replacement (k <= n).
+Result<PointDataset> SampleCount(const PointDataset& dataset, size_t k,
+                                 uint64_t seed);
+
+}  // namespace slam

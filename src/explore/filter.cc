@@ -1,0 +1,61 @@
+#include "explore/filter.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+bool EventFilter::Matches(int64_t event_time, int32_t category) const {
+  if (time_begin && event_time < *time_begin) return false;
+  if (time_end && event_time > *time_end) return false;
+  if (!categories.empty() &&
+      std::find(categories.begin(), categories.end(), category) ==
+          categories.end()) {
+    return false;
+  }
+  return true;
+}
+
+Result<PointDataset> ApplyFilter(const PointDataset& dataset,
+                                 const EventFilter& filter) {
+  if (filter.time_begin && filter.time_end &&
+      *filter.time_begin > *filter.time_end) {
+    return Status::InvalidArgument("filter time_begin after time_end");
+  }
+  PointDataset out(dataset.name());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (filter.Matches(dataset.event_time(i), dataset.category(i))) {
+      out.Add(dataset.coord(i), dataset.event_time(i), dataset.category(i));
+    }
+  }
+  return out;
+}
+
+Result<int64_t> UnixFromDate(int year, int month, int day) {
+  if (year < 1970 || month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument(
+        StringPrintf("invalid date %04d-%02d-%02d", year, month, day));
+  }
+  // Days since epoch via the civil-from-days algorithm (Howard Hinnant).
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  const int64_t days =
+      static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+  return days * 86400;
+}
+
+EventFilter Year2019Filter() {
+  EventFilter f;
+  f.time_begin = UnixFromDate(2019, 1, 1).ValueOrDie();
+  // Inclusive end: last second of 31 Dec 2019.
+  f.time_end = UnixFromDate(2020, 1, 1).ValueOrDie() - 1;
+  return f;
+}
+
+}  // namespace slam

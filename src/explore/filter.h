@@ -1,0 +1,38 @@
+// Attribute- and time-based filtering (paper Figure 2): restrict a dataset
+// to an event-time window ("crime events from 1 Jan 2018 to 1 Jan 2019") or
+// to categories ("only robbery events") before generating KDV.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct EventFilter {
+  /// Inclusive bounds on event time (unix seconds); unset = unbounded.
+  std::optional<int64_t> time_begin;
+  std::optional<int64_t> time_end;
+  /// Keep only these categories; empty = keep all.
+  std::vector<int32_t> categories;
+
+  bool IsNoop() const {
+    return !time_begin && !time_end && categories.empty();
+  }
+  bool Matches(int64_t event_time, int32_t category) const;
+};
+
+/// New dataset containing the matching rows, in original order.
+Result<PointDataset> ApplyFilter(const PointDataset& dataset,
+                                 const EventFilter& filter);
+
+/// Convenience: the paper's Figure 16 setup filters to calendar year 2019.
+EventFilter Year2019Filter();
+
+/// Unix-seconds timestamp of midnight UTC on the given date.
+Result<int64_t> UnixFromDate(int year, int month, int day);
+
+}  // namespace slam

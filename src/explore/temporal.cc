@@ -1,0 +1,87 @@
+#include "explore/temporal.h"
+
+#include <algorithm>
+
+#include "explore/filter.h"
+#include "kdv/bandwidth.h"
+#include "kdv/grid.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<std::vector<TimeSlice>> ComputeTimeSlicedKdv(
+    const PointDataset& dataset, const Viewport& viewport,
+    const TimeSliceConfig& config) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot slice an empty dataset");
+  }
+  if (config.window_seconds <= 0 || config.step_seconds <= 0) {
+    return Status::InvalidArgument(
+        "window_seconds and step_seconds must be positive");
+  }
+  if (MethodIsSlam(config.method) &&
+      !KernelSupportedBySlam(config.kernel)) {
+    return Status::InvalidArgument(
+        "selected SLAM method cannot support the " +
+        std::string(KernelTypeName(config.kernel)) + " kernel");
+  }
+
+  int64_t t_min = dataset.event_time(0);
+  int64_t t_max = t_min;
+  for (size_t i = 1; i < dataset.size(); ++i) {
+    t_min = std::min(t_min, dataset.event_time(i));
+    t_max = std::max(t_max, dataset.event_time(i));
+  }
+  const int64_t begin = config.begin.value_or(t_min);
+  const int64_t end = config.end.value_or(t_max);
+  if (begin > end) {
+    return Status::InvalidArgument(
+        StringPrintf("slice range inverted: begin %lld > end %lld",
+                     static_cast<long long>(begin),
+                     static_cast<long long>(end)));
+  }
+
+  double bandwidth;
+  if (config.bandwidth) {
+    if (!(*config.bandwidth > 0.0)) {
+      return Status::InvalidArgument("bandwidth must be positive");
+    }
+    bandwidth = *config.bandwidth;
+  } else {
+    SLAM_ASSIGN_OR_RETURN(bandwidth, ScottBandwidth(dataset.coords()));
+  }
+
+  std::vector<TimeSlice> slices;
+  for (int64_t window_begin = begin; window_begin <= end;
+       window_begin += config.step_seconds) {
+    const int64_t window_end =
+        std::min(end, window_begin + config.window_seconds - 1);
+    EventFilter filter;
+    filter.time_begin = window_begin;
+    filter.time_end = window_end;
+    SLAM_ASSIGN_OR_RETURN(PointDataset window_data,
+                          ApplyFilter(dataset, filter));
+
+    TimeSlice slice;
+    slice.begin = window_begin;
+    slice.end = window_end;
+    slice.event_count = window_data.size();
+    if (window_data.empty()) {
+      SLAM_ASSIGN_OR_RETURN(
+          slice.map,
+          DensityMap::Create(viewport.width_px(), viewport.height_px()));
+    } else {
+      KdvTask task = MakeTask(window_data, viewport, config.kernel, bandwidth);
+      if (config.weight_by_total) {
+        task.weight = 1.0 / static_cast<double>(dataset.size());
+      }
+      SLAM_ASSIGN_OR_RETURN(slice.map,
+                            ComputeKdv(task, config.method, config.engine));
+    }
+    slices.push_back(std::move(slice));
+    if (window_end >= end) break;
+  }
+  return slices;
+}
+
+}  // namespace slam

@@ -1,0 +1,54 @@
+// Time-sliced KDV: a sequence of density rasters over sliding event-time
+// windows, the building block of spatio-temporal hotspot animation
+// (the paper's future-work STKDV direction and the time-based filtering of
+// Figure 2, applied repeatedly). Every slice is an exact KDV of the events
+// inside its window, over a fixed viewport so frames are comparable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/viewport.h"
+#include "kdv/density_map.h"
+#include "kdv/engine.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct TimeSliceConfig {
+  /// Window length in seconds (e.g. 30 days). Must be positive.
+  int64_t window_seconds = 30LL * 86400;
+  /// Start-to-start distance between consecutive windows. Must be
+  /// positive; < window means overlapping windows.
+  int64_t step_seconds = 30LL * 86400;
+  /// Time range; unset = the dataset's [min, max] event time.
+  std::optional<int64_t> begin;
+  std::optional<int64_t> end;
+  KernelType kernel = KernelType::kEpanechnikov;
+  /// Unset = Scott's rule on the FULL dataset (shared across slices so
+  /// frame-to-frame smoothness is comparable).
+  std::optional<double> bandwidth;
+  Method method = Method::kSlamBucketRao;
+  EngineOptions engine;
+  /// Normalization weight policy: true divides each slice by the FULL
+  /// dataset size (comparable absolute intensities across frames); false
+  /// divides by the slice's own event count (per-frame normalized).
+  bool weight_by_total = true;
+};
+
+struct TimeSlice {
+  int64_t begin = 0;  // inclusive
+  int64_t end = 0;    // inclusive
+  size_t event_count = 0;
+  DensityMap map;
+};
+
+/// Computes one raster per window. Windows with no events yield a zero
+/// raster (still emitted, so animations keep their cadence).
+Result<std::vector<TimeSlice>> ComputeTimeSlicedKdv(
+    const PointDataset& dataset, const Viewport& viewport,
+    const TimeSliceConfig& config);
+
+}  // namespace slam

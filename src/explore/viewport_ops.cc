@@ -1,0 +1,61 @@
+#include "explore/viewport_ops.h"
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<Viewport> DatasetViewport(const PointDataset& dataset, int width_px,
+                                 int height_px) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty; no viewport to derive");
+  }
+  return Viewport::Create(dataset.Extent(), width_px, height_px);
+}
+
+Result<std::vector<Viewport>> ZoomSequence(const PointDataset& dataset,
+                                           const std::vector<double>& ratios,
+                                           int width_px, int height_px) {
+  SLAM_ASSIGN_OR_RETURN(Viewport base,
+                        DatasetViewport(dataset, width_px, height_px));
+  std::vector<Viewport> out;
+  out.reserve(ratios.size());
+  for (const double ratio : ratios) {
+    SLAM_ASSIGN_OR_RETURN(Viewport v, base.Zoomed(ratio));
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<Viewport>> RandomPanViewports(const PointDataset& dataset,
+                                                 int count, double ratio,
+                                                 int width_px, int height_px,
+                                                 uint64_t seed) {
+  if (count <= 0) {
+    return Status::InvalidArgument("pan viewport count must be positive");
+  }
+  if (!(ratio > 0.0) || ratio > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("pan rectangle ratio must be in (0, 1], got %f", ratio));
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty; no viewports to derive");
+  }
+  const BoundingBox mbr = dataset.Extent();
+  const double w = mbr.width() * ratio;
+  const double h = mbr.height() * ratio;
+  Rng rng(seed);
+  std::vector<Viewport> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double x0 = mbr.min().x + rng.NextDouble() * (mbr.width() - w);
+    const double y0 = mbr.min().y + rng.NextDouble() * (mbr.height() - h);
+    SLAM_ASSIGN_OR_RETURN(
+        Viewport v, Viewport::Create(BoundingBox({x0, y0}, {x0 + w, y0 + h}),
+                                     width_px, height_px));
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace slam

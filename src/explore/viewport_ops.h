@@ -1,0 +1,33 @@
+// Viewport construction for the exploratory-operation experiments (paper
+// Section 4.2, Figure 16): zoom sequences scaled about the dataset MBR's
+// center and random pan rectangles of half the MBR's extent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/viewport.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Viewport over the dataset's minimum bounding rectangle.
+Result<Viewport> DatasetViewport(const PointDataset& dataset, int width_px,
+                                 int height_px);
+
+/// One viewport per ratio (e.g. {0.25, 0.5, 0.75, 1}), each the MBR scaled
+/// about its center, all at the same resolution. Ratio 1 is the MBR itself.
+Result<std::vector<Viewport>> ZoomSequence(const PointDataset& dataset,
+                                           const std::vector<double>& ratios,
+                                           int width_px, int height_px);
+
+/// `count` random rectangles of size (ratio*W, ratio*H) placed uniformly
+/// inside the MBR (paper uses count = 5, ratio = 0.5), all at the same
+/// resolution. Deterministic in `seed`.
+Result<std::vector<Viewport>> RandomPanViewports(const PointDataset& dataset,
+                                                 int count, double ratio,
+                                                 int width_px, int height_px,
+                                                 uint64_t seed);
+
+}  // namespace slam

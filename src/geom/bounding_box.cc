@@ -1,0 +1,37 @@
+#include "geom/bounding_box.h"
+
+#include "util/string_util.h"
+
+namespace slam {
+
+BoundingBox BoundingBox::FromPoints(std::span<const Point> points) {
+  BoundingBox box;
+  for (const Point& p : points) box.Extend(p);
+  return box;
+}
+
+double BoundingBox::MinSquaredDistance(const Point& q) const {
+  const double dx = std::max({min_.x - q.x, 0.0, q.x - max_.x});
+  const double dy = std::max({min_.y - q.y, 0.0, q.y - max_.y});
+  return dx * dx + dy * dy;
+}
+
+double BoundingBox::MaxSquaredDistance(const Point& q) const {
+  const double dx = std::max(std::abs(q.x - min_.x), std::abs(q.x - max_.x));
+  const double dy = std::max(std::abs(q.y - min_.y), std::abs(q.y - max_.y));
+  return dx * dx + dy * dy;
+}
+
+BoundingBox BoundingBox::ScaledAboutCenter(double ratio) const {
+  const Point c = center();
+  const double hw = width() * 0.5 * ratio;
+  const double hh = height() * 0.5 * ratio;
+  return BoundingBox({c.x - hw, c.y - hh}, {c.x + hw, c.y + hh});
+}
+
+std::string BoundingBox::ToString() const {
+  return StringPrintf("[(%.3f, %.3f), (%.3f, %.3f)]", min_.x, min_.y, max_.x,
+                      max_.y);
+}
+
+}  // namespace slam

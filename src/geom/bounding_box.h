@@ -1,0 +1,85 @@
+// Axis-aligned bounding rectangle. Used for dataset extents, index nodes,
+// and the minimum bounding rectangles of the zoom/pan experiments.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "geom/point.h"
+
+namespace slam {
+
+class BoundingBox {
+ public:
+  /// Default: empty (inverted) box; Extend() fixes it up.
+  BoundingBox()
+      : min_(std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity()),
+        max_(-std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()) {}
+  BoundingBox(const Point& min, const Point& max) : min_(min), max_(max) {}
+
+  static BoundingBox FromPoints(std::span<const Point> points);
+
+  bool empty() const { return min_.x > max_.x || min_.y > max_.y; }
+  const Point& min() const { return min_; }
+  const Point& max() const { return max_; }
+  double width() const { return max_.x - min_.x; }
+  double height() const { return max_.y - min_.y; }
+  Point center() const {
+    return {(min_.x + max_.x) * 0.5, (min_.y + max_.y) * 0.5};
+  }
+  double Area() const { return empty() ? 0.0 : width() * height(); }
+
+  void Extend(const Point& p) {
+    min_.x = std::min(min_.x, p.x);
+    min_.y = std::min(min_.y, p.y);
+    max_.x = std::max(max_.x, p.x);
+    max_.y = std::max(max_.y, p.y);
+  }
+  void Extend(const BoundingBox& other) {
+    if (other.empty()) return;
+    Extend(other.min_);
+    Extend(other.max_);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y;
+  }
+  bool Contains(const BoundingBox& other) const {
+    return !other.empty() && Contains(other.min_) && Contains(other.max_);
+  }
+  bool Intersects(const BoundingBox& other) const {
+    return !(other.min_.x > max_.x || other.max_.x < min_.x ||
+             other.min_.y > max_.y || other.max_.y < min_.y);
+  }
+
+  /// Squared distance from q to the closest point of the box (0 if inside).
+  double MinSquaredDistance(const Point& q) const;
+  /// Squared distance from q to the farthest corner of the box.
+  double MaxSquaredDistance(const Point& q) const;
+
+  /// A box with the same center, scaled by `ratio` in each dimension.
+  /// ratio < 1 zooms in (the paper's Figure 16 zoom experiment).
+  BoundingBox ScaledAboutCenter(double ratio) const;
+
+  /// Expands every side outward by `margin` (>= 0).
+  BoundingBox Expanded(double margin) const {
+    return BoundingBox({min_.x - margin, min_.y - margin},
+                       {max_.x + margin, max_.y + margin});
+  }
+
+  bool operator==(const BoundingBox& o) const {
+    return min_ == o.min_ && max_ == o.max_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Point min_;
+  Point max_;
+};
+
+}  // namespace slam

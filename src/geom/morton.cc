@@ -1,0 +1,69 @@
+#include "geom/morton.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slam {
+
+uint64_t InterleaveBits32(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t DeinterleaveBits32(uint64_t v) {
+  uint64_t x = v & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<uint32_t>(x);
+}
+
+uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return InterleaveBits32(x) | (InterleaveBits32(y) << 1);
+}
+
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = DeinterleaveBits32(code);
+  *y = DeinterleaveBits32(code >> 1);
+}
+
+namespace {
+uint32_t Quantize(double v, double lo, double extent) {
+  if (extent <= 0.0) return 0;
+  const double t = (v - lo) / extent;
+  const double scaled = t * 4294967295.0;  // 2^32 - 1
+  if (scaled <= 0.0) return 0;
+  if (scaled >= 4294967295.0) return 0xffffffffu;
+  return static_cast<uint32_t>(scaled);
+}
+}  // namespace
+
+uint64_t MortonCodeForPoint(const Point& p, const BoundingBox& extent) {
+  if (extent.empty()) return 0;
+  const uint32_t qx = Quantize(p.x, extent.min().x, extent.width());
+  const uint32_t qy = Quantize(p.y, extent.min().y, extent.height());
+  return MortonEncode(qx, qy);
+}
+
+std::vector<uint32_t> MortonSortOrder(std::span<const Point> points) {
+  const BoundingBox extent = BoundingBox::FromPoints(points);
+  std::vector<uint64_t> codes(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    codes[i] = MortonCodeForPoint(points[i], extent);
+  }
+  std::vector<uint32_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&codes](uint32_t a, uint32_t b) {
+    return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+  });
+  return order;
+}
+
+}  // namespace slam

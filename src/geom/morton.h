@@ -1,0 +1,36 @@
+// Morton (Z-order) codes. The Z-order baseline of Zheng et al. [73] sorts
+// the dataset along the Z-order curve so that a strided sample is spatially
+// stratified; these helpers provide the 32-bit-per-axis interleaving.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+
+namespace slam {
+
+/// Spreads the low 32 bits of v so bit i lands at position 2i.
+uint64_t InterleaveBits32(uint32_t v);
+
+/// Inverse of InterleaveBits32 on even bit positions.
+uint32_t DeinterleaveBits32(uint64_t v);
+
+/// Interleaved (y, x) -> 64-bit Morton code; x occupies even bits.
+uint64_t MortonEncode(uint32_t x, uint32_t y);
+
+/// Splits a Morton code back into (x, y).
+void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y);
+
+/// Quantizes p into [0, 2^32) per axis within `extent` and encodes it.
+/// Points outside the extent are clamped. An empty or degenerate extent
+/// maps everything to code 0.
+uint64_t MortonCodeForPoint(const Point& p, const BoundingBox& extent);
+
+/// Returns the permutation that sorts `points` by Morton code within their
+/// bounding box (computed internally).
+std::vector<uint32_t> MortonSortOrder(std::span<const Point> points);
+
+}  // namespace slam

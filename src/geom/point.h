@@ -1,0 +1,48 @@
+// 2-D point value type used throughout the library. Kept trivially copyable
+// and 16 bytes so hot loops over std::span<const Point> vectorize well.
+#pragma once
+
+#include <cmath>
+
+namespace slam {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+  /// ||p||_2^2
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+};
+
+/// Squared Euclidean distance — the primitive every kernel evaluation uses.
+constexpr double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace slam

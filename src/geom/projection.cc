@@ -1,0 +1,66 @@
+#include "geom/projection.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+// WGS84 mean Earth radius, meters.
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+Result<LocalProjection> LocalProjection::Create(double lon0_deg,
+                                                double lat0_deg) {
+  if (!(lat0_deg > -89.9 && lat0_deg < 89.9)) {
+    return Status::InvalidArgument(StringPrintf(
+        "reference latitude %.3f out of supported range (-89.9, 89.9)",
+        lat0_deg));
+  }
+  if (!(lon0_deg >= -180.0 && lon0_deg <= 180.0)) {
+    return Status::InvalidArgument(
+        StringPrintf("reference longitude %.3f out of [-180, 180]", lon0_deg));
+  }
+  const double meters_per_deg_lat = kEarthRadiusMeters * kDegToRad;
+  const double meters_per_deg_lon =
+      meters_per_deg_lat * std::cos(lat0_deg * kDegToRad);
+  return LocalProjection(lon0_deg, lat0_deg, meters_per_deg_lon,
+                         meters_per_deg_lat);
+}
+
+Result<LocalProjection> LocalProjection::ForData(
+    std::span<const Point> lonlat) {
+  if (lonlat.empty()) {
+    return Status::InvalidArgument("cannot center a projection on no points");
+  }
+  double sum_lon = 0.0, sum_lat = 0.0;
+  for (const Point& p : lonlat) {
+    sum_lon += p.x;
+    sum_lat += p.y;
+  }
+  const double n = static_cast<double>(lonlat.size());
+  return Create(sum_lon / n, sum_lat / n);
+}
+
+Point LocalProjection::Forward(const Point& lonlat) const {
+  return {(lonlat.x - lon0_deg_) * meters_per_deg_lon_,
+          (lonlat.y - lat0_deg_) * meters_per_deg_lat_};
+}
+
+Point LocalProjection::Inverse(const Point& xy) const {
+  return {lon0_deg_ + xy.x / meters_per_deg_lon_,
+          lat0_deg_ + xy.y / meters_per_deg_lat_};
+}
+
+std::vector<Point> LocalProjection::ForwardAll(
+    std::span<const Point> lonlat) const {
+  std::vector<Point> out;
+  out.reserve(lonlat.size());
+  for (const Point& p : lonlat) out.push_back(Forward(p));
+  return out;
+}
+
+}  // namespace slam

@@ -1,0 +1,49 @@
+// Geographic projection: WGS84 (lon, lat in degrees) to local planar meters.
+// The paper's bandwidths are in meters (Table 5), so datasets given in
+// lon/lat must be projected before KDV. We use an equirectangular projection
+// about a reference latitude — accurate to well under 1% at city scale,
+// which is what the municipal datasets cover.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+class LocalProjection {
+ public:
+  /// Reference point (lon0, lat0) in degrees; projected coords are meters
+  /// east / north of it.
+  static Result<LocalProjection> Create(double lon0_deg, double lat0_deg);
+
+  /// Projection centered on the centroid of the (lon, lat) points.
+  static Result<LocalProjection> ForData(std::span<const Point> lonlat);
+
+  /// (lon, lat) degrees -> (x, y) meters.
+  Point Forward(const Point& lonlat) const;
+  /// (x, y) meters -> (lon, lat) degrees.
+  Point Inverse(const Point& xy) const;
+
+  std::vector<Point> ForwardAll(std::span<const Point> lonlat) const;
+
+  double lon0_deg() const { return lon0_deg_; }
+  double lat0_deg() const { return lat0_deg_; }
+
+ private:
+  LocalProjection(double lon0_deg, double lat0_deg, double meters_per_deg_lon,
+                  double meters_per_deg_lat)
+      : lon0_deg_(lon0_deg),
+        lat0_deg_(lat0_deg),
+        meters_per_deg_lon_(meters_per_deg_lon),
+        meters_per_deg_lat_(meters_per_deg_lat) {}
+
+  double lon0_deg_;
+  double lat0_deg_;
+  double meters_per_deg_lon_;
+  double meters_per_deg_lat_;
+};
+
+}  // namespace slam

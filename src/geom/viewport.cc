@@ -1,0 +1,56 @@
+#include "geom/viewport.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<Viewport> Viewport::Create(const BoundingBox& region, int width_px,
+                                  int height_px) {
+  if (region.empty() || region.width() <= 0.0 || region.height() <= 0.0) {
+    return Status::InvalidArgument("viewport region must have positive area, got " +
+                                   region.ToString());
+  }
+  if (width_px <= 0 || height_px <= 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "viewport resolution must be positive, got %dx%d", width_px,
+        height_px));
+  }
+  return Viewport(region, width_px, height_px);
+}
+
+bool Viewport::GeoToPixel(const Point& p, int* ix, int* iy) const {
+  if (!region_.Contains(p)) return false;
+  int x = static_cast<int>((p.x - region_.min().x) / pixel_gap_x());
+  int y = static_cast<int>((p.y - region_.min().y) / pixel_gap_y());
+  if (x >= width_px_) x = width_px_ - 1;  // p.x == region max edge
+  if (y >= height_px_) y = height_px_ - 1;
+  *ix = x;
+  *iy = y;
+  return true;
+}
+
+Result<Viewport> Viewport::Zoomed(double ratio) const {
+  if (!(ratio > 0.0) || !std::isfinite(ratio)) {
+    return Status::InvalidArgument(
+        StringPrintf("zoom ratio must be positive and finite, got %f", ratio));
+  }
+  return Create(region_.ScaledAboutCenter(ratio), width_px_, height_px_);
+}
+
+Result<Viewport> Viewport::Panned(double dx, double dy) const {
+  if (!std::isfinite(dx) || !std::isfinite(dy)) {
+    return Status::InvalidArgument("pan offsets must be finite");
+  }
+  const BoundingBox moved({region_.min().x + dx, region_.min().y + dy},
+                          {region_.max().x + dx, region_.max().y + dy});
+  return Create(moved, width_px_, height_px_);
+}
+
+std::string Viewport::ToString() const {
+  return StringPrintf("Viewport(%s @ %dx%d)", region_.ToString().c_str(),
+                      width_px_, height_px_);
+}
+
+}  // namespace slam

@@ -1,0 +1,73 @@
+// Viewport: a geographic region rendered at a fixed pixel resolution.
+// This is the object the exploratory operations (zoom / pan, Figure 16 of
+// the paper) manipulate: the resolution stays fixed (e.g. 1280x960) while
+// the geographic region changes.
+#pragma once
+
+#include <string>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+class Viewport {
+ public:
+  /// `region` must be non-empty with positive area; width/height in pixels
+  /// must be positive.
+  static Result<Viewport> Create(const BoundingBox& region, int width_px,
+                                 int height_px);
+
+  const BoundingBox& region() const { return region_; }
+  int width_px() const { return width_px_; }
+  int height_px() const { return height_px_; }
+  int64_t pixel_count() const {
+    return static_cast<int64_t>(width_px_) * height_px_;
+  }
+
+  /// Geographic extent of one pixel.
+  double pixel_gap_x() const { return region_.width() / width_px_; }
+  double pixel_gap_y() const { return region_.height() / height_px_; }
+
+  /// Geographic coordinates of the center of pixel (ix, iy),
+  /// 0 <= ix < width_px, 0 <= iy < height_px. Row iy = 0 is the bottom row
+  /// (min y); the image writer flips for display.
+  Point PixelCenter(int ix, int iy) const {
+    return {region_.min().x + (ix + 0.5) * pixel_gap_x(),
+            region_.min().y + (iy + 0.5) * pixel_gap_y()};
+  }
+
+  /// Pixel indices containing the geographic point; points on the max edge
+  /// map to the last pixel. Returns false if p is outside the region.
+  bool GeoToPixel(const Point& p, int* ix, int* iy) const;
+
+  /// Zoomed viewport: same center and resolution, region scaled by `ratio`
+  /// per axis (ratio < 1 zooms in). Mirrors the paper's Figure 16a/b setup.
+  Result<Viewport> Zoomed(double ratio) const;
+
+  /// Panned viewport: region translated by (dx, dy) geographic units.
+  Result<Viewport> Panned(double dx, double dy) const;
+
+  /// Viewport over a different region at the same resolution.
+  Result<Viewport> WithRegion(const BoundingBox& region) const {
+    return Create(region, width_px_, height_px_);
+  }
+
+  bool operator==(const Viewport& o) const {
+    return region_ == o.region_ && width_px_ == o.width_px_ &&
+           height_px_ == o.height_px_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Viewport(const BoundingBox& region, int width_px, int height_px)
+      : region_(region), width_px_(width_px), height_px_(height_px) {}
+
+  BoundingBox region_;
+  int width_px_;
+  int height_px_;
+};
+
+}  // namespace slam

@@ -1,0 +1,125 @@
+#include "index/balltree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/bounding_box.h"
+
+namespace slam {
+
+Result<BallTree> BallTree::Build(std::span<const Point> points,
+                                 const BallTreeOptions& options) {
+  if (options.leaf_size <= 0) {
+    return Status::InvalidArgument("ball-tree leaf size must be positive");
+  }
+  BallTree tree;
+  tree.points_.assign(points.begin(), points.end());
+  if (!tree.points_.empty()) {
+    tree.nodes_.reserve(2 * tree.points_.size() / options.leaf_size + 2);
+    tree.root_ = tree.BuildRecursive(
+        0, static_cast<uint32_t>(tree.points_.size()), options.leaf_size);
+  }
+  return tree;
+}
+
+int32_t BallTree::BuildRecursive(uint32_t begin, uint32_t end,
+                                 int leaf_size) {
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    Point centroid{0.0, 0.0};
+    for (uint32_t i = begin; i < end; ++i) {
+      node.aggregates.Add(points_[i]);
+      centroid += points_[i];
+    }
+    centroid = centroid * (1.0 / (end - begin));
+    double max_sq = 0.0;
+    for (uint32_t i = begin; i < end; ++i) {
+      max_sq = std::max(max_sq, SquaredDistance(centroid, points_[i]));
+    }
+    node.center = centroid;
+    node.radius = std::sqrt(max_sq);
+  }
+  if (end - begin <= static_cast<uint32_t>(leaf_size)) {
+    return index;
+  }
+  // Split on the dimension with the larger spread, at the median.
+  BoundingBox bounds;
+  for (uint32_t i = begin; i < end; ++i) bounds.Extend(points_[i]);
+  const bool split_x = bounds.width() >= bounds.height();
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end,
+                   [split_x](const Point& a, const Point& b) {
+                     return split_x ? a.x < b.x : a.y < b.y;
+                   });
+  const int32_t left = BuildRecursive(begin, mid, leaf_size);
+  const int32_t right = BuildRecursive(mid, end, leaf_size);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void BallTree::RangeQuery(const Point& q, double radius,
+                          const std::function<void(const Point&)>& fn) const {
+  if (root_ < 0 || radius < 0.0) return;
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const double center_dist = Distance(q, node.center);
+    if (center_dist - node.radius > radius) continue;  // ball fully outside
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, points_[i]) <= r2) fn(points_[i]);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+int64_t BallTree::RangeCount(const Point& q, double radius) const {
+  int64_t count = 0;
+  RangeQuery(q, radius, [&count](const Point&) { ++count; });
+  return count;
+}
+
+RangeAggregates BallTree::RangeAggregateQuery(const Point& q,
+                                              double radius) const {
+  RangeAggregates agg;
+  if (root_ < 0 || radius < 0.0) return agg;
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const double center_dist = Distance(q, node.center);
+    if (center_dist - node.radius > radius) continue;
+    if (center_dist + node.radius <= radius) {
+      agg.Merge(node.aggregates);  // ball fully inside the disk
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return agg;
+}
+
+size_t BallTree::MemoryUsageBytes() const {
+  return points_.capacity() * sizeof(Point) +
+         nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace slam

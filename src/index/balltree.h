@@ -1,0 +1,62 @@
+// Bulk-loaded 2-D ball-tree [Moore 2000 "anchors hierarchy" family]:
+// each node stores the centroid of its points and the radius of the
+// smallest centered ball containing them. Powers the RQS_ball baseline
+// (paper Table 6, Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "kdv/kernel.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct BallTreeOptions {
+  int leaf_size = 32;
+};
+
+class BallTree {
+ public:
+  static Result<BallTree> Build(std::span<const Point> points,
+                                const BallTreeOptions& options = {});
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Calls `fn(p)` for every point with dist(q, p) <= radius.
+  void RangeQuery(const Point& q, double radius,
+                  const std::function<void(const Point&)>& fn) const;
+
+  int64_t RangeCount(const Point& q, double radius) const;
+
+  /// Exact aggregates of R(q), using whole-ball containment for O(1) node
+  /// contributions.
+  RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  struct Node {
+    Point center;
+    double radius = 0.0;
+    RangeAggregates aggregates;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size);
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace slam

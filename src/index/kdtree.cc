@@ -1,0 +1,148 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace slam {
+
+Result<KdTree> KdTree::Build(std::span<const Point> points,
+                             const KdTreeOptions& options) {
+  if (options.leaf_size <= 0) {
+    return Status::InvalidArgument("kd-tree leaf size must be positive");
+  }
+  KdTree tree;
+  tree.points_.assign(points.begin(), points.end());
+  if (!tree.points_.empty()) {
+    tree.nodes_.reserve(2 * tree.points_.size() / options.leaf_size + 2);
+    tree.root_ = tree.BuildRecursive(0, static_cast<uint32_t>(tree.points_.size()),
+                                     options.leaf_size);
+  }
+  return tree;
+}
+
+int32_t KdTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size) {
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    for (uint32_t i = begin; i < end; ++i) {
+      node.bounds.Extend(points_[i]);
+      node.aggregates.Add(points_[i]);
+    }
+  }
+  if (end - begin <= static_cast<uint32_t>(leaf_size)) {
+    return index;  // leaf
+  }
+  // Split on the wider dimension at the median.
+  const BoundingBox bounds = nodes_[index].bounds;  // copy: nodes_ may grow
+  const bool split_x = bounds.width() >= bounds.height();
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end,
+                   [split_x](const Point& a, const Point& b) {
+                     return split_x ? a.x < b.x : a.y < b.y;
+                   });
+  const int32_t left = BuildRecursive(begin, mid, leaf_size);
+  const int32_t right = BuildRecursive(mid, end, leaf_size);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void KdTree::RangeQuery(const Point& q, double radius,
+                        const std::function<void(const Point&)>& fn) const {
+  if (root_ < 0 || radius < 0.0) return;
+  const double r2 = radius * radius;
+  // Explicit stack: recursion depth can reach ~log2(n) but an iterative
+  // traversal avoids std::function call frames on the spine.
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.bounds.MinSquaredDistance(q) > r2) continue;
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, points_[i]) <= r2) fn(points_[i]);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+int64_t KdTree::RangeCount(const Point& q, double radius) const {
+  int64_t count = 0;
+  RangeQuery(q, radius, [&count](const Point&) { ++count; });
+  return count;
+}
+
+RangeAggregates KdTree::RangeAggregateQuery(const Point& q,
+                                            double radius) const {
+  RangeAggregates agg;
+  if (root_ < 0 || radius < 0.0) return agg;
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.bounds.MinSquaredDistance(q) > r2) continue;
+    if (node.bounds.MaxSquaredDistance(q) <= r2) {
+      agg.Merge(node.aggregates);  // whole node inside the disk
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return agg;
+}
+
+double KdTree::AccumulateKernelBounded(const Point& q, KernelType kernel,
+                                       double bandwidth,
+                                       double epsilon) const {
+  if (root_ < 0) return 0.0;
+  const double b2 = bandwidth * bandwidth;
+  const bool bounded_support = KernelSupportedBySlam(kernel);
+  double sum = 0.0;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const double min_d2 = node.bounds.MinSquaredDistance(q);
+    if (bounded_support && min_d2 > b2) continue;  // node fully outside
+    const double max_d2 = node.bounds.MaxSquaredDistance(q);
+    // Monotone decreasing kernels: bounds from the distance extremes.
+    const double k_upper = EvaluateKernel(kernel, min_d2, bandwidth);
+    const double k_lower = EvaluateKernel(kernel, max_d2, bandwidth);
+    if (k_upper - k_lower <= epsilon) {
+      sum += node.aggregates.count * 0.5 * (k_upper + k_lower);
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        sum += EvaluateKernel(kernel, SquaredDistance(q, points_[i]),
+                              bandwidth);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return sum;
+}
+
+size_t KdTree::MemoryUsageBytes() const {
+  return points_.capacity() * sizeof(Point) +
+         nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace slam

@@ -1,0 +1,77 @@
+// Bulk-loaded 2-D kd-tree [Bentley 1975] with per-node kernel aggregates.
+//
+// Powers two baselines from the paper's Table 6:
+//  * RQS_kd — exact range query per pixel (Section 2.2): RangeQuery().
+//  * aKDE  — bound-based approximate evaluation (Gray & Moore [33]):
+//            AccumulateKernelBounded().
+// The per-node RangeAggregates also allow an exact O(1) contribution when a
+// node lies entirely inside the query disk: RangeAggregateQuery().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+#include "kdv/kernel.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct KdTreeOptions {
+  int leaf_size = 32;
+};
+
+class KdTree {
+ public:
+  /// Copies (and internally reorders) the points.
+  static Result<KdTree> Build(std::span<const Point> points,
+                              const KdTreeOptions& options = {});
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Calls `fn(p)` for every point with dist(q, p) <= radius.
+  void RangeQuery(const Point& q, double radius,
+                  const std::function<void(const Point&)>& fn) const;
+
+  /// Counts points with dist(q, p) <= radius.
+  int64_t RangeCount(const Point& q, double radius) const;
+
+  /// Exact aggregates of the range set R(q) = {p : dist(q,p) <= radius}.
+  /// Uses whole-node aggregates where the node ball test allows it.
+  RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
+
+  /// aKDE-style bounded evaluation of sum_p K(q, p): prunes nodes outside
+  /// the bandwidth; approximates a node's contribution by the midpoint of
+  /// its kernel bounds when (upper - lower) <= epsilon; recurses otherwise.
+  /// epsilon == 0 degenerates to exact per-point evaluation.
+  double AccumulateKernelBounded(const Point& q, KernelType kernel,
+                                 double bandwidth, double epsilon) const;
+
+  /// Bytes of heap the index holds (points + nodes); the Figure 17 space
+  /// experiment reads this.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  struct Node {
+    BoundingBox bounds;
+    RangeAggregates aggregates;
+    int32_t left = -1;    // internal iff left >= 0
+    int32_t right = -1;
+    uint32_t begin = 0;   // leaf point range [begin, end)
+    uint32_t end = 0;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size);
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace slam

@@ -1,0 +1,149 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+
+namespace slam {
+
+Result<QuadTree> QuadTree::Build(std::span<const Point> points,
+                                 const QuadTreeOptions& options) {
+  if (options.leaf_size <= 0 || options.max_depth <= 0) {
+    return Status::InvalidArgument(
+        "quadtree leaf size and max depth must be positive");
+  }
+  QuadTree tree;
+  tree.points_.assign(points.begin(), points.end());
+  if (!tree.points_.empty()) {
+    BoundingBox root_cell = BoundingBox::FromPoints(tree.points_);
+    // Degenerate extents (all points collinear) still need a 2-D cell.
+    if (root_cell.width() <= 0.0 || root_cell.height() <= 0.0) {
+      root_cell = root_cell.Expanded(1.0);
+    }
+    tree.root_ = tree.BuildRecursive(
+        0, static_cast<uint32_t>(tree.points_.size()), root_cell, 0, options);
+  }
+  return tree;
+}
+
+int32_t QuadTree::BuildRecursive(uint32_t begin, uint32_t end,
+                                 const BoundingBox& cell, int depth,
+                                 const QuadTreeOptions& options) {
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.cell = cell;
+    node.begin = begin;
+    node.end = end;
+    for (uint32_t i = begin; i < end; ++i) node.aggregates.Add(points_[i]);
+  }
+  if (end - begin <= static_cast<uint32_t>(options.leaf_size) ||
+      depth >= options.max_depth) {
+    return index;
+  }
+  const Point c = cell.center();
+  // Partition points into quadrants: in-place, two binary partitions.
+  // Quadrant id: bit 0 = east (x >= cx), bit 1 = north (y >= cy).
+  auto* base = points_.data();
+  auto mid_y =
+      std::partition(base + begin, base + end,
+                     [&c](const Point& p) { return p.y < c.y; });
+  auto mid_x_south =
+      std::partition(base + begin, mid_y,
+                     [&c](const Point& p) { return p.x < c.x; });
+  auto mid_x_north =
+      std::partition(mid_y, base + end,
+                     [&c](const Point& p) { return p.x < c.x; });
+  const uint32_t b0 = begin;
+  const uint32_t b1 = static_cast<uint32_t>(mid_x_south - base);
+  const uint32_t b2 = static_cast<uint32_t>(mid_y - base);
+  const uint32_t b3 = static_cast<uint32_t>(mid_x_north - base);
+  const uint32_t ranges[5] = {b0, b1, b2, b3, end};
+  const BoundingBox cells[4] = {
+      BoundingBox(cell.min(), c),                                  // SW
+      BoundingBox({c.x, cell.min().y}, {cell.max().x, c.y}),       // SE
+      BoundingBox({cell.min().x, c.y}, {c.x, cell.max().y}),       // NW
+      BoundingBox(c, cell.max()),                                  // NE
+  };
+  int32_t children[4] = {-1, -1, -1, -1};
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    if (ranges[quadrant] < ranges[quadrant + 1]) {
+      children[quadrant] =
+          BuildRecursive(ranges[quadrant], ranges[quadrant + 1],
+                         cells[quadrant], depth + 1, options);
+    }
+  }
+  Node& node = nodes_[index];
+  node.leaf = false;
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    node.children[quadrant] = children[quadrant];
+  }
+  return index;
+}
+
+RangeAggregates QuadTree::RangeAggregateQuery(const Point& q,
+                                              double radius) const {
+  RangeAggregates agg;
+  if (root_ < 0 || radius < 0.0) return agg;
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.cell.MinSquaredDistance(q) > r2) continue;
+    if (node.cell.MaxSquaredDistance(q) <= r2) {
+      agg.Merge(node.aggregates);
+      continue;
+    }
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+      }
+    } else {
+      for (const int32_t child : node.children) {
+        if (child >= 0) stack.push_back(child);
+      }
+    }
+  }
+  return agg;
+}
+
+double QuadTree::AccumulateKernelBounded(const Point& q, KernelType kernel,
+                                         double bandwidth,
+                                         double epsilon) const {
+  if (root_ < 0) return 0.0;
+  const double b2 = bandwidth * bandwidth;
+  const bool bounded_support = KernelSupportedBySlam(kernel);
+  double sum = 0.0;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const double min_d2 = node.cell.MinSquaredDistance(q);
+    if (bounded_support && min_d2 > b2) continue;
+    const double max_d2 = node.cell.MaxSquaredDistance(q);
+    const double k_upper = EvaluateKernel(kernel, min_d2, bandwidth);
+    const double k_lower = EvaluateKernel(kernel, max_d2, bandwidth);
+    if (k_upper - k_lower <= epsilon) {
+      sum += node.aggregates.count * 0.5 * (k_upper + k_lower);
+      continue;
+    }
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        sum += EvaluateKernel(kernel, SquaredDistance(q, points_[i]),
+                              bandwidth);
+      }
+    } else {
+      for (const int32_t child : node.children) {
+        if (child >= 0) stack.push_back(child);
+      }
+    }
+  }
+  return sum;
+}
+
+size_t QuadTree::MemoryUsageBytes() const {
+  return points_.capacity() * sizeof(Point) +
+         nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace slam

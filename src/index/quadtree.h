@@ -1,0 +1,65 @@
+// Region quadtree with per-node kernel aggregates. Substrate for the QUAD
+// baseline (Chan et al., SIGMOD 2020 [16]): QUAD traverses a quad-tree with
+// quadratic lower/upper bound functions on node contributions and refines
+// straddling nodes. The exact variant implemented here contributes a whole
+// node in O(1) when its cell lies inside the query disk, prunes cells
+// outside it, and refines the rest — the filter-and-refinement behaviour
+// the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/bounding_box.h"
+#include "geom/point.h"
+#include "kdv/kernel.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct QuadTreeOptions {
+  int leaf_size = 32;
+  int max_depth = 24;
+};
+
+class QuadTree {
+ public:
+  static Result<QuadTree> Build(std::span<const Point> points,
+                                const QuadTreeOptions& options = {});
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Exact aggregates of R(q) = {p : dist(q, p) <= radius}.
+  RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
+
+  /// Bounded approximate kernel sum, mirroring QUAD's epsilon-refinement
+  /// mode: a node whose kernel bound gap is <= epsilon contributes the
+  /// bound midpoint. epsilon == 0 is exact.
+  double AccumulateKernelBounded(const Point& q, KernelType kernel,
+                                 double bandwidth, double epsilon) const;
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  struct Node {
+    BoundingBox cell;  // the node's quadrant (not tight over points)
+    RangeAggregates aggregates;
+    int32_t children[4] = {-1, -1, -1, -1};
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool leaf = true;
+  };
+
+  int32_t BuildRecursive(uint32_t begin, uint32_t end,
+                         const BoundingBox& cell, int depth,
+                         const QuadTreeOptions& options);
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace slam

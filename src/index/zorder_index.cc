@@ -1,0 +1,41 @@
+#include "index/zorder_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/morton.h"
+
+namespace slam {
+
+Result<ZOrderIndex> ZOrderIndex::Build(std::span<const Point> points) {
+  ZOrderIndex index;
+  const std::vector<uint32_t> order = MortonSortOrder(points);
+  index.sorted_points_.reserve(points.size());
+  for (const uint32_t i : order) index.sorted_points_.push_back(points[i]);
+  return index;
+}
+
+std::vector<Point> ZOrderIndex::StridedSample(size_t m) const {
+  std::vector<Point> sample;
+  if (empty() || m == 0) return sample;
+  m = std::min(m, size());
+  sample.reserve(m);
+  // Pick the midpoint of each of m equal strides so the sample is balanced
+  // even when n is not a multiple of m.
+  const double stride = static_cast<double>(size()) / static_cast<double>(m);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t idx = static_cast<size_t>((i + 0.5) * stride);
+    sample.push_back(sorted_points_[std::min(idx, size() - 1)]);
+  }
+  return sample;
+}
+
+size_t ZOrderIndex::SampleSizeForEpsilon(double eps) const {
+  if (empty()) return 0;
+  if (!(eps > 0.0)) return size();
+  const double m = std::ceil(1.0 / (eps * eps));
+  if (m >= static_cast<double>(size())) return size();
+  return std::max<size_t>(1, static_cast<size_t>(m));
+}
+
+}  // namespace slam

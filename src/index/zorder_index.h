@@ -1,0 +1,43 @@
+// Z-order index: the dataset sorted along the Morton curve. The Z-order
+// baseline (Zheng et al. [73]) draws a spatially stratified sample by
+// taking every (n/m)-th point of this ordering; the strided sample
+// approximates an eps-sample of the point set for kernel range spaces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+class ZOrderIndex {
+ public:
+  static Result<ZOrderIndex> Build(std::span<const Point> points);
+
+  size_t size() const { return sorted_points_.size(); }
+  bool empty() const { return sorted_points_.empty(); }
+
+  /// Points in Morton order.
+  std::span<const Point> sorted_points() const { return sorted_points_; }
+
+  /// An evenly strided sample of m points (1 <= m <= n) along the curve.
+  /// Returns the sample by value; deterministic.
+  std::vector<Point> StridedSample(size_t m) const;
+
+  /// Sample size m(eps) for a target uniform density error eps in (0, 1]:
+  /// m = ceil(1 / eps^2), clamped to [1, n]. (Zheng et al. give
+  /// O((1/eps^2) log(1/delta)); the constant-free form is the conventional
+  /// practical choice.)
+  size_t SampleSizeForEpsilon(double eps) const;
+
+  size_t MemoryUsageBytes() const {
+    return sorted_points_.capacity() * sizeof(Point);
+  }
+
+ private:
+  std::vector<Point> sorted_points_;
+};
+
+}  // namespace slam

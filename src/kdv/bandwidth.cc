@@ -1,0 +1,56 @@
+#include "kdv/bandwidth.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<Point> SampleStddev(std::span<const Point> points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 points to estimate a standard deviation");
+  }
+  const double n = static_cast<double>(points.size());
+  double mean_x = 0.0, mean_y = 0.0;
+  for (const Point& p : points) {
+    mean_x += p.x;
+    mean_y += p.y;
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double var_x = 0.0, var_y = 0.0;
+  for (const Point& p : points) {
+    var_x += (p.x - mean_x) * (p.x - mean_x);
+    var_y += (p.y - mean_y) * (p.y - mean_y);
+  }
+  var_x /= (n - 1.0);
+  var_y /= (n - 1.0);
+  return Point{std::sqrt(var_x), std::sqrt(var_y)};
+}
+
+namespace {
+Result<double> RuleOfThumb(std::span<const Point> points, double factor) {
+  SLAM_ASSIGN_OR_RETURN(Point sd, SampleStddev(points));
+  const double sigma = (sd.x + sd.y) / 2.0;
+  if (!(sigma > 0.0)) {
+    return Status::InvalidArgument(
+        "points are degenerate (zero spread); bandwidth rule undefined");
+  }
+  const double n = static_cast<double>(points.size());
+  // d = 2  =>  exponent -1/(d+4) = -1/6.
+  return factor * sigma * std::pow(n, -1.0 / 6.0);
+}
+}  // namespace
+
+Result<double> ScottBandwidth(std::span<const Point> points) {
+  return RuleOfThumb(points, 1.0);
+}
+
+Result<double> SilvermanBandwidth(std::span<const Point> points) {
+  // (4 / (d + 2))^(1/(d+4)) with d = 2 is (4/4)^(1/6) = 1: in two
+  // dimensions Silverman's factor coincides with Scott's.
+  return RuleOfThumb(points, 1.0);
+}
+
+}  // namespace slam

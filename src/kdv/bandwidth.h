@@ -1,0 +1,25 @@
+// Bandwidth selection. The paper follows Scott's rule [57] to pick the
+// default bandwidth per dataset (Table 5); Silverman's rule is provided as
+// the common alternative.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Scott's rule for 2-D data: b = n^(-1/(d+4)) * sigma, d = 2, where sigma
+/// is the mean of the per-axis sample standard deviations. Requires at
+/// least 2 points with non-degenerate spread.
+Result<double> ScottBandwidth(std::span<const Point> points);
+
+/// Silverman's rule of thumb for 2-D data:
+/// b = sigma * (4 / (d + 2))^(1/(d+4)) * n^(-1/(d+4)).
+Result<double> SilvermanBandwidth(std::span<const Point> points);
+
+/// Per-axis sample standard deviations (denominator n-1).
+Result<Point> SampleStddev(std::span<const Point> points);
+
+}  // namespace slam

@@ -1,0 +1,84 @@
+#include "kdv/density_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'L', 'D', 'M'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveDensityMap(const DensityMap& map, const std::string& path) {
+  if (map.empty()) {
+    return Status::InvalidArgument("cannot save an empty density map");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  const int32_t width = map.width();
+  const int32_t height = map.height();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&width), sizeof(width));
+  out.write(reinterpret_cast<const char*>(&height), sizeof(height));
+  out.write(reinterpret_cast<const char*>(map.values().data()),
+            static_cast<std::streamsize>(map.values().size() * sizeof(double)));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<DensityMap> LoadDensityMap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  char magic[4];
+  uint32_t version = 0;
+  int32_t width = 0, height = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&width), sizeof(width));
+  in.read(reinterpret_cast<char*>(&height), sizeof(height));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a SLDM file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StringPrintf("unsupported SLDM version %u", version));
+  }
+  if (width <= 0 || height <= 0 || width > (1 << 20) || height > (1 << 20)) {
+    return Status::InvalidArgument(
+        StringPrintf("implausible SLDM dimensions %dx%d", width, height));
+  }
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(width, height));
+  in.read(reinterpret_cast<char*>(map.mutable_values().data()),
+          static_cast<std::streamsize>(map.mutable_values().size() *
+                                       sizeof(double)));
+  if (!in || in.gcount() != static_cast<std::streamsize>(
+                                map.mutable_values().size() * sizeof(double))) {
+    return Status::IoError("'" + path + "' truncated");
+  }
+  return map;
+}
+
+Status ExportDensityCsv(const DensityMap& map, const std::string& path) {
+  if (map.empty()) {
+    return Status::InvalidArgument("cannot export an empty density map");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "x,y,density\n";
+  for (int y = 0; y < map.height(); ++y) {
+    for (int x = 0; x < map.width(); ++x) {
+      out << x << ',' << y << ','
+          << StringPrintf("%.17g", map.at(x, y)) << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace slam

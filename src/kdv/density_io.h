@@ -1,0 +1,22 @@
+// DensityMap persistence: a small binary format ("SLDM") for exact
+// round-trips between runs, and CSV export for plotting pipelines.
+#pragma once
+
+#include <string>
+
+#include "kdv/density_map.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Binary format: magic "SLDM", uint32 version, int32 width, int32 height,
+/// then width*height little-endian doubles, row-major. Exact round-trip.
+Status SaveDensityMap(const DensityMap& map, const std::string& path);
+Result<DensityMap> LoadDensityMap(const std::string& path);
+
+/// CSV with a "x,y,density" header and one row per pixel (raster
+/// coordinates). Lossy at %.17g only by textual round-trip, i.e. exact for
+/// doubles per IEEE-754 shortest-round-trip guarantees of %.17g.
+Status ExportDensityCsv(const DensityMap& map, const std::string& path);
+
+}  // namespace slam

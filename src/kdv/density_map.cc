@@ -1,0 +1,78 @@
+#include "kdv/density_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<DensityMap> DensityMap::Create(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "density map dimensions must be positive, got %dx%d", width, height));
+  }
+  DensityMap m;
+  m.width_ = width;
+  m.height_ = height;
+  m.values_.assign(static_cast<size_t>(width) * height, 0.0);
+  return m;
+}
+
+double DensityMap::MinValue() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double DensityMap::MaxValue() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double DensityMap::Sum() const {
+  double s = 0.0;
+  for (const double v : values_) s += v;
+  return s;
+}
+
+DensityMap DensityMap::Transposed() const {
+  DensityMap t;
+  t.width_ = height_;
+  t.height_ = width_;
+  t.values_.resize(values_.size());
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      t.values_[static_cast<size_t>(x) * height_ + y] = at(x, y);
+    }
+  }
+  return t;
+}
+
+Result<DensityMap::Comparison> DensityMap::CompareTo(
+    const DensityMap& other, double abs_tolerance) const {
+  if (width_ != other.width_ || height_ != other.height_) {
+    return Status::InvalidArgument(StringPrintf(
+        "cannot compare %dx%d map with %dx%d map", width_, height_,
+        other.width_, other.height_));
+  }
+  Comparison cmp;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const double a = values_[i];
+    const double b = other.values_[i];
+    const double diff = std::abs(a - b);
+    cmp.max_abs_diff = std::max(cmp.max_abs_diff, diff);
+    const double denom = std::max(std::abs(a), std::abs(b));
+    if (denom > 0.0) {
+      cmp.max_rel_diff = std::max(cmp.max_rel_diff, diff / denom);
+    }
+    if (diff > abs_tolerance) ++cmp.mismatched_pixels;
+  }
+  return cmp;
+}
+
+std::string DensityMap::ToString() const {
+  return StringPrintf("DensityMap(%dx%d, min=%.6g, max=%.6g)", width_,
+                      height_, MinValue(), MaxValue());
+}
+
+}  // namespace slam

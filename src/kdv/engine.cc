@@ -1,0 +1,187 @@
+#include "kdv/engine.h"
+
+#include <array>
+
+#include "baselines/akde.h"
+#include "baselines/quad.h"
+#include "baselines/rqs.h"
+#include "baselines/scan.h"
+#include "baselines/zorder.h"
+#include "core/rao.h"
+#include "core/slam_bucket.h"
+#include "core/slam_sort.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+namespace {
+
+constexpr std::array<Method, 10> kAllMethods = {
+    Method::kScan,      Method::kRqsKd,       Method::kRqsBall,
+    Method::kZorder,    Method::kAkde,        Method::kQuad,
+    Method::kSlamSort,  Method::kSlamBucket,  Method::kSlamSortRao,
+    Method::kSlamBucketRao,
+};
+
+constexpr std::array<Method, 8> kExactMethods = {
+    Method::kScan,        Method::kRqsKd,       Method::kRqsBall,
+    Method::kQuad,        Method::kSlamSort,    Method::kSlamBucket,
+    Method::kSlamSortRao, Method::kSlamBucketRao,
+};
+
+using MethodFn = Status (*)(const KdvTask&, const ComputeOptions&,
+                            DensityMap*);
+
+MethodFn Dispatch(Method method) {
+  switch (method) {
+    case Method::kScan:
+      return &ComputeScan;
+    case Method::kRqsKd:
+      return &ComputeRqsKd;
+    case Method::kRqsBall:
+      return &ComputeRqsBall;
+    case Method::kZorder:
+      return &ComputeZorder;
+    case Method::kAkde:
+      return &ComputeAkde;
+    case Method::kQuad:
+      return &ComputeQuad;
+    case Method::kSlamSort:
+      return &ComputeSlamSort;
+    case Method::kSlamBucket:
+      return &ComputeSlamBucket;
+    case Method::kSlamSortRao:
+      return &ComputeSlamSortRao;
+    case Method::kSlamBucketRao:
+      return &ComputeSlamBucketRao;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::span<const Method> AllMethods() { return kAllMethods; }
+std::span<const Method> ExactMethods() { return kExactMethods; }
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kScan:
+      return "SCAN";
+    case Method::kRqsKd:
+      return "RQS_kd";
+    case Method::kRqsBall:
+      return "RQS_ball";
+    case Method::kZorder:
+      return "Z-order";
+    case Method::kAkde:
+      return "aKDE";
+    case Method::kQuad:
+      return "QUAD";
+    case Method::kSlamSort:
+      return "SLAM_SORT";
+    case Method::kSlamBucket:
+      return "SLAM_BUCKET";
+    case Method::kSlamSortRao:
+      return "SLAM_SORT_RAO";
+    case Method::kSlamBucketRao:
+      return "SLAM_BUCKET_RAO";
+  }
+  return "?";
+}
+
+Result<Method> MethodFromName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  for (const Method m : kAllMethods) {
+    if (lower == ToLower(MethodName(m))) return m;
+  }
+  // Friendly aliases.
+  if (lower == "slam_sort_(rao)" || lower == "slam_sort(rao)") {
+    return Method::kSlamSortRao;
+  }
+  if (lower == "slam_bucket_(rao)" || lower == "slam_bucket(rao)") {
+    return Method::kSlamBucketRao;
+  }
+  if (lower == "zorder") return Method::kZorder;
+  return Status::InvalidArgument("unknown KDV method '" + std::string(name) +
+                                 "'");
+}
+
+bool MethodIsExact(Method method) {
+  return method != Method::kZorder && method != Method::kAkde;
+}
+
+bool MethodIsSlam(Method method) {
+  switch (method) {
+    case Method::kSlamSort:
+    case Method::kSlamBucket:
+    case Method::kSlamSortRao:
+    case Method::kSlamBucketRao:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
+                              const EngineOptions& options) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  MethodFn fn = Dispatch(method);
+  if (fn == nullptr) {
+    return Status::InvalidArgument(
+        StringPrintf("unknown method id %d", static_cast<int>(method)));
+  }
+  if (MethodIsSlam(method) && !KernelSupportedBySlam(task.kernel)) {
+    return Status::InvalidArgument(
+        "SLAM cannot support the " + std::string(KernelTypeName(task.kernel)) +
+        " kernel: its density has no finite aggregate decomposition "
+        "(paper Section 3.7)");
+  }
+  DensityMap map;
+  if (options.recenter_coordinates) {
+    const Point c = {task.grid.x_axis().Coord(task.grid.width() / 2),
+                     task.grid.y_axis().Coord(task.grid.height() / 2)};
+    const TranslatedTask translated(task, c.x, c.y);
+    SLAM_RETURN_NOT_OK(fn(translated.task(), options.compute, &map));
+  } else {
+    SLAM_RETURN_NOT_OK(fn(task, options.compute, &map));
+  }
+  return map;
+}
+
+size_t EstimateAuxiliarySpaceBytes(Method method, size_t n, int width,
+                                   int height) {
+  const size_t point_bytes = sizeof(Point);
+  // Tree nodes: ~2n/leaf_size nodes; sizes from the index headers.
+  const size_t tree_nodes = 2 * n / 32 + 2;
+  switch (method) {
+    case Method::kScan:
+      return 0;
+    case Method::kRqsKd:
+    case Method::kAkde:
+      return n * point_bytes + tree_nodes * 160;  // KdTree::Node
+    case Method::kRqsBall:
+      return n * point_bytes + tree_nodes * 152;  // BallTree::Node
+    case Method::kZorder:
+      return n * point_bytes;  // Morton-sorted copy (sample is tiny)
+    case Method::kQuad:
+      return n * point_bytes + tree_nodes * 176;  // QuadTree::Node
+    case Method::kSlamSort:
+    case Method::kSlamSortRao:
+      // Envelope + intervals + two event arrays, each at most n entries.
+      return n * (point_bytes + sizeof(double) * 4 + point_bytes * 3);
+    case Method::kSlamBucket:
+    case Method::kSlamBucketRao: {
+      // Envelope + intervals + scattered endpoint arrays + bucket offsets.
+      // RAO sweeps min(X, Y) lines of max(X, Y) pixels, so its bucket
+      // arrays span the longer axis.
+      const size_t x = static_cast<size_t>(method == Method::kSlamBucketRao
+                                               ? std::max(width, height)
+                                               : width);
+      return n * (point_bytes * 3 + sizeof(double) * 4) +
+             (x + 2) * sizeof(int32_t) * 4;
+    }
+  }
+  return 0;
+}
+
+}  // namespace slam

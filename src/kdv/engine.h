@@ -1,0 +1,64 @@
+// KdvEngine: single entry point over all ten KDV methods of the paper's
+// Table 6. Validates the task, optionally recenters coordinates for
+// floating-point conditioning, dispatches, and returns the density raster.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "kdv/density_map.h"
+#include "kdv/task.h"
+#include "util/result.h"
+
+namespace slam {
+
+enum class Method : int {
+  kScan = 0,
+  kRqsKd = 1,
+  kRqsBall = 2,
+  kZorder = 3,
+  kAkde = 4,
+  kQuad = 5,
+  kSlamSort = 6,
+  kSlamBucket = 7,
+  kSlamSortRao = 8,
+  kSlamBucketRao = 9,
+};
+
+/// All methods, in the paper's Table 6 column order.
+std::span<const Method> AllMethods();
+/// The paper's exact methods (everything but Z-order and aKDE).
+std::span<const Method> ExactMethods();
+
+std::string_view MethodName(Method method);
+Result<Method> MethodFromName(std::string_view name);
+/// True for methods that return the exact density (Z-order and aKDE are
+/// the approximate ones).
+bool MethodIsExact(Method method);
+/// True for the four SLAM variants.
+bool MethodIsSlam(Method method);
+
+struct EngineOptions {
+  ComputeOptions compute;
+  /// Translate points and grid so the viewport center sits at the origin
+  /// before computing. Improves conditioning of the aggregate arithmetic
+  /// when coordinates are large (e.g. projected meters with a far datum);
+  /// costs one O(n) copy. The result is identical up to FP rounding.
+  bool recenter_coordinates = false;
+};
+
+/// Computes the density raster with the chosen method. Returns
+/// InvalidArgument for unsupported kernel/method combinations (e.g. any
+/// SLAM variant with the Gaussian kernel) and Cancelled if the options'
+/// deadline expires mid-computation.
+Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
+                              const EngineOptions& options = {});
+
+/// Analytic peak-auxiliary-space model of each method in bytes, excluding
+/// the input points and the output raster (which all methods share —
+/// Theorem 4's O(XY + n)). Backs the Figure 17 space experiment.
+size_t EstimateAuxiliarySpaceBytes(Method method, size_t n, int width,
+                                   int height);
+
+}  // namespace slam

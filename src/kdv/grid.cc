@@ -1,0 +1,37 @@
+#include "kdv/grid.h"
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<Grid> Grid::Create(const GridAxis& x_axis, const GridAxis& y_axis) {
+  if (x_axis.count <= 0 || y_axis.count <= 0) {
+    return Status::InvalidArgument(
+        StringPrintf("grid counts must be positive, got %d x %d",
+                     x_axis.count, y_axis.count));
+  }
+  if (!(x_axis.gap > 0.0) || !(y_axis.gap > 0.0)) {
+    return Status::InvalidArgument("grid gaps must be positive");
+  }
+  Grid g;
+  g.x_ = x_axis;
+  g.y_ = y_axis;
+  return g;
+}
+
+Grid Grid::FromViewport(const Viewport& viewport) {
+  Grid g;
+  g.x_ = GridAxis{viewport.region().min().x + 0.5 * viewport.pixel_gap_x(),
+                  viewport.pixel_gap_x(), viewport.width_px()};
+  g.y_ = GridAxis{viewport.region().min().y + 0.5 * viewport.pixel_gap_y(),
+                  viewport.pixel_gap_y(), viewport.height_px()};
+  return g;
+}
+
+std::string Grid::ToString() const {
+  return StringPrintf(
+      "Grid(%dx%d, x: %.3f step %.3f, y: %.3f step %.3f)", x_.count, y_.count,
+      x_.origin, x_.gap, y_.origin, y_.gap);
+}
+
+}  // namespace slam

@@ -1,0 +1,125 @@
+#include "kdv/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+std::string_view KernelTypeName(KernelType kernel) {
+  switch (kernel) {
+    case KernelType::kUniform:
+      return "uniform";
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kQuartic:
+      return "quartic";
+    case KernelType::kGaussian:
+      return "gaussian";
+  }
+  return "?";
+}
+
+Result<KernelType> KernelTypeFromName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "uniform") return KernelType::kUniform;
+  if (lower == "epanechnikov" || lower == "epan") {
+    return KernelType::kEpanechnikov;
+  }
+  if (lower == "quartic" || lower == "biweight") return KernelType::kQuartic;
+  if (lower == "gaussian") return KernelType::kGaussian;
+  return Status::InvalidArgument("unknown kernel '" + std::string(name) + "'");
+}
+
+bool KernelSupportedBySlam(KernelType kernel) {
+  switch (kernel) {
+    case KernelType::kUniform:
+    case KernelType::kEpanechnikov:
+    case KernelType::kQuartic:
+      return true;
+    case KernelType::kGaussian:
+      return false;
+  }
+  return false;
+}
+
+double EvaluateKernel(KernelType kernel, double squared_distance,
+                      double bandwidth) {
+  const double b2 = bandwidth * bandwidth;
+  switch (kernel) {
+    case KernelType::kUniform:
+      return squared_distance <= b2 ? 1.0 / bandwidth : 0.0;
+    case KernelType::kEpanechnikov:
+      return squared_distance <= b2 ? 1.0 - squared_distance / b2 : 0.0;
+    case KernelType::kQuartic: {
+      if (squared_distance > b2) return 0.0;
+      const double t = 1.0 - squared_distance / b2;
+      return t * t;
+    }
+    case KernelType::kGaussian:
+      return std::exp(-squared_distance / (2.0 * b2));
+  }
+  return 0.0;
+}
+
+double DensityFromAggregates(KernelType kernel, const Point& q,
+                             const RangeAggregates& agg, double bandwidth,
+                             double weight) {
+  SLAM_DCHECK(KernelSupportedBySlam(kernel))
+      << "no aggregate decomposition for kernel "
+      << KernelTypeName(kernel);
+  const double b2 = bandwidth * bandwidth;
+  // The true density is a sum of non-negative kernel values; the
+  // subtractive closed forms below can round to tiny negatives (~1e-14 of
+  // the aggregate scale), so clamp at zero.
+  switch (kernel) {
+    case KernelType::kUniform:
+      // F = (w / b) |R|
+      return weight / bandwidth * agg.count;
+    case KernelType::kEpanechnikov: {
+      // F = w|R| - (w/b²)(|R| ||q||² - 2 qᵀA + S)     (paper Eq. 5)
+      const double u = q.SquaredNorm();
+      return std::max(
+          0.0, weight * agg.count -
+                   weight / b2 *
+                       (agg.count * u - 2.0 * q.Dot(agg.sum) + agg.sum_sq));
+    }
+    case KernelType::kQuartic: {
+      // K = (1 - d²/b²)² = 1 - 2d²/b² + d⁴/b⁴ with d² = ||q||² - 2qᵀp + ||p||².
+      // Σ d² = |R| u - 2 qᵀA + S                       (u = ||q||²)
+      // Σ d⁴ = |R| u² + 4 qᵀM q + Q - 4u qᵀA + 2u S - 4 qᵀC
+      const double u = q.SquaredNorm();
+      const double sum_d2 =
+          agg.count * u - 2.0 * q.Dot(agg.sum) + agg.sum_sq;
+      const double qMq = q.x * (agg.m_xx * q.x + agg.m_xy * q.y) +
+                         q.y * (agg.m_xy * q.x + agg.m_yy * q.y);
+      const double sum_d4 = agg.count * u * u + 4.0 * qMq + agg.sum_quad -
+                            4.0 * u * q.Dot(agg.sum) + 2.0 * u * agg.sum_sq -
+                            4.0 * q.Dot(agg.sum_sq_p);
+      return std::max(
+          0.0, weight * (agg.count - 2.0 / b2 * sum_d2 + sum_d4 / (b2 * b2)));
+    }
+    case KernelType::kGaussian:
+      break;
+  }
+  SLAM_CHECK(false) << "unreachable: kernel " << static_cast<int>(kernel);
+  return 0.0;
+}
+
+int AggregateArity(KernelType kernel) {
+  switch (kernel) {
+    case KernelType::kUniform:
+      return 1;  // |R|
+    case KernelType::kEpanechnikov:
+      return 4;  // |R|, A (2), S
+    case KernelType::kQuartic:
+      return 9;  // + C (2), Q, M (3 distinct entries)
+    case KernelType::kGaussian:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace slam

@@ -1,0 +1,108 @@
+// Kernel functions (paper Table 2) and their aggregate decompositions
+// (paper Eq. 5 and Section 3.7 / Table 4).
+//
+// The bandwidth-limited polynomial kernels — uniform, Epanechnikov,
+// quartic — admit an exact decomposition of the density
+//   F_P(q) = sum_{p in R(q)} w * K(q, p)
+// into a closed form over a fixed set of aggregates of R(q):
+//   |R|           (all kernels)
+//   A  = Σ p      (Epanechnikov, quartic)
+//   S  = Σ ||p||² (Epanechnikov, quartic)
+//   C  = Σ ||p||² p,  Q = Σ ||p||⁴,  M = Σ p pᵀ   (quartic only)
+// That decomposition is what lets the sweep line maintain densities in O(1)
+// per pixel. The Gaussian kernel has no such finite decomposition, so SLAM
+// cannot support it (paper Section 3.7) — kept in the enum so the engine
+// can reject it with a useful error.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geom/point.h"
+#include "util/result.h"
+
+namespace slam {
+
+enum class KernelType : int {
+  kUniform = 0,
+  kEpanechnikov = 1,
+  kQuartic = 2,
+  kGaussian = 3,  // NOT supported by SLAM; see header comment.
+};
+
+std::string_view KernelTypeName(KernelType kernel);
+Result<KernelType> KernelTypeFromName(std::string_view name);
+
+/// True for the bandwidth-limited kernels SLAM's decomposition covers.
+bool KernelSupportedBySlam(KernelType kernel);
+
+/// Direct evaluation of K(q, p) given squared distance. This is the ground
+/// truth every optimized path is tested against.
+/// For distances > bandwidth the bounded kernels return 0.
+double EvaluateKernel(KernelType kernel, double squared_distance,
+                      double bandwidth);
+
+/// The aggregates of a range set R(q) (paper Table 4). All fields are
+/// maintained unconditionally — the marginal cost is a few adds per point —
+/// so one accumulator type serves every kernel.
+struct RangeAggregates {
+  double count = 0.0;   // |R|
+  Point sum{};          // A   = Σ p
+  double sum_sq = 0.0;  // S   = Σ ||p||²
+  Point sum_sq_p{};     // C   = Σ ||p||² p
+  double sum_quad = 0.0;  // Q = Σ ||p||⁴
+  double m_xx = 0.0;      // M = Σ p pᵀ (symmetric 2x2: xx, xy, yy)
+  double m_xy = 0.0;
+  double m_yy = 0.0;
+
+  void Add(const Point& p) {
+    const double s = p.SquaredNorm();
+    count += 1.0;
+    sum += p;
+    sum_sq += s;
+    sum_sq_p += p * s;
+    sum_quad += s * s;
+    m_xx += p.x * p.x;
+    m_xy += p.x * p.y;
+    m_yy += p.y * p.y;
+  }
+
+  void Merge(const RangeAggregates& o) {
+    count += o.count;
+    sum += o.sum;
+    sum_sq += o.sum_sq;
+    sum_sq_p += o.sum_sq_p;
+    sum_quad += o.sum_quad;
+    m_xx += o.m_xx;
+    m_xy += o.m_xy;
+    m_yy += o.m_yy;
+  }
+
+  /// Component-wise difference; used for L_ell - U_ell (paper Lemma 3/5).
+  RangeAggregates Minus(const RangeAggregates& o) const {
+    RangeAggregates r = *this;
+    r.count -= o.count;
+    r.sum -= o.sum;
+    r.sum_sq -= o.sum_sq;
+    r.sum_sq_p -= o.sum_sq_p;
+    r.sum_quad -= o.sum_quad;
+    r.m_xx -= o.m_xx;
+    r.m_xy -= o.m_xy;
+    r.m_yy -= o.m_yy;
+    return r;
+  }
+};
+
+/// Exact density at pixel q from the aggregates of R(q) (paper Eq. 5 for
+/// Epanechnikov; Section 3.7 expansions for uniform and quartic).
+/// `weight` is the paper's normalization constant w. Gaussian is a
+/// programming error here (checked).
+double DensityFromAggregates(KernelType kernel, const Point& q,
+                             const RangeAggregates& agg, double bandwidth,
+                             double weight);
+
+/// Number of scalar aggregate values the kernel's decomposition needs
+/// (1, 4, or 9). Used by the space model and the ablation bench.
+int AggregateArity(KernelType kernel);
+
+}  // namespace slam

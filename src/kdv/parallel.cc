@@ -1,0 +1,57 @@
+#include "kdv/parallel.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace slam {
+
+Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
+                                      const ParallelOptions& options) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  if (MethodIsSlam(method) && !KernelSupportedBySlam(task.kernel)) {
+    return Status::InvalidArgument(
+        "SLAM cannot support the " + std::string(KernelTypeName(task.kernel)) +
+        " kernel (paper Section 3.7)");
+  }
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  ThreadPool pool(options.num_threads);
+  std::mutex status_mutex;
+  Status first_error;  // first failure wins; stripes are independent
+
+  ParallelFor(
+      &pool, 0, task.grid.height(),
+      [&](int64_t row_begin, int64_t row_end) {
+        // Sub-task: same lattice restricted to rows [row_begin, row_end).
+        KdvTask stripe = task;
+        GridAxis y = task.grid.y_axis();
+        y.origin = task.grid.y_axis().Coord(static_cast<int>(row_begin));
+        y.count = static_cast<int>(row_end - row_begin);
+        const auto stripe_grid = Grid::Create(task.grid.x_axis(), y);
+        if (!stripe_grid.ok()) {
+          std::lock_guard<std::mutex> lock(status_mutex);
+          if (first_error.ok()) first_error = stripe_grid.status();
+          return;
+        }
+        stripe.grid = *stripe_grid;
+        const auto stripe_map = ComputeKdv(stripe, method, options.engine);
+        if (!stripe_map.ok()) {
+          std::lock_guard<std::mutex> lock(status_mutex);
+          if (first_error.ok()) first_error = stripe_map.status();
+          return;
+        }
+        for (int iy = 0; iy < stripe_map->height(); ++iy) {
+          const auto src = stripe_map->row(iy);
+          auto dst = map.mutable_row(static_cast<int>(row_begin) + iy);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+      });
+
+  if (!first_error.ok()) return first_error;
+  return map;
+}
+
+}  // namespace slam

@@ -1,0 +1,32 @@
+// Row-parallel KDV (the paper's "parallel/distributed methods" future-work
+// axis, Section 5). Pixel rows are independent in every method here, so
+// the raster is split into horizontal stripes, each computed by the base
+// method on a sub-grid, on its own thread with its own workspace.
+//
+// Exactness is preserved: a stripe's sub-task has the same points, kernel,
+// bandwidth and pixel lattice — only the y range is restricted.
+//
+// Intended for the SLAM methods, whose per-call setup is O(1): index-based
+// baselines would rebuild their index once per stripe (still correct, just
+// wasteful), which mirrors why the paper treats parallelism as orthogonal.
+#pragma once
+
+#include "kdv/density_map.h"
+#include "kdv/engine.h"
+#include "kdv/task.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct ParallelOptions {
+  /// <= 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  EngineOptions engine;
+};
+
+/// Computes the same raster as ComputeKdv(task, method), using stripes of
+/// pixel rows across a thread pool.
+Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
+                                      const ParallelOptions& options = {});
+
+}  // namespace slam

@@ -1,0 +1,59 @@
+#include "kdv/task.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Status ValidateTask(const KdvTask& task) {
+  if (task.grid.width() <= 0 || task.grid.height() <= 0) {
+    return Status::InvalidArgument("task grid is empty");
+  }
+  if (!(task.grid.x_axis().gap > 0.0) || !(task.grid.y_axis().gap > 0.0)) {
+    return Status::InvalidArgument("task grid gaps must be positive");
+  }
+  if (!(task.bandwidth > 0.0) || !std::isfinite(task.bandwidth)) {
+    return Status::InvalidArgument(StringPrintf(
+        "bandwidth must be positive and finite, got %g", task.bandwidth));
+  }
+  if (!(task.weight > 0.0) || !std::isfinite(task.weight)) {
+    return Status::InvalidArgument(StringPrintf(
+        "normalization weight must be positive and finite, got %g",
+        task.weight));
+  }
+  return Status::OK();
+}
+
+KdvTask MakeTask(const PointDataset& dataset, const Viewport& viewport,
+                 KernelType kernel, double bandwidth) {
+  KdvTask task;
+  task.points = dataset.coords();
+  task.kernel = kernel;
+  task.bandwidth = bandwidth;
+  task.weight = dataset.empty() ? 1.0 : 1.0 / static_cast<double>(dataset.size());
+  task.grid = Grid::FromViewport(viewport);
+  return task;
+}
+
+TranslatedTask::TranslatedTask(const KdvTask& task, double dx, double dy) {
+  shifted_points_.reserve(task.points.size());
+  for (const Point& p : task.points) {
+    shifted_points_.push_back({p.x - dx, p.y - dy});
+  }
+  task_ = task;
+  task_.points = shifted_points_;
+  task_.grid = task.grid.Translated(dx, dy);
+}
+
+TransposedTask::TransposedTask(const KdvTask& task) {
+  swapped_points_.reserve(task.points.size());
+  for (const Point& p : task.points) {
+    swapped_points_.push_back({p.y, p.x});
+  }
+  task_ = task;
+  task_.points = swapped_points_;
+  task_.grid = task.grid.Transposed();
+}
+
+}  // namespace slam

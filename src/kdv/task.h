@@ -1,0 +1,86 @@
+// A KDV task: the full input to any of the ten methods — data points,
+// kernel, bandwidth, normalization constant, and the pixel grid.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/point.h"
+#include "kdv/grid.h"
+#include "kdv/kernel.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace slam {
+
+struct KdvTask {
+  std::span<const Point> points;
+  KernelType kernel = KernelType::kEpanechnikov;
+  double bandwidth = 1.0;
+  /// The paper's normalization constant w (Problem 1). 1/n by convention;
+  /// any positive value is legal since it only scales the raster.
+  double weight = 1.0;
+  Grid grid;
+};
+
+/// Per-computation knobs shared by every method implementation.
+struct ComputeOptions {
+  /// Cooperative budget: methods poll it between pixel rows and return
+  /// Status::Cancelled once expired. Nullptr = unlimited. This implements
+  /// the paper's ">14400 sec" censoring rule for the experiment harness.
+  const Deadline* deadline = nullptr;
+  /// Z-order baseline: target uniform density error (fraction of the
+  /// density scale); sample size is ~1/eps² (Zheng et al. [73]).
+  double zorder_epsilon = 0.005;
+  /// aKDE baseline: per-point absolute kernel-value tolerance. The tight
+  /// default mirrors the paper's setup, where aKDE refines almost
+  /// everything and lands at the slow end of the field (Table 7).
+  double akde_epsilon = 1e-6;
+  /// QUAD baseline: bound-gap tolerance; 0 = exact filter-and-refine.
+  double quad_epsilon = 0.0;
+  /// SLAM methods: find each row's envelope from a y-sorted copy with two
+  /// binary searches instead of the paper's O(n) per-row scan. Exact either
+  /// way; off by default for faithfulness to Algorithm 1/2 (DESIGN.md §4.4).
+  bool incremental_envelope = false;
+};
+
+/// Rejects empty grids, non-positive bandwidth/weight, and non-finite
+/// coordinates are the caller's responsibility (checked only in debug —
+/// scanning n points per call would dominate small tasks).
+Status ValidateTask(const KdvTask& task);
+
+/// Convenience: a task over a dataset rendered through a viewport, with
+/// weight defaulting to 1/n.
+KdvTask MakeTask(const PointDataset& dataset, const Viewport& viewport,
+                 KernelType kernel, double bandwidth);
+
+/// Materialized translated copy of a task (for floating-point conditioning
+/// and for the RAO transposition). Owns the shifted points.
+class TranslatedTask {
+ public:
+  /// Shifts all coordinates by (-dx, -dy).
+  TranslatedTask(const KdvTask& task, double dx, double dy);
+
+  const KdvTask& task() const { return task_; }
+
+ private:
+  std::vector<Point> shifted_points_;
+  KdvTask task_;
+};
+
+/// Transposed copy of a task: x and y swapped in both points and grid.
+/// Running a row sweep on the transposed task is a column sweep on the
+/// original (RAO, paper Section 3.6).
+class TransposedTask {
+ public:
+  explicit TransposedTask(const KdvTask& task);
+
+  const KdvTask& task() const { return task_; }
+
+ private:
+  std::vector<Point> swapped_points_;
+  KdvTask task_;
+};
+
+}  // namespace slam

@@ -1,0 +1,95 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace slam {
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // Escaped quote.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        if (!current.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted CSV field");
+        }
+        in_quotes = true;
+      } else if (c == delimiter) {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else if (c == '\r' && i + 1 == line.size()) {
+        // Tolerate CRLF endings.
+      } else {
+        current.push_back(c);
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Status ReadCsvStream(
+    std::istream& in, const CsvOptions& options,
+    const std::function<Status(const std::vector<std::string>&)>& header_fn,
+    const std::function<Status(int64_t, const std::vector<std::string>&)>&
+        row_fn) {
+  std::string line;
+  int64_t row_index = 0;
+  bool saw_header = !options.has_header;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    SLAM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseCsvRecord(line, options.delimiter));
+    if (!saw_header) {
+      saw_header = true;
+      if (header_fn) SLAM_RETURN_NOT_OK(header_fn(fields));
+      continue;
+    }
+    SLAM_RETURN_NOT_OK(row_fn(row_index, fields));
+    ++row_index;
+  }
+  return Status::OK();
+}
+
+void WriteCsvRecord(std::ostream& out, const std::vector<std::string>& fields,
+                    char delimiter) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.put(delimiter);
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find(delimiter) != std::string::npos ||
+        f.find('"') != std::string::npos || f.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out << f;
+      continue;
+    }
+    out.put('"');
+    for (const char c : f) {
+      if (c == '"') out.put('"');
+      out.put(c);
+    }
+    out.put('"');
+  }
+  out.put('\n');
+}
+
+}  // namespace slam

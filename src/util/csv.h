@@ -1,0 +1,38 @@
+// Minimal streaming CSV reader/writer. Supports quoted fields with embedded
+// delimiters and escaped quotes ("" inside a quoted field), which is enough
+// for the municipal open-data exports the paper's datasets come from.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slam {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Parses one CSV record (already split from the stream on record
+/// boundaries) into fields, honoring quotes. Exposed for testing.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                char delimiter);
+
+/// Reads `in` record by record, calling `row_fn(row_index, fields)` for each
+/// data row. If options.has_header, the first record is delivered through
+/// `header_fn` instead (may be nullptr to ignore).
+Status ReadCsvStream(
+    std::istream& in, const CsvOptions& options,
+    const std::function<Status(const std::vector<std::string>&)>& header_fn,
+    const std::function<Status(int64_t, const std::vector<std::string>&)>&
+        row_fn);
+
+/// Writes one record, quoting fields that need it.
+void WriteCsvRecord(std::ostream& out, const std::vector<std::string>& fields,
+                    char delimiter = ',');
+
+}  // namespace slam

@@ -1,0 +1,157 @@
+#include "util/flags.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace slam {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::Register(const std::string& name, Flag flag) {
+  SLAM_CHECK(!name.empty());
+  SLAM_CHECK(flags_.find(name) == flags_.end())
+      << "duplicate flag --" << name;
+  flags_.emplace(name, std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name, std::string* out,
+                           const std::string& help) {
+  Flag flag;
+  flag.help = help;
+  flag.default_value = *out;
+  flag.set = [out](const std::string& v) {
+    *out = v;
+    return Status::OK();
+  };
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name, double* out,
+                           const std::string& help) {
+  Flag flag;
+  flag.help = help;
+  flag.default_value = StringPrintf("%g", *out);
+  flag.set = [out, name](const std::string& v) -> Status {
+    SLAM_ASSIGN_OR_RETURN(*out, ParseDouble(v));
+    return Status::OK();
+  };
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* out,
+                          const std::string& help) {
+  Flag flag;
+  flag.help = help;
+  flag.default_value = std::to_string(*out);
+  flag.set = [out](const std::string& v) -> Status {
+    SLAM_ASSIGN_OR_RETURN(*out, ParseInt64(v));
+    return Status::OK();
+  };
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddInt(const std::string& name, int* out,
+                        const std::string& help) {
+  Flag flag;
+  flag.help = help;
+  flag.default_value = std::to_string(*out);
+  flag.set = [out](const std::string& v) -> Status {
+    SLAM_ASSIGN_OR_RETURN(const int64_t parsed, ParseInt64(v));
+    if (parsed < INT32_MIN || parsed > INT32_MAX) {
+      return Status::OutOfRange("value does not fit in int: " + v);
+    }
+    *out = static_cast<int>(parsed);
+    return Status::OK();
+  };
+  Register(name, std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, bool* out,
+                         const std::string& help) {
+  Flag flag;
+  flag.help = help;
+  flag.default_value = *out ? "true" : "false";
+  flag.is_bool = true;
+  flag.set = [out](const std::string& v) -> Status {
+    const std::string lower = ToLower(v);
+    if (lower == "true" || lower == "1" || lower.empty()) {
+      *out = true;
+    } else if (lower == "false" || lower == "0") {
+      *out = false;
+    } else {
+      return Status::InvalidArgument("expected true/false, got '" + v + "'");
+    }
+    return Status::OK();
+  };
+  Register(name, std::move(flag));
+}
+
+Result<std::vector<std::string>> FlagParser::Parse(
+    int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return positional;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    // Boolean negation: --no-foo.
+    bool negated = false;
+    auto it = flags_.find(name);
+    if (it == flags_.end() && name.rfind("no-", 0) == 0) {
+      it = flags_.find(name.substr(3));
+      if (it != flags_.end() && it->second.is_bool) {
+        negated = true;
+      } else {
+        it = flags_.end();
+      }
+    }
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    const Flag& flag = it->second;
+    if (negated) {
+      if (has_value) {
+        return Status::InvalidArgument("--no-" + it->first +
+                                       " does not take a value");
+      }
+      SLAM_RETURN_NOT_OK(flag.set("false"));
+      continue;
+    }
+    if (!has_value && !flag.is_bool) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    SLAM_RETURN_NOT_OK(flag.set(has_value ? value : ""));
+  }
+  return positional;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StringPrintf("  --%-18s %s (default: %s)\n", name.c_str(),
+                        flag.help.c_str(), flag.default_value.c_str());
+  }
+  out += "  --help               print this message\n";
+  return out;
+}
+
+}  // namespace slam

@@ -1,0 +1,56 @@
+// Tiny declarative command-line flag parser for the CLI tools and
+// examples. Supports --name=value, --name value, boolean --name /
+// --no-name, and --help. No global state: each binary builds its own
+// FlagParser.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slam {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  // Registration: `out` must outlive Parse(); its current value is the
+  // default shown in --help.
+  void AddString(const std::string& name, std::string* out,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double* out,
+                 const std::string& help);
+  void AddInt64(const std::string& name, int64_t* out,
+                const std::string& help);
+  void AddInt(const std::string& name, int* out, const std::string& help);
+  void AddBool(const std::string& name, bool* out, const std::string& help);
+
+  /// Parses argv. Returns the positional (non-flag) arguments in order.
+  /// Unknown flags, missing values, and parse failures are errors.
+  /// If --help is present, help_requested() becomes true and parsing stops
+  /// successfully (callers should print Usage() and exit 0).
+  Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string Usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+    std::function<Status(const std::string&)> set;
+  };
+
+  void Register(const std::string& name, Flag flag);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;  // ordered help output
+  bool help_requested_ = false;
+};
+
+}  // namespace slam

@@ -1,0 +1,74 @@
+// Minimal leveled logger plus RocksDB/Arrow-style check macros.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace slam {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace slam
+
+#define SLAM_LOG(level)                                                  \
+  ::slam::internal::LogMessage(::slam::LogLevel::k##level, __FILE__, __LINE__)
+
+// CHECK macros abort on violation; they guard internal invariants, not user
+// input (user input errors flow through Status).
+#define SLAM_CHECK(cond)                                              \
+  if (!(cond))                                                        \
+  ::slam::internal::LogMessage(::slam::LogLevel::kFatal, __FILE__,    \
+                               __LINE__)                              \
+      << "Check failed: " #cond " "
+
+#define SLAM_CHECK_OP(lhs, rhs, op) SLAM_CHECK((lhs)op(rhs))
+#define SLAM_CHECK_EQ(l, r) SLAM_CHECK_OP(l, r, ==)
+#define SLAM_CHECK_NE(l, r) SLAM_CHECK_OP(l, r, !=)
+#define SLAM_CHECK_LT(l, r) SLAM_CHECK_OP(l, r, <)
+#define SLAM_CHECK_LE(l, r) SLAM_CHECK_OP(l, r, <=)
+#define SLAM_CHECK_GT(l, r) SLAM_CHECK_OP(l, r, >)
+#define SLAM_CHECK_GE(l, r) SLAM_CHECK_OP(l, r, >=)
+
+#ifndef NDEBUG
+#define SLAM_DCHECK(cond) SLAM_CHECK(cond)
+#else
+#define SLAM_DCHECK(cond) \
+  if (false) ::slam::internal::NullStream()
+#endif

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random utilities. All stochastic behaviour in the
+// library (data generation, sampling, panning rectangles) flows through Rng
+// so experiments are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace slam {
+
+/// Thin deterministic wrapper over a fixed-engine PRNG (splitmix-seeded
+/// xoshiro-style via std::mt19937_64 for portability of sequences across
+/// standard libraries is NOT guaranteed by the standard for distributions,
+/// so the uniform/normal helpers below implement their own transforms).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : state_(seed ? seed : 1) {}
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextU64() {
+    // splitmix64: tiny, fast, well distributed, identical everywhere.
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Multiply-shift rejection-free mapping; bias is < 2^-64 * n, negligible
+    // for the sizes used here.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextU64()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Exponential with the given rate.
+  double Exponential(double rate);
+
+  /// Returns k distinct indices drawn uniformly from [0, n) (k <= n),
+  /// in random order. Used for sampling without replacement.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[NextBelow(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace slam

@@ -1,0 +1,70 @@
+// Arrow-style Result<T>: either a value or an error Status.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace slam {
+
+/// Result<T> holds either a T (status is OK) or an error Status. Accessing
+/// the value of an error Result is a programming error (asserted in debug).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from value and from error status keeps call sites
+  // natural: `return 42;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    status_.AbortIfNotOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    status_.AbortIfNotOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    status_.AbortIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace slam
+
+/// SLAM_ASSIGN_OR_RETURN(auto x, MakeX()): propagates error, else binds value.
+#define SLAM_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define SLAM_CONCAT_INNER(x, y) x##y
+#define SLAM_CONCAT(x, y) SLAM_CONCAT_INNER(x, y)
+
+#define SLAM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SLAM_ASSIGN_OR_RETURN_IMPL(SLAM_CONCAT(_slam_result_, __LINE__), lhs, rexpr)

@@ -1,0 +1,109 @@
+// Arrow-style Status: the return type for all fallible operations in the
+// library. No exceptions cross a public API boundary; functions that can
+// fail return Status (or Result<T>, see result.h) and callers must check it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace slam {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kNotImplemented = 5,
+  kIoError = 6,
+  kInternal = 7,
+  kCancelled = 8,
+  kResourceExhausted = 9,
+};
+
+/// Returns a human-readable name such as "Invalid argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. OK status carries no allocation; error status
+/// carries a code and message. Cheap to move, cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const noexcept { return state_ == nullptr; }
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Empty string for OK status.
+  const std::string& message() const noexcept;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// examples and tests where failure is a programming error.
+  void Abort() const;
+  void AbortIfNotOk() const {
+    if (!ok()) Abort();
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK; shared so copies of error statuses stay cheap.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace slam
+
+/// Propagates a non-OK Status to the caller: `SLAM_RETURN_NOT_OK(DoThing());`
+#define SLAM_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::slam::Status _slam_status = (expr);        \
+    if (!_slam_status.ok()) return _slam_status; \
+  } while (false)

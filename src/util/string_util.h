@@ -1,0 +1,37 @@
+// Small string helpers shared by CSV parsing, CLI handling, and reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slam {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII.
+std::string ToLower(std::string_view s);
+
+/// Strict numeric parses: the whole (trimmed) input must be consumed.
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// "12.3 s" / "456 ms" / "7.8 us" — human-readable duration.
+std::string FormatDuration(double seconds);
+
+/// "1234567" -> "1,234,567".
+std::string FormatWithCommas(int64_t value);
+
+/// printf-style into std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace slam

@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool with a blocking task queue, plus a
+// ParallelFor helper. Used by the optional parallel KDV wrappers
+// (kdv/parallel.h) — the paper evaluates single-CPU and leaves
+// parallelism to future work; this is that extension.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace slam {
+
+class ThreadPool {
+ public:
+  /// num_threads <= 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+};
+
+/// Splits [begin, end) into contiguous chunks and runs
+/// `fn(chunk_begin, chunk_end)` across the pool. Blocks until complete.
+/// With a null pool, runs inline (serial).
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace slam

@@ -1,0 +1,7 @@
+// Timer is header-only; this TU exists so the target always has an object
+// for the util library and to anchor the vtable-free types' debug symbols.
+#include "util/timer.h"
+
+namespace slam {
+static_assert(sizeof(Timer) > 0);
+}  // namespace slam

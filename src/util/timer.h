@@ -1,0 +1,49 @@
+// Wall-clock timing utilities for benchmarks and budgeted runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace slam {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline for budgeted experiment cells (reproduces the paper's
+/// ">14400 sec" censoring rule at laptop scale).
+class Deadline {
+ public:
+  /// A deadline `budget_seconds` from now. Non-positive budget = unlimited.
+  explicit Deadline(double budget_seconds)
+      : budget_seconds_(budget_seconds), timer_() {}
+
+  bool Expired() const {
+    return budget_seconds_ > 0 && timer_.ElapsedSeconds() > budget_seconds_;
+  }
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_;
+  Timer timer_;
+};
+
+}  // namespace slam

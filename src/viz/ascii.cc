@@ -1,0 +1,51 @@
+#include "viz/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "viz/colormap.h"
+
+namespace slam {
+
+Result<std::string> RenderAscii(const DensityMap& map,
+                                const AsciiOptions& options) {
+  if (map.empty()) {
+    return Status::InvalidArgument("cannot render an empty density map");
+  }
+  if (options.max_columns <= 0 || options.max_rows <= 0 ||
+      !(options.gamma > 0.0)) {
+    return Status::InvalidArgument("invalid ascii render options");
+  }
+  static constexpr std::string_view kRamp = " .:-=+*#%@";
+  const int cols = std::min(options.max_columns, map.width());
+  const int rows = std::min(options.max_rows, map.height());
+  const Normalizer norm{map.MinValue(), map.MaxValue(), options.gamma};
+  std::string out;
+  out.reserve(static_cast<size_t>(rows) * (cols + 1));
+  for (int r = 0; r < rows; ++r) {
+    // Top line = max y: walk raster rows from the top down, averaging the
+    // block of pixels each character covers.
+    const int y_hi = map.height() - r * map.height() / rows;
+    const int y_lo = map.height() - (r + 1) * map.height() / rows;
+    for (int c = 0; c < cols; ++c) {
+      const int x_lo = c * map.width() / cols;
+      const int x_hi = (c + 1) * map.width() / cols;
+      double sum = 0.0;
+      int count = 0;
+      for (int y = y_lo; y < y_hi; ++y) {
+        for (int x = x_lo; x < x_hi; ++x) {
+          sum += map.at(x, y);
+          ++count;
+        }
+      }
+      const double t = norm.Normalize(count > 0 ? sum / count : 0.0);
+      const size_t idx = std::min(
+          kRamp.size() - 1, static_cast<size_t>(t * (kRamp.size() - 1) + 0.5));
+      out.push_back(kRamp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace slam

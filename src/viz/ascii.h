@@ -1,0 +1,22 @@
+// ASCII heat map renderer for terminal demos and debugging: downsamples the
+// raster and maps density to a character ramp.
+#pragma once
+
+#include <string>
+
+#include "kdv/density_map.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct AsciiOptions {
+  int max_columns = 78;
+  int max_rows = 24;
+  double gamma = 0.5;
+};
+
+/// Multiline string; the top line corresponds to the max-y edge.
+Result<std::string> RenderAscii(const DensityMap& map,
+                                const AsciiOptions& options = {});
+
+}  // namespace slam

@@ -1,0 +1,83 @@
+#include "viz/colormap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+std::string_view ColorMapName(ColorMapType type) {
+  switch (type) {
+    case ColorMapType::kHeat:
+      return "heat";
+    case ColorMapType::kGrayscale:
+      return "grayscale";
+    case ColorMapType::kViridis:
+      return "viridis";
+  }
+  return "?";
+}
+
+Result<ColorMapType> ColorMapFromName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "heat") return ColorMapType::kHeat;
+  if (lower == "grayscale" || lower == "gray") return ColorMapType::kGrayscale;
+  if (lower == "viridis") return ColorMapType::kViridis;
+  return Status::InvalidArgument("unknown color map '" + std::string(name) +
+                                 "'");
+}
+
+namespace {
+
+uint8_t ToByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+}
+
+/// Piecewise-linear ramp through the given anchors (equally spaced in t).
+template <size_t N>
+Rgb Ramp(const Rgb (&anchors)[N], double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const double scaled = t * (N - 1);
+  const size_t i = std::min(static_cast<size_t>(scaled), N - 2);
+  const double f = scaled - static_cast<double>(i);
+  const Rgb& a = anchors[i];
+  const Rgb& b = anchors[i + 1];
+  return {static_cast<uint8_t>(a.r + f * (b.r - a.r) + 0.5),
+          static_cast<uint8_t>(a.g + f * (b.g - a.g) + 0.5),
+          static_cast<uint8_t>(a.b + f * (b.b - a.b) + 0.5)};
+}
+
+}  // namespace
+
+Rgb MapColor(ColorMapType type, double t) {
+  switch (type) {
+    case ColorMapType::kHeat: {
+      // Transparent-ish blue base to deep red hotspot, as in GIS heat maps.
+      static constexpr Rgb kAnchors[] = {
+          {0, 0, 64},    {0, 64, 255},  {0, 200, 255},
+          {120, 255, 80}, {255, 235, 0}, {255, 100, 0}, {200, 0, 0}};
+      return Ramp(kAnchors, t);
+    }
+    case ColorMapType::kGrayscale: {
+      const uint8_t v = ToByte(t);
+      return {v, v, v};
+    }
+    case ColorMapType::kViridis: {
+      static constexpr Rgb kAnchors[] = {
+          {68, 1, 84},   {59, 82, 139}, {33, 145, 140},
+          {94, 201, 98}, {253, 231, 37}};
+      return Ramp(kAnchors, t);
+    }
+  }
+  return {};
+}
+
+double Normalizer::Normalize(double v) const {
+  const double range = max_value - min_value;
+  if (!(range > 0.0)) return 0.0;
+  const double t = std::clamp((v - min_value) / range, 0.0, 1.0);
+  return gamma == 1.0 ? t : std::pow(t, gamma);
+}
+
+}  // namespace slam

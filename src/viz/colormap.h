@@ -1,0 +1,37 @@
+// Color maps for density rasters. The classic KDV "heat" ramp (blue → cyan
+// → yellow → red, as in the paper's Figure 1) plus grayscale and viridis.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace slam {
+
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+enum class ColorMapType : int { kHeat = 0, kGrayscale = 1, kViridis = 2 };
+
+std::string_view ColorMapName(ColorMapType type);
+Result<ColorMapType> ColorMapFromName(std::string_view name);
+
+/// Maps t in [0, 1] (clamped) to a color.
+Rgb MapColor(ColorMapType type, double t);
+
+/// Normalization from density to [0, 1]: linear between the raster's min
+/// and max, with an optional gamma (< 1 emphasizes hotspots).
+struct Normalizer {
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double gamma = 1.0;
+
+  double Normalize(double v) const;
+};
+
+}  // namespace slam

@@ -1,0 +1,48 @@
+#include "viz/image.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+Result<Image> Image::Create(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "image dimensions must be positive, got %dx%d", width, height));
+  }
+  Image img;
+  img.width_ = width;
+  img.height_ = height;
+  img.pixels_.assign(static_cast<size_t>(width) * height, Rgb{});
+  return img;
+}
+
+Status Image::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size() * sizeof(Rgb)));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status Image::WritePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  std::vector<uint8_t> luma;
+  luma.reserve(pixels_.size());
+  for (const Rgb& c : pixels_) {
+    // ITU-R BT.601 luma.
+    luma.push_back(static_cast<uint8_t>(0.299 * c.r + 0.587 * c.g +
+                                        0.114 * c.b + 0.5));
+  }
+  out.write(reinterpret_cast<const char*>(luma.data()),
+            static_cast<std::streamsize>(luma.size()));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace slam

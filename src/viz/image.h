@@ -1,0 +1,39 @@
+// Minimal RGB image buffer with binary PPM (P6) / PGM (P5) writers — no
+// external image dependencies, viewable everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "viz/colormap.h"
+
+namespace slam {
+
+class Image {
+ public:
+  static Result<Image> Create(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  const Rgb& at(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, const Rgb& c) {
+    pixels_[static_cast<size_t>(y) * width_ + x] = c;
+  }
+
+  /// Binary PPM (P6).
+  Status WritePpm(const std::string& path) const;
+  /// Binary PGM (P5) of the luma.
+  Status WritePgm(const std::string& path) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace slam

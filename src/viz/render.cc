@@ -1,0 +1,31 @@
+#include "viz/render.h"
+
+namespace slam {
+
+Result<Image> RenderDensityMap(const DensityMap& map,
+                               const RenderOptions& options) {
+  if (map.empty()) {
+    return Status::InvalidArgument("cannot render an empty density map");
+  }
+  if (!(options.gamma > 0.0)) {
+    return Status::InvalidArgument("render gamma must be positive");
+  }
+  SLAM_ASSIGN_OR_RETURN(Image img, Image::Create(map.width(), map.height()));
+  const Normalizer norm{map.MinValue(), map.MaxValue(), options.gamma};
+  for (int y = 0; y < map.height(); ++y) {
+    const int image_y = map.height() - 1 - y;  // flip to top-down
+    for (int x = 0; x < map.width(); ++x) {
+      img.set(x, image_y,
+              MapColor(options.colormap, norm.Normalize(map.at(x, y))));
+    }
+  }
+  return img;
+}
+
+Status WriteDensityPpm(const DensityMap& map, const std::string& path,
+                       const RenderOptions& options) {
+  SLAM_ASSIGN_OR_RETURN(Image img, RenderDensityMap(map, options));
+  return img.WritePpm(path);
+}
+
+}  // namespace slam

@@ -1,0 +1,25 @@
+// Density raster -> image. Row 0 of the DensityMap is the bottom pixel row
+// (min y), so rendering flips vertically to image convention (row 0 = top).
+#pragma once
+
+#include "kdv/density_map.h"
+#include "util/result.h"
+#include "viz/colormap.h"
+#include "viz/image.h"
+
+namespace slam {
+
+struct RenderOptions {
+  ColorMapType colormap = ColorMapType::kHeat;
+  /// gamma < 1 stretches hotspot contrast.
+  double gamma = 0.5;
+};
+
+Result<Image> RenderDensityMap(const DensityMap& map,
+                               const RenderOptions& options = {});
+
+/// One-call convenience: render and write a PPM.
+Status WriteDensityPpm(const DensityMap& map, const std::string& path,
+                       const RenderOptions& options = {});
+
+}  // namespace slam

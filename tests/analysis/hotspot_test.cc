@@ -1,0 +1,188 @@
+#include "analysis/hotspot.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "explore/viewport_ops.h"
+#include "kdv/bandwidth.h"
+#include "kdv/engine.h"
+
+namespace slam {
+namespace {
+
+/// A raster with two square plateaus: a strong 3x3 at (2..4, 2..4) valued
+/// 10 and a weak 2x2 at (7..8, 7..8) valued 4, on a zero background.
+DensityMap TwoBlobs() {
+  auto m = *DensityMap::Create(12, 12);
+  for (int y = 2; y <= 4; ++y) {
+    for (int x = 2; x <= 4; ++x) m.set(x, y, 10.0);
+  }
+  m.set(3, 3, 12.0);  // interior peak
+  for (int y = 7; y <= 8; ++y) {
+    for (int x = 7; x <= 8; ++x) m.set(x, y, 4.0);
+  }
+  return m;
+}
+
+TEST(HotspotTest, FindsBothBlobsRankedByPeak) {
+  HotspotOptions options;
+  options.threshold = 1.0;
+  const auto hotspots = *ExtractHotspots(TwoBlobs(), options);
+  ASSERT_EQ(hotspots.size(), 2u);
+  EXPECT_EQ(hotspots[0].id, 0);
+  EXPECT_DOUBLE_EQ(hotspots[0].peak_density, 12.0);
+  EXPECT_EQ(hotspots[0].pixel_count, 9);
+  EXPECT_EQ(hotspots[0].peak_x, 3);
+  EXPECT_EQ(hotspots[0].peak_y, 3);
+  EXPECT_DOUBLE_EQ(hotspots[1].peak_density, 4.0);
+  EXPECT_EQ(hotspots[1].pixel_count, 4);
+}
+
+TEST(HotspotTest, TotalDensityAndCentroid) {
+  HotspotOptions options;
+  options.threshold = 1.0;
+  const auto hotspots = *ExtractHotspots(TwoBlobs(), options);
+  // Strong blob: 9 pixels of 10 with one bumped to 12 -> 92.
+  EXPECT_DOUBLE_EQ(hotspots[0].total_density, 92.0);
+  // Symmetric layout -> centroid at the blob center (3, 3).
+  EXPECT_NEAR(hotspots[0].centroid.x, 3.0, 1e-12);
+  EXPECT_NEAR(hotspots[0].centroid.y, 3.0, 1e-12);
+  // Weak blob: uniform 2x2 centered at (7.5, 7.5).
+  EXPECT_NEAR(hotspots[1].centroid.x, 7.5, 1e-12);
+  EXPECT_NEAR(hotspots[1].centroid.y, 7.5, 1e-12);
+}
+
+TEST(HotspotTest, ThresholdSeparatesBlobs) {
+  HotspotOptions options;
+  options.threshold = 5.0;  // weak blob is below
+  const auto hotspots = *ExtractHotspots(TwoBlobs(), options);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_DOUBLE_EQ(hotspots[0].peak_density, 12.0);
+}
+
+TEST(HotspotTest, RelativeThreshold) {
+  HotspotOptions options;
+  options.relative_threshold = 0.5;  // 0.5 * 12 = 6 -> only the strong blob
+  const auto hotspots = *ExtractHotspots(TwoBlobs(), options);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(hotspots[0].pixel_count, 9);
+}
+
+TEST(HotspotTest, MinPixelsFiltersSpeckle) {
+  auto m = TwoBlobs();
+  m.set(11, 0, 50.0);  // single-pixel spike, strongest of all
+  HotspotOptions options;
+  options.threshold = 1.0;
+  options.min_pixels = 2;
+  const auto hotspots = *ExtractHotspots(m, options);
+  ASSERT_EQ(hotspots.size(), 2u);  // spike removed
+  EXPECT_DOUBLE_EQ(hotspots[0].peak_density, 12.0);
+}
+
+TEST(HotspotTest, MaxHotspotsKeepsStrongest) {
+  HotspotOptions options;
+  options.threshold = 1.0;
+  options.max_hotspots = 1;
+  const auto hotspots = *ExtractHotspots(TwoBlobs(), options);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_DOUBLE_EQ(hotspots[0].peak_density, 12.0);
+}
+
+TEST(HotspotTest, ConnectivityMatters) {
+  // Two diagonal pixels touch only at a corner: one region under
+  // 8-connectivity, two under 4-connectivity.
+  auto m = *DensityMap::Create(4, 4);
+  m.set(1, 1, 5.0);
+  m.set(2, 2, 5.0);
+  HotspotOptions options;
+  options.threshold = 1.0;
+  options.eight_connected = true;
+  EXPECT_EQ(ExtractHotspots(m, options)->size(), 1u);
+  options.eight_connected = false;
+  EXPECT_EQ(ExtractHotspots(m, options)->size(), 2u);
+}
+
+TEST(HotspotTest, LabelsMatchHotspotIds) {
+  HotspotOptions options;
+  options.threshold = 1.0;
+  std::vector<Hotspot> hotspots;
+  const auto labels = *LabelHotspots(TwoBlobs(), options, &hotspots);
+  ASSERT_EQ(hotspots.size(), 2u);
+  const auto m = TwoBlobs();
+  EXPECT_EQ(labels[3 * 12 + 3], 0);   // strong blob -> rank 0
+  EXPECT_EQ(labels[7 * 12 + 7], 1);   // weak blob -> rank 1
+  EXPECT_EQ(labels[0], -1);           // background
+  // Every labeled pixel is above threshold and vice versa.
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      EXPECT_EQ(labels[static_cast<size_t>(y) * 12 + x] >= 0,
+                m.at(x, y) >= 1.0);
+    }
+  }
+}
+
+TEST(HotspotTest, FilteredLabelsBecomeBackground) {
+  auto m = TwoBlobs();
+  m.set(11, 11, 99.0);  // speckle
+  HotspotOptions options;
+  options.threshold = 1.0;
+  options.min_pixels = 2;
+  std::vector<Hotspot> hotspots;
+  const auto labels = *LabelHotspots(m, options, &hotspots);
+  EXPECT_EQ(labels[11 * 12 + 11], -1);  // dropped region unlabeled
+}
+
+TEST(HotspotTest, Validation) {
+  EXPECT_FALSE(ExtractHotspots(DensityMap{}, {}).ok());
+  HotspotOptions bad;
+  bad.relative_threshold = 1.5;
+  EXPECT_FALSE(ExtractHotspots(TwoBlobs(), bad).ok());
+  bad = HotspotOptions{};
+  bad.min_pixels = 0;
+  EXPECT_FALSE(ExtractHotspots(TwoBlobs(), bad).ok());
+}
+
+TEST(HotspotTest, WholeMapAboveThresholdIsOneRegion) {
+  auto m = *DensityMap::Create(5, 5);
+  for (auto& v : m.mutable_values()) v = 2.0;
+  HotspotOptions options;
+  options.threshold = 1.0;
+  const auto hotspots = *ExtractHotspots(m, options);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(hotspots[0].pixel_count, 25);
+}
+
+TEST(HotspotTest, NothingAboveThreshold) {
+  HotspotOptions options;
+  options.threshold = 1000.0;
+  EXPECT_TRUE(ExtractHotspots(TwoBlobs(), options)->empty());
+}
+
+TEST(RasterToGeoTest, MapsThroughGridAxes) {
+  const Grid grid = *Grid::Create({100.0, 2.0, 50}, {200.0, 3.0, 40});
+  const Point geo = RasterToGeo(grid, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(geo.x, 120.0);
+  EXPECT_DOUBLE_EQ(geo.y, 260.0);
+  // Fractional raster coordinates (centroids) interpolate linearly.
+  const Point frac = RasterToGeo(grid, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(frac.x, 101.0);
+  EXPECT_DOUBLE_EQ(frac.y, 201.5);
+}
+
+TEST(HotspotTest, EndToEndCityHotspotsLandOnClusters) {
+  // The strongest hotspot of a KDV raster must sit where the density peaks.
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.002, 91);
+  const auto viewport = *DatasetViewport(ds, 40, 40);
+  const auto map = *ComputeKdv(
+      MakeTask(ds, viewport, KernelType::kEpanechnikov,
+               *ScottBandwidth(ds.coords())),
+      Method::kSlamBucketRao);
+  HotspotOptions options;
+  options.relative_threshold = 0.6;
+  const auto hotspots = *ExtractHotspots(map, options);
+  ASSERT_FALSE(hotspots.empty());
+  EXPECT_DOUBLE_EQ(hotspots[0].peak_density, map.MaxValue());
+}
+
+}  // namespace
+}  // namespace slam

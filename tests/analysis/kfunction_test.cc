@@ -1,0 +1,103 @@
+#include "analysis/kfunction.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::RandomPoints;
+
+const std::vector<double> kRadii{1.0, 2.0, 4.0, 8.0, 16.0};
+
+TEST(KFunctionTest, Validation) {
+  const BoundingBox region({0, 0}, {10, 10});
+  const std::vector<Point> one{{1, 1}};
+  EXPECT_FALSE(ComputeKFunction(one, region, kRadii).ok());
+  const auto pts = RandomPoints(10, 10.0, 1);
+  EXPECT_FALSE(ComputeKFunction(pts, BoundingBox{}, kRadii).ok());
+  EXPECT_FALSE(
+      ComputeKFunction(pts, region, std::vector<double>{}).ok());
+  EXPECT_FALSE(
+      ComputeKFunction(pts, region, std::vector<double>{2.0, 1.0}).ok());
+  EXPECT_FALSE(
+      ComputeKFunction(pts, region, std::vector<double>{0.0, 1.0}).ok());
+}
+
+TEST(KFunctionTest, TwoPointsAnalytic) {
+  // Two points 3 apart in a 10x10 region: pair counted in both directions
+  // once r >= 3. K(r) = 100/4 * 2 = 50 for r >= 3, else 0.
+  const std::vector<Point> pts{{2, 5}, {5, 5}};
+  const BoundingBox region({0, 0}, {10, 10});
+  const std::vector<double> radii{1.0, 3.0, 5.0};
+  const auto result = *ComputeKFunctionNaive(pts, region, radii);
+  EXPECT_DOUBLE_EQ(result.k_values[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.k_values[1], 50.0);  // boundary inclusive
+  EXPECT_DOUBLE_EQ(result.k_values[2], 50.0);
+}
+
+TEST(KFunctionTest, FastMatchesNaive) {
+  const BoundingBox region({0, 0}, {50, 50});
+  for (const uint64_t seed : {811u, 821u, 823u}) {
+    const auto pts = ClusteredPoints(400, 50.0, 4, seed);
+    const auto naive = *ComputeKFunctionNaive(pts, region, kRadii);
+    const auto fast = *ComputeKFunction(pts, region, kRadii);
+    for (size_t i = 0; i < kRadii.size(); ++i) {
+      EXPECT_DOUBLE_EQ(naive.k_values[i], fast.k_values[i])
+          << "seed " << seed << " radius " << kRadii[i];
+    }
+  }
+}
+
+TEST(KFunctionTest, FastMatchesNaiveWithDuplicates) {
+  std::vector<Point> pts = RandomPoints(100, 20.0, 827);
+  // Inject coincident events (e.g. repeated incidents at one address).
+  for (int i = 0; i < 20; ++i) pts.push_back({10.0, 10.0});
+  const BoundingBox region({0, 0}, {20, 20});
+  const std::vector<double> radii{0.5, 2.0, 5.0};
+  const auto naive = *ComputeKFunctionNaive(pts, region, radii);
+  const auto fast = *ComputeKFunction(pts, region, radii);
+  for (size_t i = 0; i < radii.size(); ++i) {
+    EXPECT_DOUBLE_EQ(naive.k_values[i], fast.k_values[i]);
+  }
+}
+
+TEST(KFunctionTest, CsrProcessTracksPiRSquared) {
+  // Uniform points: K(r) ~ pi r^2 for r well inside the region (no edge
+  // correction, so stay small relative to the extent).
+  const auto pts = RandomPoints(4000, 100.0, 829);
+  const BoundingBox region({0, 0}, {100, 100});
+  const std::vector<double> radii{2.0, 4.0, 6.0};
+  const auto result = *ComputeKFunction(pts, region, radii);
+  for (size_t i = 0; i < radii.size(); ++i) {
+    const double expected = std::numbers::pi * radii[i] * radii[i];
+    EXPECT_NEAR(result.k_values[i] / expected, 1.0, 0.25) << radii[i];
+    EXPECT_DOUBLE_EQ(result.csr_values[i], expected);
+  }
+}
+
+TEST(KFunctionTest, ClusteredProcessExceedsCsr) {
+  const auto pts = ClusteredPoints(2000, 100.0, 3, 839);
+  const BoundingBox region({0, 0}, {100, 100});
+  const std::vector<double> radii{3.0, 6.0};
+  const auto result = *ComputeKFunction(pts, region, radii);
+  for (size_t i = 0; i < radii.size(); ++i) {
+    EXPECT_GT(result.k_values[i], 2.0 * result.csr_values[i]);
+  }
+}
+
+TEST(KFunctionTest, MonotoneNonDecreasingInRadius) {
+  const auto pts = ClusteredPoints(500, 60.0, 5, 853);
+  const BoundingBox region({0, 0}, {60, 60});
+  const auto result = *ComputeKFunction(pts, region, kRadii);
+  for (size_t i = 1; i < result.k_values.size(); ++i) {
+    EXPECT_GE(result.k_values[i], result.k_values[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,74 @@
+#include "baselines/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ExpectMapsNear;
+using testing::MakeGrid;
+using testing::RandomPoints;
+
+KdvTask MakeScanTask(const std::vector<Point>& pts, KernelType kernel) {
+  KdvTask task;
+  task.points = pts;
+  task.kernel = kernel;
+  task.bandwidth = 5.0;
+  task.weight = 0.01;
+  task.grid = MakeGrid(16, 12, 40.0);
+  return task;
+}
+
+TEST(ScanTest, MatchesIndependentBruteForce) {
+  const auto pts = RandomPoints(300, 40.0, 347);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov, KernelType::kQuartic,
+        KernelType::kGaussian}) {
+    const KdvTask task = MakeScanTask(pts, kernel);
+    DensityMap out;
+    ASSERT_TRUE(ComputeScan(task, {}, &out).ok());
+    ExpectMapsNear(BruteForceDensity(task), out, 1e-12,
+                   std::string(KernelTypeName(kernel)).c_str());
+  }
+}
+
+TEST(ScanTest, SupportsGaussianUnlikeSlam) {
+  const auto pts = RandomPoints(50, 40.0, 349);
+  const KdvTask task = MakeScanTask(pts, KernelType::kGaussian);
+  DensityMap out;
+  ASSERT_TRUE(ComputeScan(task, {}, &out).ok());
+  // Gaussian has unbounded support: strictly positive everywhere.
+  EXPECT_GT(out.MinValue(), 0.0);
+}
+
+TEST(ScanTest, EmptyPoints) {
+  const KdvTask task = MakeScanTask({}, KernelType::kEpanechnikov);
+  DensityMap out;
+  ASSERT_TRUE(ComputeScan(task, {}, &out).ok());
+  EXPECT_EQ(out.MaxValue(), 0.0);
+}
+
+TEST(ScanTest, RejectsInvalidTask) {
+  const std::vector<Point> pts{{0, 0}};
+  KdvTask task = MakeScanTask(pts, KernelType::kUniform);
+  task.weight = -1.0;
+  DensityMap out;
+  EXPECT_FALSE(ComputeScan(task, {}, &out).ok());
+}
+
+TEST(ScanTest, HonorsDeadline) {
+  const auto pts = RandomPoints(50000, 40.0, 353);
+  KdvTask task = MakeScanTask(pts, KernelType::kEpanechnikov);
+  task.grid = MakeGrid(200, 200, 40.0);
+  const Deadline expired(1e-9);
+  ComputeOptions opts;
+  opts.deadline = &expired;
+  DensityMap out;
+  EXPECT_EQ(ComputeScan(task, opts, &out).code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,128 @@
+#include "common/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace slam::bench {
+namespace {
+
+TEST(CellResultTest, ToStringForms) {
+  CellResult ok;
+  ok.seconds = 1.2345;
+  EXPECT_EQ(ok.ToString(), "1.234");  // %.3f truncates by rounding
+  CellResult censored;
+  censored.censored = true;
+  censored.seconds = 10.0;
+  EXPECT_EQ(censored.ToString(), ">10");
+  CellResult failed;
+  failed.status = Status::Internal("boom");
+  EXPECT_EQ(failed.ToString(), "ERR");
+}
+
+TEST(FormatSpeedupTest, Cases) {
+  CellResult baseline;
+  baseline.seconds = 10.0;
+  CellResult ours;
+  ours.seconds = 2.0;
+  EXPECT_EQ(FormatSpeedup(baseline, ours), "5.0x");
+  baseline.censored = true;
+  EXPECT_EQ(FormatSpeedup(baseline, ours), ">=5.0x");
+  baseline.censored = false;
+  baseline.status = Status::Internal("x");
+  EXPECT_EQ(FormatSpeedup(baseline, ours), "-");
+  baseline = CellResult{};
+  baseline.seconds = 10.0;
+  ours.censored = true;
+  EXPECT_EQ(FormatSpeedup(baseline, ours), "-");
+}
+
+TEST(BenchConfigTest, EnvOverrides) {
+  setenv("SLAM_BENCH_SCALE", "0.123", 1);
+  setenv("SLAM_BENCH_BUDGET", "3.5", 1);
+  setenv("SLAM_BENCH_RES", "64x48", 1);
+  const BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(config.dataset_scale, 0.123);
+  EXPECT_DOUBLE_EQ(config.budget_seconds, 3.5);
+  EXPECT_EQ(config.width, 64);
+  EXPECT_EQ(config.height, 48);
+  unsetenv("SLAM_BENCH_SCALE");
+  unsetenv("SLAM_BENCH_BUDGET");
+  unsetenv("SLAM_BENCH_RES");
+}
+
+TEST(BenchConfigTest, MalformedEnvFallsBackToDefaults) {
+  setenv("SLAM_BENCH_SCALE", "banana", 1);
+  setenv("SLAM_BENCH_RES", "64by48", 1);
+  const BenchConfig config = BenchConfig::FromEnv();
+  const BenchConfig defaults;
+  EXPECT_DOUBLE_EQ(config.dataset_scale, defaults.dataset_scale);
+  EXPECT_EQ(config.width, defaults.width);
+  unsetenv("SLAM_BENCH_SCALE");
+  unsetenv("SLAM_BENCH_RES");
+}
+
+TEST(RunCellTest, MeasuresAndCompletes) {
+  BenchConfig config;
+  config.dataset_scale = 0.001;
+  config.budget_seconds = 30.0;
+  config.width = 20;
+  config.height = 15;
+  const auto ds = LoadBenchDataset(City::kSeattle, config);
+  ASSERT_TRUE(ds.ok());
+  const auto task = DatasetTask(*ds, config.width, config.height,
+                                KernelType::kEpanechnikov);
+  ASSERT_TRUE(task.ok());
+  const CellResult cell = RunCell(*task, Method::kSlamBucketRao, config);
+  EXPECT_TRUE(cell.status.ok());
+  EXPECT_FALSE(cell.censored);
+  EXPECT_GT(cell.seconds, 0.0);
+}
+
+TEST(RunCellTest, CensorsOverBudget) {
+  BenchConfig config;
+  config.dataset_scale = 0.02;
+  config.budget_seconds = 0.001;  // everything blows this budget
+  config.width = 400;
+  config.height = 400;
+  const auto ds = LoadBenchDataset(City::kSeattle, config);
+  ASSERT_TRUE(ds.ok());
+  const auto task = DatasetTask(*ds, config.width, config.height,
+                                KernelType::kEpanechnikov);
+  const CellResult cell = RunCell(*task, Method::kScan, config);
+  EXPECT_TRUE(cell.censored);
+  EXPECT_DOUBLE_EQ(cell.seconds, 0.001);
+}
+
+TEST(LoadBenchDatasetsTest, AllFourCitiesAtTinyScale) {
+  BenchConfig config;
+  config.dataset_scale = 0.0005;
+  const auto datasets = LoadBenchDatasets(config);
+  ASSERT_TRUE(datasets.ok());
+  ASSERT_EQ(datasets->size(), 4u);
+  // Sizes follow Table 5's ordering: Seattle < LA < NY < SF.
+  for (size_t i = 1; i < datasets->size(); ++i) {
+    EXPECT_GT((*datasets)[i].data.size(), (*datasets)[i - 1].data.size());
+  }
+  for (const auto& ds : *datasets) {
+    EXPECT_GT(ds.scott_bandwidth, 0.0);
+  }
+}
+
+TEST(DatasetTaskTest, BandwidthScaleApplies) {
+  BenchConfig config;
+  config.dataset_scale = 0.001;
+  const auto ds = LoadBenchDataset(City::kNewYork, config);
+  ASSERT_TRUE(ds.ok());
+  const auto base =
+      DatasetTask(*ds, 10, 10, KernelType::kUniform, 1.0);
+  const auto doubled =
+      DatasetTask(*ds, 10, 10, KernelType::kUniform, 2.0);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_DOUBLE_EQ(doubled->bandwidth, 2.0 * base->bandwidth);
+  EXPECT_EQ(base->grid.width(), 10);
+}
+
+}  // namespace
+}  // namespace slam::bench

@@ -1,0 +1,90 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/envelope.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+TEST(BoundIntervalsTest, MatchPaperFormulas) {
+  // Point at (10, 3), row k = 0, b = 5: half-width = sqrt(25 - 9) = 4.
+  const std::vector<Point> env{{10, 3}};
+  std::vector<BoundInterval> out;
+  ComputeBoundIntervals(env, 0.0, 5.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].lb, 6.0);
+  EXPECT_DOUBLE_EQ(out[0].ub, 14.0);
+  EXPECT_EQ(out[0].p, (Point{10.0, 3.0}));
+}
+
+TEST(BoundIntervalsTest, PointOnRowHasFullWidth) {
+  const std::vector<Point> env{{7, 2}};
+  std::vector<BoundInterval> out;
+  ComputeBoundIntervals(env, 2.0, 3.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].lb, 4.0);
+  EXPECT_DOUBLE_EQ(out[0].ub, 10.0);
+}
+
+TEST(BoundIntervalsTest, PointAtBandwidthEdgeHasZeroWidth) {
+  const std::vector<Point> env{{7, 5}};
+  std::vector<BoundInterval> out;
+  ComputeBoundIntervals(env, 0.0, 5.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].lb, 7.0);
+  EXPECT_DOUBLE_EQ(out[0].ub, 7.0);
+}
+
+TEST(BoundIntervalsTest, IntervalMembershipEqualsDistanceTest) {
+  // Lemma 2: q.x in [LB, UB]  <=>  dist(q, p) <= b, for q on the row.
+  Rng rng(199);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double b = rng.Uniform(0.5, 10.0);
+    const double k = rng.Uniform(-5, 5);
+    const Point p{rng.Uniform(-20, 20), k + rng.Uniform(-b, b)};
+    std::vector<BoundInterval> out;
+    const std::vector<Point> env{p};
+    ComputeBoundIntervals(env, k, b, &out);
+    ASSERT_EQ(out.size(), 1u);
+    for (int i = 0; i < 20; ++i) {
+      const Point q{rng.Uniform(-25, 25), k};
+      const bool in_interval = out[0].lb <= q.x && q.x <= out[0].ub;
+      const bool in_range = SquaredDistance(q, p) <= b * b;
+      // FP at the boundary: allow disagreement only within 1e-9 of the edge.
+      if (std::abs(q.x - out[0].lb) > 1e-9 &&
+          std::abs(q.x - out[0].ub) > 1e-9) {
+        EXPECT_EQ(in_interval, in_range)
+            << "q.x=" << q.x << " lb=" << out[0].lb << " ub=" << out[0].ub;
+      }
+    }
+  }
+}
+
+TEST(BoundIntervalsTest, EnvelopePipelineProducesOneIntervalPerPoint) {
+  const auto pts = testing::RandomPoints(300, 50.0, 211);
+  std::vector<Point> env;
+  FindEnvelope(pts, 25.0, 8.0, &env);
+  std::vector<BoundInterval> out;
+  ComputeBoundIntervals(env, 25.0, 8.0, &out);
+  EXPECT_EQ(out.size(), env.size());
+  for (const BoundInterval& iv : out) {
+    EXPECT_LE(iv.lb, iv.ub);
+    // Interval is centered on the point's x.
+    EXPECT_NEAR((iv.lb + iv.ub) / 2.0, iv.p.x, 1e-9);
+    // Half-width never exceeds the bandwidth.
+    EXPECT_LE(iv.ub - iv.lb, 16.0 + 1e-9);
+  }
+}
+
+TEST(BoundIntervalsTest, ClearsPreviousContents) {
+  std::vector<BoundInterval> out(5);
+  ComputeBoundIntervals({}, 0.0, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,112 @@
+#include "core/rao.h"
+
+#include <gtest/gtest.h>
+
+#include "core/slam_bucket.h"
+#include "core/slam_sort.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ClusteredPoints;
+using testing::ExpectMapsNear;
+using testing::MakeGrid;
+using testing::RandomPoints;
+
+KdvTask MakeRaoTask(const std::vector<Point>& pts, int width, int height,
+                    double extent, KernelType kernel = KernelType::kEpanechnikov) {
+  KdvTask task;
+  task.points = pts;
+  task.kernel = kernel;
+  task.bandwidth = extent / 8.0;
+  task.weight = pts.empty() ? 1.0 : 1.0 / static_cast<double>(pts.size());
+  const double gx = extent / width;
+  const double gy = extent / height;
+  task.grid = Grid::Create(GridAxis{0.5 * gx, gx, width},
+                           GridAxis{0.5 * gy, gy, height})
+                  .ValueOrDie();
+  return task;
+}
+
+TEST(RaoTest, TransposePredicate) {
+  const std::vector<Point> pts{{1, 1}};
+  EXPECT_FALSE(RaoWouldTranspose(MakeRaoTask(pts, 20, 10, 10.0)));  // X > Y
+  EXPECT_FALSE(RaoWouldTranspose(MakeRaoTask(pts, 10, 10, 10.0)));  // X == Y
+  EXPECT_TRUE(RaoWouldTranspose(MakeRaoTask(pts, 10, 20, 10.0)));   // Y > X
+}
+
+TEST(RaoTest, TallGridMatchesBruteForce) {
+  const auto pts = ClusteredPoints(400, 40.0, 3, 307);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    const KdvTask task = MakeRaoTask(pts, 12, 48, 40.0, kernel);
+    DensityMap sort_rao, bucket_rao;
+    ASSERT_TRUE(ComputeSlamSortRao(task, {}, &sort_rao).ok());
+    ASSERT_TRUE(ComputeSlamBucketRao(task, {}, &bucket_rao).ok());
+    const DensityMap expected = BruteForceDensity(task);
+    ExpectMapsNear(expected, sort_rao, 1e-9);
+    ExpectMapsNear(expected, bucket_rao, 1e-9);
+  }
+}
+
+TEST(RaoTest, WideGridDelegatesToBase) {
+  const auto pts = RandomPoints(300, 30.0, 311);
+  const KdvTask task = MakeRaoTask(pts, 40, 10, 30.0);
+  DensityMap base, rao;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &base).ok());
+  ASSERT_TRUE(ComputeSlamBucketRao(task, {}, &rao).ok());
+  // X >= Y: RAO must be bit-identical to the base algorithm.
+  const auto cmp = *base.CompareTo(rao);
+  EXPECT_EQ(cmp.max_abs_diff, 0.0);
+}
+
+TEST(RaoTest, TransposedResultHasOriginalOrientation) {
+  const auto pts = RandomPoints(100, 20.0, 313);
+  const KdvTask task = MakeRaoTask(pts, 8, 32, 20.0);
+  DensityMap rao;
+  ASSERT_TRUE(ComputeSlamBucketRao(task, {}, &rao).ok());
+  EXPECT_EQ(rao.width(), 8);
+  EXPECT_EQ(rao.height(), 32);
+}
+
+TEST(RaoTest, SortAndBucketRaoAgree) {
+  const auto pts = ClusteredPoints(800, 50.0, 5, 317);
+  const KdvTask task = MakeRaoTask(pts, 9, 63, 50.0);
+  DensityMap a, b;
+  ASSERT_TRUE(ComputeSlamSortRao(task, {}, &a).ok());
+  ASSERT_TRUE(ComputeSlamBucketRao(task, {}, &b).ok());
+  ExpectMapsNear(a, b, 1e-12);
+}
+
+TEST(RaoTest, RejectsGaussianKernel) {
+  const std::vector<Point> pts{{1, 1}};
+  const KdvTask task = MakeRaoTask(pts, 4, 8, 10.0, KernelType::kGaussian);
+  DensityMap out;
+  EXPECT_TRUE(ComputeSlamSortRao(task, {}, &out).IsInvalidArgument());
+  EXPECT_TRUE(ComputeSlamBucketRao(task, {}, &out).IsInvalidArgument());
+}
+
+TEST(RaoTest, PropagatesDeadline) {
+  const auto pts = RandomPoints(20000, 100.0, 331);
+  const KdvTask task = MakeRaoTask(pts, 100, 500, 100.0);
+  const Deadline expired(1e-9);
+  ComputeOptions opts;
+  opts.deadline = &expired;
+  DensityMap out;
+  EXPECT_EQ(ComputeSlamBucketRao(task, opts, &out).code(),
+            StatusCode::kCancelled);
+}
+
+TEST(RaoTest, ExtremeAspectRatio) {
+  const auto pts = RandomPoints(200, 20.0, 337);
+  const KdvTask task = MakeRaoTask(pts, 2, 128, 20.0);
+  DensityMap out;
+  ASSERT_TRUE(ComputeSlamBucketRao(task, {}, &out).ok());
+  ExpectMapsNear(BruteForceDensity(task), out, 1e-9);
+}
+
+}  // namespace
+}  // namespace slam

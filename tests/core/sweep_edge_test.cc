@@ -1,0 +1,142 @@
+// Sweep-algorithm edge cases beyond the main per-algorithm suites: grids
+// positioned away from the data, pathological endpoint placements, and
+// row-level invariants.
+#include <gtest/gtest.h>
+
+#include "core/slam_bucket.h"
+#include "core/slam_sort.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ExpectMapsNear;
+using testing::RandomPoints;
+
+KdvTask TaskWithGrid(const std::vector<Point>& pts, const Grid& grid,
+                     double bandwidth) {
+  KdvTask task;
+  task.points = pts;
+  task.kernel = KernelType::kEpanechnikov;
+  task.bandwidth = bandwidth;
+  task.weight = 1.0;
+  task.grid = grid;
+  return task;
+}
+
+TEST(SweepEdgeTest, GridEntirelyLeftOfData) {
+  // Every lower/upper bound clamps past the last pixel bucket.
+  const auto pts = RandomPoints(100, 10.0, 941);
+  std::vector<Point> shifted;
+  for (const Point& p : pts) shifted.push_back({p.x + 1000.0, p.y});
+  const Grid grid = *Grid::Create({0.0, 1.0, 8}, {0.0, 1.0, 8});
+  const KdvTask task = TaskWithGrid(shifted, grid, 3.0);
+  DensityMap sorted, bucketed;
+  ASSERT_TRUE(ComputeSlamSort(task, {}, &sorted).ok());
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &bucketed).ok());
+  EXPECT_EQ(sorted.MaxValue(), 0.0);
+  EXPECT_EQ(bucketed.MaxValue(), 0.0);
+}
+
+TEST(SweepEdgeTest, GridEntirelyRightOfData) {
+  // Every bound clamps to bucket 0; L and U both absorb all envelope
+  // points before the first pixel, cancelling exactly.
+  const auto pts = RandomPoints(100, 10.0, 947);
+  const Grid grid = *Grid::Create({1000.0, 1.0, 8}, {0.0, 1.0, 8});
+  const KdvTask task = TaskWithGrid(pts, grid, 3.0);
+  DensityMap bucketed;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &bucketed).ok());
+  ExpectMapsNear(BruteForceDensity(task), bucketed, 1e-12);
+  EXPECT_EQ(bucketed.MaxValue(), 0.0);
+}
+
+TEST(SweepEdgeTest, AllPointsOnOnePixelColumn) {
+  // Every interval is centered on the same x: heavy bucket collisions.
+  std::vector<Point> pts;
+  Rng rng(953);
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({4.5, rng.Uniform(0.0, 10.0)});
+  }
+  const Grid grid = *Grid::Create({0.5, 1.0, 10}, {0.5, 1.0, 10});
+  const KdvTask task = TaskWithGrid(pts, grid, 2.5);
+  DensityMap sorted, bucketed;
+  ASSERT_TRUE(ComputeSlamSort(task, {}, &sorted).ok());
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &bucketed).ok());
+  const DensityMap expected = BruteForceDensity(task);
+  ExpectMapsNear(expected, sorted, 1e-9);
+  ExpectMapsNear(expected, bucketed, 1e-9);
+}
+
+TEST(SweepEdgeTest, MicroscopicPixelGap) {
+  // Pixel gaps of 1e-9 with bandwidth 1: thousands of pixels per
+  // interval; bucket arithmetic must not overflow or misplace.
+  const std::vector<Point> pts{{0.0, 0.0}};
+  const Grid grid = *Grid::Create({-1e-6, 1e-9, 64}, {0.0, 1.0, 1});
+  const KdvTask task = TaskWithGrid(pts, grid, 1.0);
+  DensityMap bucketed;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &bucketed).ok());
+  // All pixels are within ~1e-6 of the point: density ~ K(0) = 1.
+  for (int ix = 0; ix < 64; ++ix) {
+    EXPECT_NEAR(bucketed.at(ix, 0), 1.0, 1e-9);
+  }
+}
+
+TEST(SweepEdgeTest, HugeCoordinatesStillAgree) {
+  // UTM-northing-scale values exercise the conditioning limits; both
+  // sweeps agree with brute force at a loose-but-meaningful tolerance.
+  Rng rng(967);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({4.0e6 + rng.Uniform(0, 1000), 5.0e6 + rng.Uniform(0, 1000)});
+  }
+  const Grid grid =
+      *Grid::Create({4.0e6 + 25.0, 50.0, 20}, {5.0e6 + 25.0, 50.0, 20});
+  const KdvTask task = TaskWithGrid(pts, grid, 120.0);
+  DensityMap bucketed;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &bucketed).ok());
+  // Raw: the ~1e9 coordinate-to-bandwidth conditioning ratio costs ~1e-5
+  // of the density scale.
+  ExpectMapsNear(BruteForceDensity(task), bucketed, 1e-4);
+  // Recentered (the engine treatment): back to tight agreement.
+  const TranslatedTask recentered(task, 4.0e6, 5.0e6);
+  DensityMap tight;
+  ASSERT_TRUE(ComputeSlamBucket(recentered.task(), {}, &tight).ok());
+  ExpectMapsNear(BruteForceDensity(recentered.task()), tight, 1e-10);
+}
+
+TEST(SweepEdgeTest, RowsOutsideBandwidthAreZero) {
+  // A single point: rows farther than b in y have empty envelopes.
+  const std::vector<Point> pts{{5.0, 5.0}};
+  const Grid grid = *Grid::Create({0.5, 1.0, 10}, {0.5, 1.0, 10});
+  const KdvTask task = TaskWithGrid(pts, grid, 1.5);
+  DensityMap map;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &map).ok());
+  for (int iy = 0; iy < 10; ++iy) {
+    const double row_y = 0.5 + iy;
+    // Strictly inside the bandwidth: the Epanechnikov kernel is exactly
+    // zero at dist == b, so the boundary rows are legitimately all-zero.
+    const bool in_reach = std::abs(row_y - 5.0) < 1.5;
+    double row_sum = 0.0;
+    for (int ix = 0; ix < 10; ++ix) row_sum += map.at(ix, iy);
+    EXPECT_EQ(row_sum > 0.0, in_reach) << "row " << iy;
+  }
+}
+
+TEST(SweepEdgeTest, WeightPassesThroughLinearly) {
+  const auto pts = RandomPoints(150, 20.0, 971);
+  const Grid grid = *Grid::Create({0.5, 1.0, 20}, {0.5, 1.0, 20});
+  KdvTask task = TaskWithGrid(pts, grid, 4.0);
+  DensityMap w1;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &w1).ok());
+  task.weight = 2.5;
+  DensityMap w25;
+  ASSERT_TRUE(ComputeSlamBucket(task, {}, &w25).ok());
+  for (size_t i = 0; i < w1.values().size(); ++i) {
+    EXPECT_NEAR(w25.values()[i], 2.5 * w1.values()[i],
+                1e-12 * std::max(1.0, w25.values()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace slam

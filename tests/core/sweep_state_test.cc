@@ -1,0 +1,87 @@
+#include "core/sweep_state.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace slam {
+namespace {
+
+TEST(SweepStateTest, StartsEmpty) {
+  const SweepState state;
+  EXPECT_EQ(state.lower.count, 0.0);
+  EXPECT_EQ(state.upper.count, 0.0);
+  EXPECT_DOUBLE_EQ(
+      state.Density(KernelType::kEpanechnikov, {0, 0}, 1.0, 1.0), 0.0);
+}
+
+TEST(SweepStateTest, LowerMinusUpperIsActiveSet) {
+  SweepState state;
+  // Three intervals opened, one closed: active set = {p1, p3}.
+  const Point p1{1, 0}, p2{2, 0}, p3{3, 0};
+  state.PassLowerBound(p1);
+  state.PassLowerBound(p2);
+  state.PassLowerBound(p3);
+  state.PassUpperBound(p2);
+  const RangeAggregates active = state.lower.Minus(state.upper);
+  EXPECT_DOUBLE_EQ(active.count, 2.0);
+  EXPECT_DOUBLE_EQ(active.sum.x, 4.0);
+  EXPECT_DOUBLE_EQ(active.sum_sq, 10.0);  // 1 + 9
+}
+
+TEST(SweepStateTest, DensityMatchesDirectOverActiveSet) {
+  Rng rng(223);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    SweepState state;
+    const double b = 4.0;
+    const Point q{0.0, 0.0};
+    double direct = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      // Points within b of q, all "opened".
+      Point p;
+      do {
+        p = {rng.Uniform(-b, b), rng.Uniform(-b, b)};
+      } while (p.SquaredNorm() > b * b);
+      state.PassLowerBound(p);
+      if (i % 3 == 0) {
+        // Some also "closed": they leave the active set.
+        state.PassUpperBound(p);
+      } else {
+        direct += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      }
+    }
+    EXPECT_NEAR(state.Density(kernel, q, b, 2.0), 2.0 * direct,
+                1e-9 * std::max(1.0, direct));
+  }
+}
+
+TEST(SweepStateTest, ResetClears) {
+  SweepState state;
+  state.PassLowerBound({1, 1});
+  state.PassUpperBound({1, 1});
+  state.Reset();
+  EXPECT_EQ(state.lower.count, 0.0);
+  EXPECT_EQ(state.upper.count, 0.0);
+}
+
+TEST(SweepStateTest, UpperSubsetOfLowerKeepsDensityNonNegative) {
+  // Whenever U ⊆ L (the sweep invariant), densities are non-negative.
+  Rng rng(227);
+  SweepState state;
+  std::vector<Point> opened;
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    state.PassLowerBound(p);
+    opened.push_back(p);
+    if (i % 2 == 1) {
+      state.PassUpperBound(opened[i / 2]);
+    }
+    EXPECT_GE(
+        state.Density(KernelType::kUniform, {0, 0}, 3.0, 1.0), -1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace slam

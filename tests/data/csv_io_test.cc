@@ -1,0 +1,99 @@
+#include "data/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace slam {
+namespace {
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvIoTest, RoundTrip) {
+  PointDataset ds("rt");
+  ds.Add({1.5, 2.5}, 1000, 3);
+  ds.Add({-4.25, 0.0}, 2000, 0);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveDatasetCsv(ds, path).ok());
+  const auto loaded = *LoadDatasetCsv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.coord(0).x, 1.5);
+  EXPECT_DOUBLE_EQ(loaded.coord(1).x, -4.25);
+  EXPECT_EQ(loaded.event_time(0), 1000);
+  EXPECT_EQ(loaded.category(0), 3);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, MinimalColumns) {
+  const std::string path = TempPath("minimal.csv");
+  WriteFile(path, "x,y\n1,2\n3,4\n");
+  const auto ds = *LoadDatasetCsv(path);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.coord(1), (Point{3.0, 4.0}));
+  EXPECT_EQ(ds.event_time(0), 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, LonLatAliases) {
+  const std::string path = TempPath("lonlat.csv");
+  WriteFile(path, "lon,lat\n-122.3,47.6\n");
+  const auto ds = *LoadDatasetCsv(path);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_DOUBLE_EQ(ds.coord(0).x, -122.3);
+  EXPECT_DOUBLE_EQ(ds.coord(0).y, 47.6);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, ExtraColumnsIgnored) {
+  const std::string path = TempPath("extra.csv");
+  WriteFile(path, "id,x,notes,y\n7,1,hello,2\n");
+  const auto ds = *LoadDatasetCsv(path);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.coord(0), (Point{1.0, 2.0}));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, MissingCoordinateColumnsFail) {
+  const std::string path = TempPath("nocoords.csv");
+  WriteFile(path, "a,b\n1,2\n");
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, MalformedNumberFails) {
+  const std::string path = TempPath("badnum.csv");
+  WriteFile(path, "x,y\n1,abc\n");
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, MissingFileFails) {
+  EXPECT_TRUE(LoadDatasetCsv("/nonexistent/nope.csv").status().IsIoError());
+}
+
+TEST_F(CsvIoTest, SaveToBadPathFails) {
+  PointDataset ds("x");
+  ds.Add({0, 0});
+  EXPECT_TRUE(SaveDatasetCsv(ds, "/nonexistent/dir/out.csv").IsIoError());
+}
+
+TEST_F(CsvIoTest, EmptyDatasetRoundTrips) {
+  const PointDataset ds("empty");
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(SaveDatasetCsv(ds, path).ok());
+  EXPECT_TRUE(LoadDatasetCsv(path)->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slam

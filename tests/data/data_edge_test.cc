@@ -1,0 +1,82 @@
+// Generator and dataset edge cases.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/sampling.h"
+
+namespace slam {
+namespace {
+
+TEST(DataEdgeTest, PureClusterCity) {
+  CityConfig cfg;
+  cfg.n = 2000;
+  cfg.cluster_fraction = 1.0;
+  cfg.street_fraction = 0.0;
+  const auto ds = *GenerateCity(cfg);
+  EXPECT_EQ(ds.size(), 2000u);
+}
+
+TEST(DataEdgeTest, PureBackgroundCity) {
+  CityConfig cfg;
+  cfg.n = 2000;
+  cfg.cluster_fraction = 0.0;
+  cfg.street_fraction = 0.0;
+  const auto ds = *GenerateCity(cfg);
+  EXPECT_EQ(ds.size(), 2000u);
+  // Pure uniform background: no pixel-scale clumping — the extent is
+  // covered broadly.
+  const BoundingBox extent = ds.Extent();
+  EXPECT_GT(extent.width(), cfg.width_m * 0.9);
+  EXPECT_GT(extent.height(), cfg.height_m * 0.9);
+}
+
+TEST(DataEdgeTest, SingleEventCity) {
+  CityConfig cfg;
+  cfg.n = 1;
+  const auto ds = *GenerateCity(cfg);
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(DataEdgeTest, SingleCategoryCity) {
+  CityConfig cfg;
+  cfg.n = 500;
+  cfg.num_categories = 1;
+  const auto ds = *GenerateCity(cfg);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.category(i), 0);
+  }
+}
+
+TEST(DataEdgeTest, CustomTimeWindowRespected) {
+  CityConfig cfg;
+  cfg.n = 500;
+  cfg.time_begin_unix = 1600000000;
+  cfg.time_end_unix = 1600086400;
+  const auto ds = *GenerateCity(cfg);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GE(ds.event_time(i), 1600000000);
+    EXPECT_LE(ds.event_time(i), 1600086400);
+  }
+}
+
+TEST(DataEdgeTest, SampleOneRow) {
+  PointDataset ds("d");
+  for (int i = 0; i < 10; ++i) ds.Add({static_cast<double>(i), 0.0});
+  const auto one = *SampleCount(ds, 1, 3);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(DataEdgeTest, SamplingEmptyDataset) {
+  const PointDataset empty("e");
+  EXPECT_TRUE(SampleCount(empty, 0, 1)->empty());
+  EXPECT_FALSE(SampleCount(empty, 1, 1).ok());
+}
+
+TEST(DataEdgeTest, ScaleAboveOneGrowsBeyondPaperSize) {
+  // The harness supports running larger-than-paper experiments.
+  const auto ds = *GenerateCityDataset(City::kSeattle, 1.0000001 / 863.0, 1);
+  EXPECT_GE(ds.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace slam

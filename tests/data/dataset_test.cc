@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+TEST(PointDatasetTest, EmptyByDefault) {
+  const PointDataset ds("empty");
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_EQ(ds.name(), "empty");
+}
+
+TEST(PointDatasetTest, AddAndAccess) {
+  PointDataset ds("d");
+  ds.Add({1.0, 2.0}, 100, 3);
+  ds.Add({4.0, 5.0});
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.coord(0), (Point{1.0, 2.0}));
+  EXPECT_EQ(ds.event_time(0), 100);
+  EXPECT_EQ(ds.category(0), 3);
+  EXPECT_EQ(ds.event_time(1), 0);  // defaults
+  EXPECT_EQ(ds.category(1), 0);
+}
+
+TEST(PointDatasetTest, FromPointsFillsDefaults) {
+  const auto ds =
+      PointDataset::FromPoints("p", {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.event_times().size(), 3u);
+  EXPECT_EQ(ds.categories().size(), 3u);
+  EXPECT_EQ(ds.event_time(2), 0);
+}
+
+TEST(PointDatasetTest, FromColumnsValidatesLengths) {
+  EXPECT_TRUE(PointDataset::FromColumns("ok", {{0, 0}}, {1}, {2}).ok());
+  EXPECT_FALSE(PointDataset::FromColumns("bad", {{0, 0}}, {1, 2}, {3}).ok());
+  EXPECT_FALSE(PointDataset::FromColumns("bad", {{0, 0}}, {1}, {}).ok());
+}
+
+TEST(PointDatasetTest, ExtentComputedAndCached) {
+  PointDataset ds("e");
+  ds.Add({1, 5});
+  ds.Add({-2, 3});
+  ds.Add({4, -1});
+  const BoundingBox& extent = ds.Extent();
+  EXPECT_EQ(extent.min(), (Point{-2.0, -1.0}));
+  EXPECT_EQ(extent.max(), (Point{4.0, 5.0}));
+  // Adding invalidates the cache.
+  ds.Add({100, 100});
+  EXPECT_EQ(ds.Extent().max(), (Point{100.0, 100.0}));
+}
+
+TEST(PointDatasetTest, SelectPicksRowsInOrder) {
+  PointDataset ds("s");
+  for (int i = 0; i < 5; ++i) {
+    ds.Add({static_cast<double>(i), 0.0}, i * 10, i);
+  }
+  const std::vector<size_t> indices{4, 0, 2};
+  const auto sel = *ds.Select(indices);
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel.coord(0).x, 4.0);
+  EXPECT_EQ(sel.event_time(1), 0);
+  EXPECT_EQ(sel.category(2), 2);
+  EXPECT_EQ(sel.name(), "s");
+}
+
+TEST(PointDatasetTest, SelectRejectsOutOfRange) {
+  PointDataset ds("s");
+  ds.Add({0, 0});
+  const std::vector<size_t> bad{0, 5};
+  EXPECT_TRUE(ds.Select(bad).status().IsOutOfRange());
+}
+
+TEST(PointDatasetTest, SelectEmptyIndices) {
+  PointDataset ds("s");
+  ds.Add({0, 0});
+  EXPECT_TRUE(ds.Select(std::vector<size_t>{})->empty());
+}
+
+TEST(PointDatasetTest, SpansViewSameData) {
+  PointDataset ds("v");
+  ds.Add({7, 8}, 9, 1);
+  EXPECT_EQ(ds.coords()[0], (Point{7.0, 8.0}));
+  EXPECT_EQ(ds.event_times()[0], 9);
+  EXPECT_EQ(ds.categories()[0], 1);
+}
+
+}  // namespace
+}  // namespace slam

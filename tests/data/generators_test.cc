@@ -1,0 +1,163 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/filter.h"
+
+namespace slam {
+namespace {
+
+TEST(GenerateUniformTest, CountAndExtent) {
+  const BoundingBox extent({0, 0}, {10, 20});
+  const auto ds = GenerateUniform(1000, extent, 1);
+  EXPECT_EQ(ds.size(), 1000u);
+  for (const Point& p : ds.coords()) {
+    EXPECT_TRUE(extent.Contains(p));
+  }
+}
+
+TEST(GenerateUniformTest, DeterministicInSeed) {
+  const BoundingBox extent({0, 0}, {1, 1});
+  const auto a = GenerateUniform(50, extent, 7);
+  const auto b = GenerateUniform(50, extent, 7);
+  const auto c = GenerateUniform(50, extent, 8);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.coord(i), b.coord(i));
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) {
+    if (!(a.coord(i) == c.coord(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateGaussianClustersTest, PointsConcentrateNearCenters) {
+  const BoundingBox extent({0, 0}, {1000, 1000});
+  const std::vector<Point> centers{{200, 200}, {800, 800}};
+  const auto ds = GenerateGaussianClusters(2000, extent, centers, 30.0, 3);
+  ASSERT_EQ(ds.size(), 2000u);
+  int near_any = 0;
+  for (const Point& p : ds.coords()) {
+    for (const Point& c : centers) {
+      if (Distance(p, c) < 120.0) {  // 4 sigma
+        ++near_any;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near_any, 1900);  // almost all within 4 sigma of some center
+}
+
+TEST(GenerateGaussianClustersTest, EmptyCentersYieldsEmpty) {
+  const auto ds =
+      GenerateGaussianClusters(100, BoundingBox({0, 0}, {1, 1}), {}, 1.0, 1);
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(GenerateCityTest, ValidatesConfig) {
+  CityConfig cfg;
+  cfg.n = 0;
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+  cfg = CityConfig{};
+  cfg.width_m = -1;
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+  cfg = CityConfig{};
+  cfg.cluster_fraction = 0.8;
+  cfg.street_fraction = 0.5;  // sums over 1
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+  cfg = CityConfig{};
+  cfg.num_clusters = 0;
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+  cfg = CityConfig{};
+  cfg.time_begin_unix = 100;
+  cfg.time_end_unix = 50;
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+}
+
+TEST(GenerateCityTest, ProducesRequestedSizeWithinExtent) {
+  CityConfig cfg;
+  cfg.n = 5000;
+  cfg.seed = 99;
+  const auto ds = *GenerateCity(cfg);
+  EXPECT_EQ(ds.size(), 5000u);
+  const BoundingBox extent({0, 0}, {cfg.width_m, cfg.height_m});
+  for (const Point& p : ds.coords()) {
+    EXPECT_TRUE(extent.Contains(p));
+  }
+}
+
+TEST(GenerateCityTest, AttributesArePopulated) {
+  CityConfig cfg;
+  cfg.n = 3000;
+  cfg.num_categories = 5;
+  const auto ds = *GenerateCity(cfg);
+  std::set<int32_t> cats;
+  int64_t t_min = ds.event_time(0), t_max = ds.event_time(0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    cats.insert(ds.category(i));
+    t_min = std::min(t_min, ds.event_time(i));
+    t_max = std::max(t_max, ds.event_time(i));
+  }
+  EXPECT_GE(cats.size(), 3u);  // Zipf still covers several categories
+  for (const int32_t c : cats) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 5);
+  }
+  // Default window is 2018-2020, so timestamps straddle 2019.
+  EXPECT_LT(t_min, *Year2019Filter().time_begin);
+  EXPECT_GT(t_max, *Year2019Filter().time_end);
+}
+
+TEST(GenerateCityTest, CategoriesAreZipfSkewed) {
+  CityConfig cfg;
+  cfg.n = 10000;
+  cfg.num_categories = 8;
+  const auto ds = *GenerateCity(cfg);
+  std::vector<int> counts(8, 0);
+  for (size_t i = 0; i < ds.size(); ++i) ++counts[ds.category(i)];
+  EXPECT_GT(counts[0], counts[7] * 2);  // head much heavier than tail
+}
+
+TEST(CityPresetTest, NamesAndPaperConstants) {
+  EXPECT_EQ(CityName(City::kSeattle), "Seattle");
+  EXPECT_EQ(CityName(City::kSanFrancisco), "San Francisco");
+  EXPECT_EQ(CityPaperSize(City::kSeattle), 862873u);
+  EXPECT_EQ(CityPaperSize(City::kLosAngeles), 1255668u);
+  EXPECT_EQ(CityPaperSize(City::kNewYork), 1499928u);
+  EXPECT_EQ(CityPaperSize(City::kSanFrancisco), 4333098u);
+  EXPECT_NEAR(CityPaperBandwidth(City::kSeattle), 671.39, 1e-9);
+  EXPECT_NEAR(CityPaperBandwidth(City::kSanFrancisco), 279.27, 1e-9);
+}
+
+TEST(CityPresetTest, ScaleControlsSize) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.01, 42);
+  EXPECT_NEAR(static_cast<double>(ds.size()), 8628.73, 1.0);
+  EXPECT_EQ(ds.name(), "Seattle");
+}
+
+TEST(CityPresetTest, RejectsNonPositiveScale) {
+  EXPECT_FALSE(GenerateCityDataset(City::kSeattle, 0.0).ok());
+  EXPECT_FALSE(GenerateCityDataset(City::kSeattle, -0.5).ok());
+}
+
+TEST(CityPresetTest, CitiesDiffer) {
+  const auto seattle = *GenerateCityDataset(City::kSeattle, 0.005, 42);
+  const auto sf = *GenerateCityDataset(City::kSanFrancisco, 0.001, 42);
+  // Different extents by construction.
+  EXPECT_GT(seattle.Extent().height(), sf.Extent().height() * 1.5);
+}
+
+TEST(CityPresetTest, DeterministicAcrossCalls) {
+  const auto a = *GenerateCityDataset(City::kNewYork, 0.002, 5);
+  const auto b = *GenerateCityDataset(City::kNewYork, 0.002, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.coord(i), b.coord(i));
+    EXPECT_EQ(a.event_time(i), b.event_time(i));
+  }
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,85 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slam {
+namespace {
+
+PointDataset MakeDataset(size_t n) {
+  PointDataset ds("sampleme");
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add({static_cast<double>(i), static_cast<double>(i % 7)},
+           static_cast<int64_t>(i), static_cast<int32_t>(i % 3));
+  }
+  return ds;
+}
+
+TEST(SampleFractionTest, FullFractionIsIdentity) {
+  const auto ds = MakeDataset(100);
+  const auto out = *SampleFraction(ds, 1.0, 42);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out.coord(i).x, static_cast<double>(i));  // original order
+  }
+}
+
+TEST(SampleFractionTest, HalfFraction) {
+  const auto ds = MakeDataset(1000);
+  const auto out = *SampleFraction(ds, 0.5, 42);
+  EXPECT_EQ(out.size(), 500u);
+}
+
+TEST(SampleFractionTest, QuarterRounds) {
+  const auto ds = MakeDataset(10);
+  EXPECT_EQ(SampleFraction(ds, 0.25, 1)->size(), 3u);  // round(2.5) = 3
+}
+
+TEST(SampleFractionTest, RejectsBadFractions) {
+  const auto ds = MakeDataset(10);
+  EXPECT_FALSE(SampleFraction(ds, 0.0, 1).ok());
+  EXPECT_FALSE(SampleFraction(ds, -0.5, 1).ok());
+  EXPECT_FALSE(SampleFraction(ds, 1.5, 1).ok());
+}
+
+TEST(SampleCountTest, RowsAreDistinctAndCarryAttributes) {
+  const auto ds = MakeDataset(50);
+  const auto out = *SampleCount(ds, 20, 7);
+  ASSERT_EQ(out.size(), 20u);
+  std::set<double> xs;
+  for (size_t i = 0; i < out.size(); ++i) {
+    xs.insert(out.coord(i).x);
+    // Attributes must travel with their row.
+    const auto original_index = static_cast<size_t>(out.coord(i).x);
+    EXPECT_EQ(out.event_time(i), static_cast<int64_t>(original_index));
+    EXPECT_EQ(out.category(i), static_cast<int32_t>(original_index % 3));
+  }
+  EXPECT_EQ(xs.size(), 20u);  // no replacement
+}
+
+TEST(SampleCountTest, DeterministicInSeed) {
+  const auto ds = MakeDataset(100);
+  const auto a = *SampleCount(ds, 30, 5);
+  const auto b = *SampleCount(ds, 30, 5);
+  for (size_t i = 0; i < 30; ++i) EXPECT_EQ(a.coord(i), b.coord(i));
+  const auto c = *SampleCount(ds, 30, 6);
+  bool differs = false;
+  for (size_t i = 0; i < 30; ++i) {
+    if (!(a.coord(i) == c.coord(i))) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SampleCountTest, RejectsOversample) {
+  const auto ds = MakeDataset(5);
+  EXPECT_FALSE(SampleCount(ds, 6, 1).ok());
+}
+
+TEST(SampleCountTest, ZeroIsEmpty) {
+  const auto ds = MakeDataset(5);
+  EXPECT_TRUE(SampleCount(ds, 0, 1)->empty());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,165 @@
+// The paper's central claim is that SLAM is *exact*: every SLAM variant
+// must produce the same raster as the O(XYn) SCAN oracle on any input.
+// This file sweeps that property across methods, kernels, data shapes,
+// bandwidths, resolutions and aspect ratios with parameterized tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kdv/engine.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ClusteredPoints;
+using testing::ExpectMapsNear;
+using testing::MakeGrid;
+using testing::RandomPoints;
+
+struct EquivalenceCase {
+  Method method;
+  KernelType kernel;
+  int width;
+  int height;
+  double bandwidth;
+  bool clustered;
+};
+
+std::string CaseName(
+    const ::testing::TestParamInfo<EquivalenceCase>& info) {
+  const EquivalenceCase& c = info.param;
+  std::string name(MethodName(c.method));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  name += "_";
+  name += KernelTypeName(c.kernel);
+  name += "_" + std::to_string(c.width) + "x" + std::to_string(c.height);
+  name += "_b" + std::to_string(static_cast<int>(c.bandwidth * 10));
+  name += c.clustered ? "_clustered" : "_uniform";
+  return name;
+}
+
+class ExactEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ExactEquivalenceTest, MatchesScanOracle) {
+  const EquivalenceCase& c = GetParam();
+  const double extent = 60.0;
+  const std::vector<Point> pts =
+      c.clustered ? ClusteredPoints(500, extent, 4, 509)
+                  : RandomPoints(500, extent, 521);
+  KdvTask task;
+  task.points = pts;
+  task.kernel = c.kernel;
+  task.bandwidth = c.bandwidth;
+  task.weight = 1.0 / 500.0;
+  task.grid = MakeGrid(c.width, c.height, extent);
+
+  const auto result = ComputeKdv(task, c.method);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMapsNear(BruteForceDensity(task), *result, 1e-9);
+}
+
+std::vector<EquivalenceCase> AllExactCases() {
+  std::vector<EquivalenceCase> cases;
+  const KernelType kernels[] = {KernelType::kUniform,
+                                KernelType::kEpanechnikov,
+                                KernelType::kQuartic};
+  const std::pair<int, int> shapes[] = {{24, 18}, {18, 24}, {30, 8}};
+  const double bandwidths[] = {2.0, 7.5, 25.0};
+  for (const Method m : ExactMethods()) {
+    for (const KernelType k : kernels) {
+      for (const auto& [w, h] : shapes) {
+        for (const double b : bandwidths) {
+          // Trim the grid: vary data shape only on one representative
+          // setting to keep the suite fast, but cover every
+          // (method, kernel) and every (method, shape, bandwidth) pair.
+          if (b == 7.5) {
+            cases.push_back({m, k, w, h, b, true});
+          } else if (k == KernelType::kEpanechnikov) {
+            cases.push_back({m, k, w, h, b, false});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExactMethods, ExactEquivalenceTest,
+                         ::testing::ValuesIn(AllExactCases()), CaseName);
+
+// Approximate methods: bounded error rather than equality.
+class ApproximateMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(ApproximateMethodTest, StaysCloseToOracle) {
+  const Method method = GetParam();
+  const double extent = 60.0;
+  const auto pts = ClusteredPoints(8000, extent, 4, 523);
+  KdvTask task;
+  task.points = pts;
+  task.kernel = KernelType::kEpanechnikov;
+  task.bandwidth = 9.0;
+  task.weight = 1.0 / 8000.0;
+  task.grid = MakeGrid(20, 16, extent);
+
+  const auto result = ComputeKdv(task, method);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DensityMap exact = BruteForceDensity(task);
+  const auto cmp = *exact.CompareTo(*result);
+  EXPECT_LT(cmp.max_abs_diff, 0.2 * exact.MaxValue()) << MethodName(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(Approximate, ApproximateMethodTest,
+                         ::testing::Values(Method::kZorder, Method::kAkde),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           std::string n(MethodName(info.param));
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+// Cross-method agreement on a shared task: all exact methods must agree
+// with each other (not just with SCAN), pairwise, to tight tolerance.
+TEST(CrossMethodAgreementTest, AllExactMethodsAgreePairwise) {
+  const auto pts = ClusteredPoints(700, 45.0, 5, 541);
+  KdvTask task;
+  task.points = pts;
+  task.kernel = KernelType::kQuartic;
+  task.bandwidth = 6.0;
+  task.weight = 1.0 / 700.0;
+  task.grid = MakeGrid(22, 14, 45.0);
+
+  std::vector<DensityMap> maps;
+  for (const Method m : ExactMethods()) {
+    maps.push_back(*ComputeKdv(task, m));
+  }
+  for (size_t i = 1; i < maps.size(); ++i) {
+    ExpectMapsNear(maps[0], maps[i], 1e-9,
+                   std::string(MethodName(ExactMethods()[i])).c_str());
+  }
+}
+
+// Determinism: two runs of the same method on the same task are identical.
+TEST(DeterminismTest, RepeatedRunsAreBitwiseEqual) {
+  const auto pts = ClusteredPoints(300, 45.0, 3, 547);
+  KdvTask task;
+  task.points = pts;
+  task.kernel = KernelType::kEpanechnikov;
+  task.bandwidth = 5.0;
+  task.weight = 1.0 / 300.0;
+  task.grid = MakeGrid(16, 16, 45.0);
+  for (const Method m : AllMethods()) {
+    const DensityMap a = *ComputeKdv(task, m);
+    const DensityMap b = *ComputeKdv(task, m);
+    const auto cmp = *a.CompareTo(b);
+    EXPECT_EQ(cmp.max_abs_diff, 0.0) << MethodName(m);
+  }
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,92 @@
+// Randomized equivalence sweep: many random task configurations per seed,
+// each checking SLAM_BUCKET_RAO (and one rotating exact competitor)
+// against the SCAN oracle. Complements the structured parameter grid in
+// equivalence_test.cc with irregular grids, off-origin viewports,
+// anisotropic gaps and degenerate data shapes.
+#include <gtest/gtest.h>
+
+#include "kdv/engine.h"
+#include "testing/test_util.h"
+#include "util/random.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ExpectMapsNear;
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEquivalenceTest, RandomTasksMatchOracle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random data: mixture of uniform, clustered, collinear and duplicated
+    // points over a random extent with a random offset.
+    const double extent = rng.Uniform(1.0, 500.0);
+    const Point offset{rng.Uniform(-1000.0, 1000.0),
+                       rng.Uniform(-1000.0, 1000.0)};
+    const size_t n = 1 + rng.NextBelow(400);
+    std::vector<Point> pts;
+    pts.reserve(n);
+    const int flavor = static_cast<int>(rng.NextBelow(4));
+    for (size_t i = 0; i < n; ++i) {
+      Point p;
+      switch (flavor) {
+        case 0:  // uniform
+          p = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+          break;
+        case 1:  // one tight cluster
+          p = {rng.Gaussian(extent / 2, extent / 30),
+               rng.Gaussian(extent / 2, extent / 30)};
+          break;
+        case 2:  // horizontal line (degenerate y-spread)
+          p = {rng.Uniform(0, extent), extent / 2};
+          break;
+        default:  // duplicates
+          p = {extent / 3, extent / 4};
+          break;
+      }
+      pts.push_back(p + offset);
+    }
+
+    KdvTask task;
+    task.points = pts;
+    task.kernel = static_cast<KernelType>(rng.NextBelow(3));  // SLAM kernels
+    task.bandwidth = rng.Uniform(extent / 50.0, extent);
+    task.weight = rng.Uniform(0.001, 2.0);
+    const int width = 1 + static_cast<int>(rng.NextBelow(40));
+    const int height = 1 + static_cast<int>(rng.NextBelow(40));
+    task.grid = Grid::Create(
+                    GridAxis{offset.x + rng.Uniform(0, extent / 4),
+                             rng.Uniform(extent / 200.0, extent / 4.0), width},
+                    GridAxis{offset.y + rng.Uniform(0, extent / 4),
+                             rng.Uniform(extent / 200.0, extent / 4.0), height})
+                    .ValueOrDie();
+
+    // Random offsets up to ~1000x the bandwidth make the subtractive
+    // aggregate forms ill-conditioned by design; recentering (the engine
+    // option built for exactly this) restores precision, and the looser
+    // tolerance absorbs the remaining rounding.
+    EngineOptions options;
+    options.recenter_coordinates = true;
+
+    const DensityMap oracle = BruteForceDensity(task);
+    const auto slam = ComputeKdv(task, Method::kSlamBucketRao, options);
+    ASSERT_TRUE(slam.ok()) << slam.status().ToString();
+    ExpectMapsNear(oracle, *slam, 1e-6, "SLAM_BUCKET_RAO");
+
+    // Rotate a second exact method through the trials.
+    const Method second = ExactMethods()[trial % ExactMethods().size()];
+    const auto other = ComputeKdv(task, second, options);
+    ASSERT_TRUE(other.ok()) << MethodName(second);
+    ExpectMapsNear(oracle, *other, 1e-6,
+                   std::string(MethodName(second)).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006, 7007, 8008));
+
+}  // namespace
+}  // namespace slam

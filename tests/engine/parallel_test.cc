@@ -1,0 +1,114 @@
+#include "kdv/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::BruteForceDensity;
+using testing::ClusteredPoints;
+using testing::ExpectMapsNear;
+using testing::MakeGrid;
+
+KdvTask MakeParallelTask(const std::vector<Point>& pts, int width,
+                         int height) {
+  KdvTask task;
+  task.points = pts;
+  task.kernel = KernelType::kEpanechnikov;
+  task.bandwidth = 8.0;
+  task.weight = 1.0 / static_cast<double>(pts.size());
+  task.grid = MakeGrid(width, height, 60.0);
+  return task;
+}
+
+TEST(ParallelKdvTest, MatchesSerialToUlpsForSlam) {
+  const auto pts = ClusteredPoints(2000, 60.0, 5, 601);
+  const KdvTask task = MakeParallelTask(pts, 40, 37);  // odd height
+  const DensityMap serial = *ComputeKdv(task, Method::kSlamBucket);
+  for (const int threads : {1, 2, 3, 8}) {
+    ParallelOptions options;
+    options.num_threads = threads;
+    const auto parallel =
+        ComputeKdvParallel(task, Method::kSlamBucket, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    // A stripe evaluates row iy at (stripe_origin + iy*gap), which can
+    // differ from the serial (origin + (row_begin+iy)*gap) by one ulp of
+    // the row coordinate, so agreement is to rounding, not bitwise.
+    const auto cmp = *serial.CompareTo(*parallel);
+    EXPECT_LE(cmp.max_abs_diff, 1e-12) << threads << " threads";
+  }
+}
+
+TEST(ParallelKdvTest, AllExactMethodsStayExact) {
+  const auto pts = ClusteredPoints(400, 60.0, 3, 607);
+  const KdvTask task = MakeParallelTask(pts, 20, 15);
+  const DensityMap expected = BruteForceDensity(task);
+  ParallelOptions options;
+  options.num_threads = 3;
+  for (const Method m : ExactMethods()) {
+    const auto map = ComputeKdvParallel(task, m, options);
+    ASSERT_TRUE(map.ok()) << MethodName(m);
+    ExpectMapsNear(expected, *map, 1e-9,
+                   std::string(MethodName(m)).c_str());
+  }
+}
+
+TEST(ParallelKdvTest, RaoMethodsInsideStripes) {
+  // Tall grid: RAO would transpose the full problem, but stripes are short
+  // and wide; the result must be exact either way.
+  const auto pts = ClusteredPoints(600, 60.0, 4, 613);
+  const KdvTask task = MakeParallelTask(pts, 10, 60);
+  ParallelOptions options;
+  options.num_threads = 4;
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucketRao, options);
+  ASSERT_TRUE(map.ok());
+  ExpectMapsNear(BruteForceDensity(task), *map, 1e-9);
+}
+
+TEST(ParallelKdvTest, MoreThreadsThanRows) {
+  const auto pts = ClusteredPoints(200, 60.0, 2, 617);
+  const KdvTask task = MakeParallelTask(pts, 30, 3);
+  ParallelOptions options;
+  options.num_threads = 16;
+  const auto map = ComputeKdvParallel(task, Method::kSlamSort, options);
+  ASSERT_TRUE(map.ok());
+  ExpectMapsNear(BruteForceDensity(task), *map, 1e-9);
+}
+
+TEST(ParallelKdvTest, RejectsGaussianForSlam) {
+  const auto pts = ClusteredPoints(50, 60.0, 1, 619);
+  KdvTask task = MakeParallelTask(pts, 8, 8);
+  task.kernel = KernelType::kGaussian;
+  EXPECT_FALSE(ComputeKdvParallel(task, Method::kSlamBucket).ok());
+}
+
+TEST(ParallelKdvTest, RejectsInvalidTask) {
+  const auto pts = ClusteredPoints(50, 60.0, 1, 631);
+  KdvTask task = MakeParallelTask(pts, 8, 8);
+  task.bandwidth = -1;
+  EXPECT_FALSE(ComputeKdvParallel(task, Method::kSlamBucket).ok());
+}
+
+TEST(ParallelKdvTest, PropagatesStripeErrors) {
+  const auto pts = ClusteredPoints(20000, 60.0, 4, 641);
+  const KdvTask task = MakeParallelTask(pts, 200, 200);
+  const Deadline expired(1e-9);
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.engine.compute.deadline = &expired;
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
+  EXPECT_EQ(map.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelKdvTest, DefaultThreadCountWorks) {
+  const auto pts = ClusteredPoints(300, 60.0, 3, 643);
+  const KdvTask task = MakeParallelTask(pts, 16, 16);
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucketRao);
+  ASSERT_TRUE(map.ok());
+  ExpectMapsNear(BruteForceDensity(task), *map, 1e-9);
+}
+
+}  // namespace
+}  // namespace slam

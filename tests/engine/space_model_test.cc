@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "kdv/engine.h"
+
+namespace slam {
+namespace {
+
+TEST(SpaceModelTest, ScanNeedsNoAuxiliarySpace) {
+  EXPECT_EQ(EstimateAuxiliarySpaceBytes(Method::kScan, 1000000, 1280, 960),
+            0u);
+}
+
+TEST(SpaceModelTest, GrowsLinearlyInN) {
+  for (const Method m : AllMethods()) {
+    if (m == Method::kScan) continue;
+    const size_t small = EstimateAuxiliarySpaceBytes(m, 100000, 1280, 960);
+    const size_t large = EstimateAuxiliarySpaceBytes(m, 400000, 1280, 960);
+    EXPECT_GT(large, small) << MethodName(m);
+    // Theorem 4: O(n) auxiliary — quadrupling n at most ~quadruples bytes.
+    EXPECT_LE(large, small * 4 + (1 << 20)) << MethodName(m);
+  }
+}
+
+TEST(SpaceModelTest, AllMethodsWithinSmallFactorOfEachOther) {
+  // Figure 17's observation: space consumption of all methods is similar.
+  size_t min_bytes = SIZE_MAX, max_bytes = 0;
+  for (const Method m : AllMethods()) {
+    if (m == Method::kScan) continue;
+    const size_t bytes = EstimateAuxiliarySpaceBytes(m, 1000000, 1280, 960);
+    min_bytes = std::min(min_bytes, bytes);
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  EXPECT_LT(static_cast<double>(max_bytes) / min_bytes, 10.0);
+}
+
+TEST(SpaceModelTest, RaoBucketUsesLongerAxis) {
+  // Tall viewport: RAO's buckets span the (longer) y axis.
+  const size_t tall =
+      EstimateAuxiliarySpaceBytes(Method::kSlamBucketRao, 1000, 100, 100000);
+  const size_t base =
+      EstimateAuxiliarySpaceBytes(Method::kSlamBucket, 1000, 100, 100000);
+  EXPECT_GT(tall, base);
+}
+
+}  // namespace
+}  // namespace slam

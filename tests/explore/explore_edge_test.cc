@@ -1,0 +1,103 @@
+// Edge cases across the exploration layer: empty filter results, extreme
+// zooms, and temporal slicing of instantaneous datasets.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "explore/session.h"
+#include "explore/temporal.h"
+#include "explore/viewport_ops.h"
+
+namespace slam {
+namespace {
+
+SessionConfig SmallSession() {
+  SessionConfig config;
+  config.width_px = 16;
+  config.height_px = 12;
+  return config;
+}
+
+TEST(ExploreEdgeTest, ResetViewFailsWhenFilterMatchesNothing) {
+  auto session = *ExplorerSession::Create(
+      *GenerateCityDataset(City::kSeattle, 0.001, 11),
+      SmallSession());
+  EventFilter nothing;
+  nothing.categories = {424242};
+  ASSERT_TRUE(session.SetFilter(nothing).ok());
+  EXPECT_TRUE(session.active_data().empty());
+  EXPECT_FALSE(session.ResetView().ok());
+  // Rendering an empty active set is legal: zero raster.
+  const auto map = *session.Render();
+  EXPECT_EQ(map.MaxValue(), 0.0);
+  // Clearing the filter restores renderable state.
+  ASSERT_TRUE(session.SetFilter(EventFilter{}).ok());
+  ASSERT_TRUE(session.ResetView().ok());
+  EXPECT_GT(session.Render()->MaxValue(), 0.0);
+}
+
+TEST(ExploreEdgeTest, DeepZoomStaysFiniteAndExact) {
+  auto session = *ExplorerSession::Create(
+      *GenerateCityDataset(City::kSeattle, 0.001, 13),
+      SmallSession());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(session.Zoom(0.5).ok());  // 4096x zoom-in
+  }
+  const auto fast = *session.Render();
+  ASSERT_TRUE(session.SetMethod(Method::kScan).ok());
+  const auto slow = *session.Render();
+  const auto cmp = *slow.CompareTo(fast);
+  EXPECT_LT(cmp.max_abs_diff, 1e-9 * std::max(1.0, slow.MaxValue()));
+}
+
+TEST(ExploreEdgeTest, PanFarOffTheDataRendersZeros) {
+  auto session = *ExplorerSession::Create(
+      *GenerateCityDataset(City::kSeattle, 0.001, 17),
+      SmallSession());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session.Pan(1.0, 0.0).ok());  // 20 screens east
+  }
+  EXPECT_EQ(session.Render()->MaxValue(), 0.0);
+}
+
+TEST(ExploreEdgeTest, TemporalSingleInstantDataset) {
+  // All events share one timestamp: the range degenerates to a point and
+  // exactly one slice must cover it.
+  PointDataset ds("instant");
+  for (int i = 0; i < 50; ++i) {
+    ds.Add({static_cast<double>(i % 10), static_cast<double>(i / 10)},
+           1546300800);
+  }
+  const auto viewport =
+      *Viewport::Create(BoundingBox({-1, -1}, {11, 6}), 12, 7);
+  TimeSliceConfig config;
+  config.window_seconds = 86400;
+  config.step_seconds = 86400;
+  config.bandwidth = 2.0;
+  const auto slices = *ComputeTimeSlicedKdv(ds, viewport, config);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].event_count, 50u);
+  EXPECT_GT(slices[0].map.MaxValue(), 0.0);
+}
+
+TEST(ExploreEdgeTest, TemporalWindowLargerThanRange) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 19);
+  const auto viewport = *DatasetViewport(ds, 10, 10);
+  TimeSliceConfig config;
+  config.window_seconds = 100LL * 365 * 86400;  // a century
+  config.step_seconds = config.window_seconds;
+  config.bandwidth = 500.0;
+  const auto slices = *ComputeTimeSlicedKdv(ds, viewport, config);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].event_count, ds.size());
+}
+
+TEST(ExploreEdgeTest, ZoomSequenceSinglePointDatasetFails) {
+  // One point has a degenerate MBR (zero area): viewport creation must
+  // reject it with a clear error rather than dividing by zero.
+  PointDataset ds("dot");
+  ds.Add({5, 5});
+  EXPECT_FALSE(DatasetViewport(ds, 10, 10).ok());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,106 @@
+#include "explore/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+PointDataset MakeEvents() {
+  PointDataset ds("events");
+  // (time, category): mixture across 2018-2020 and categories 0-2.
+  ds.Add({0, 0}, *UnixFromDate(2018, 6, 1), 0);
+  ds.Add({1, 1}, *UnixFromDate(2019, 1, 1), 1);
+  ds.Add({2, 2}, *UnixFromDate(2019, 7, 15), 2);
+  ds.Add({3, 3}, *UnixFromDate(2019, 12, 31), 0);
+  ds.Add({4, 4}, *UnixFromDate(2020, 1, 1), 1);
+  return ds;
+}
+
+TEST(UnixFromDateTest, KnownEpochs) {
+  EXPECT_EQ(*UnixFromDate(1970, 1, 1), 0);
+  EXPECT_EQ(*UnixFromDate(2019, 1, 1), 1546300800);
+  EXPECT_EQ(*UnixFromDate(2020, 1, 1), 1577836800);
+  EXPECT_EQ(*UnixFromDate(2020, 3, 1), 1583020800);  // leap year Feb
+}
+
+TEST(UnixFromDateTest, RejectsInvalid) {
+  EXPECT_FALSE(UnixFromDate(1960, 1, 1).ok());
+  EXPECT_FALSE(UnixFromDate(2020, 0, 1).ok());
+  EXPECT_FALSE(UnixFromDate(2020, 13, 1).ok());
+  EXPECT_FALSE(UnixFromDate(2020, 5, 0).ok());
+  EXPECT_FALSE(UnixFromDate(2020, 5, 32).ok());
+}
+
+TEST(EventFilterTest, NoopFilterMatchesEverything) {
+  const EventFilter f;
+  EXPECT_TRUE(f.IsNoop());
+  EXPECT_TRUE(f.Matches(12345, 7));
+  const auto out = *ApplyFilter(MakeEvents(), f);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(EventFilterTest, TimeWindowInclusive) {
+  EventFilter f;
+  f.time_begin = *UnixFromDate(2019, 1, 1);
+  f.time_end = *UnixFromDate(2019, 12, 31);
+  const auto out = *ApplyFilter(MakeEvents(), f);
+  ASSERT_EQ(out.size(), 3u);  // the three 2019 events
+  EXPECT_EQ(out.coord(0).x, 1.0);
+  EXPECT_EQ(out.coord(2).x, 3.0);
+}
+
+TEST(EventFilterTest, OpenEndedWindows) {
+  EventFilter begin_only;
+  begin_only.time_begin = *UnixFromDate(2019, 7, 1);
+  EXPECT_EQ(ApplyFilter(MakeEvents(), begin_only)->size(), 3u);
+  EventFilter end_only;
+  end_only.time_end = *UnixFromDate(2018, 12, 31);
+  EXPECT_EQ(ApplyFilter(MakeEvents(), end_only)->size(), 1u);
+}
+
+TEST(EventFilterTest, CategoryFilter) {
+  EventFilter f;
+  f.categories = {1};
+  const auto out = *ApplyFilter(MakeEvents(), f);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.category(0), 1);
+  EXPECT_EQ(out.category(1), 1);
+}
+
+TEST(EventFilterTest, MultipleCategories) {
+  EventFilter f;
+  f.categories = {0, 2};
+  EXPECT_EQ(ApplyFilter(MakeEvents(), f)->size(), 3u);
+}
+
+TEST(EventFilterTest, CombinedTimeAndCategory) {
+  EventFilter f = Year2019Filter();
+  f.categories = {0};
+  const auto out = *ApplyFilter(MakeEvents(), f);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.coord(0).x, 3.0);
+}
+
+TEST(EventFilterTest, Year2019FilterBoundaries) {
+  const EventFilter f = Year2019Filter();
+  EXPECT_TRUE(f.Matches(*UnixFromDate(2019, 1, 1), 0));
+  EXPECT_TRUE(f.Matches(*UnixFromDate(2020, 1, 1) - 1, 0));
+  EXPECT_FALSE(f.Matches(*UnixFromDate(2020, 1, 1), 0));
+  EXPECT_FALSE(f.Matches(*UnixFromDate(2018, 12, 31), 0));
+}
+
+TEST(EventFilterTest, RejectsInvertedWindow) {
+  EventFilter f;
+  f.time_begin = 100;
+  f.time_end = 50;
+  EXPECT_FALSE(ApplyFilter(MakeEvents(), f).ok());
+}
+
+TEST(EventFilterTest, EmptyResultIsOk) {
+  EventFilter f;
+  f.categories = {99};
+  EXPECT_TRUE(ApplyFilter(MakeEvents(), f)->empty());
+}
+
+}  // namespace
+}  // namespace slam

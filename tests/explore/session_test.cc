@@ -1,0 +1,146 @@
+#include "explore/session.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace slam {
+namespace {
+
+PointDataset SessionData() {
+  return *GenerateCityDataset(City::kSeattle, 0.003, 11);  // ~2.6k points
+}
+
+SessionConfig SmallConfig() {
+  SessionConfig cfg;
+  cfg.width_px = 40;
+  cfg.height_px = 30;
+  return cfg;
+}
+
+TEST(SessionTest, CreateDerivesScottBandwidth) {
+  const auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  EXPECT_GT(session.bandwidth(), 0.0);
+  EXPECT_EQ(session.method(), Method::kSlamBucketRao);
+  EXPECT_EQ(session.total_points(), SessionData().size());
+  EXPECT_TRUE(session.viewport().region() == SessionData().Extent());
+}
+
+TEST(SessionTest, CreateHonorsExplicitBandwidth) {
+  SessionConfig cfg = SmallConfig();
+  cfg.bandwidth = 777.0;
+  const auto session = *ExplorerSession::Create(SessionData(), cfg);
+  EXPECT_DOUBLE_EQ(session.bandwidth(), 777.0);
+}
+
+TEST(SessionTest, CreateValidation) {
+  EXPECT_FALSE(ExplorerSession::Create(PointDataset("e"), SmallConfig()).ok());
+  SessionConfig bad = SmallConfig();
+  bad.width_px = 0;
+  EXPECT_FALSE(ExplorerSession::Create(SessionData(), bad).ok());
+  bad = SmallConfig();
+  bad.bandwidth = -5.0;
+  EXPECT_FALSE(ExplorerSession::Create(SessionData(), bad).ok());
+}
+
+TEST(SessionTest, RenderProducesHotspots) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const auto map = *session.Render();
+  EXPECT_EQ(map.width(), 40);
+  EXPECT_EQ(map.height(), 30);
+  EXPECT_GT(map.MaxValue(), 0.0);
+}
+
+TEST(SessionTest, ZoomShrinksRegionKeepsResolution) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const double w0 = session.viewport().region().width();
+  ASSERT_TRUE(session.Zoom(0.5).ok());
+  EXPECT_NEAR(session.viewport().region().width(), w0 * 0.5, 1e-9);
+  EXPECT_EQ(session.viewport().width_px(), 40);
+  const auto map = *session.Render();
+  EXPECT_GT(map.MaxValue(), 0.0);
+}
+
+TEST(SessionTest, PanMovesByFractionOfView) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const BoundingBox before = session.viewport().region();
+  ASSERT_TRUE(session.Pan(0.5, -0.25).ok());
+  const BoundingBox after = session.viewport().region();
+  EXPECT_NEAR(after.min().x - before.min().x, before.width() * 0.5, 1e-9);
+  EXPECT_NEAR(after.min().y - before.min().y, -before.height() * 0.25, 1e-9);
+}
+
+TEST(SessionTest, ResetViewRestoresFilteredMbr) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  ASSERT_TRUE(session.Zoom(0.25).ok());
+  ASSERT_TRUE(session.ResetView().ok());
+  EXPECT_TRUE(session.viewport().region() ==
+              session.active_data().Extent());
+}
+
+TEST(SessionTest, TimeFilterShrinksActiveData) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const size_t all = session.active_data().size();
+  ASSERT_TRUE(session.SetFilter(Year2019Filter()).ok());
+  const size_t filtered = session.active_data().size();
+  EXPECT_LT(filtered, all);
+  EXPECT_GT(filtered, 0u);
+  // Clearing restores everything.
+  ASSERT_TRUE(session.SetFilter(EventFilter{}).ok());
+  EXPECT_EQ(session.active_data().size(), all);
+}
+
+TEST(SessionTest, CategoryFilterSelectsSubset) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  EventFilter f;
+  f.categories = {0};
+  ASSERT_TRUE(session.SetFilter(f).ok());
+  for (size_t i = 0; i < session.active_data().size(); ++i) {
+    EXPECT_EQ(session.active_data().category(i), 0);
+  }
+}
+
+TEST(SessionTest, BandwidthControls) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const double b0 = session.bandwidth();
+  ASSERT_TRUE(session.ScaleBandwidth(2.0).ok());
+  EXPECT_DOUBLE_EQ(session.bandwidth(), 2.0 * b0);
+  ASSERT_TRUE(session.SetBandwidth(123.0).ok());
+  EXPECT_DOUBLE_EQ(session.bandwidth(), 123.0);
+  EXPECT_FALSE(session.ScaleBandwidth(0.0).ok());
+  EXPECT_FALSE(session.SetBandwidth(-1.0).ok());
+}
+
+TEST(SessionTest, KernelMethodCompatibilityGuard) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  // SLAM method active: Gaussian kernel must be rejected.
+  EXPECT_FALSE(session.SetKernel(KernelType::kGaussian).ok());
+  // Switch to SCAN, then Gaussian is fine, but switching back to SLAM isn't.
+  ASSERT_TRUE(session.SetMethod(Method::kScan).ok());
+  ASSERT_TRUE(session.SetKernel(KernelType::kGaussian).ok());
+  EXPECT_FALSE(session.SetMethod(Method::kSlamBucket).ok());
+  // Back to a supported kernel unlocks SLAM again.
+  ASSERT_TRUE(session.SetKernel(KernelType::kQuartic).ok());
+  ASSERT_TRUE(session.SetMethod(Method::kSlamBucket).ok());
+}
+
+TEST(SessionTest, RendersAgreeAcrossMethodsAfterExploration) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  ASSERT_TRUE(session.SetFilter(Year2019Filter()).ok());
+  ASSERT_TRUE(session.Zoom(0.5).ok());
+  ASSERT_TRUE(session.Pan(0.1, 0.1).ok());
+  ASSERT_TRUE(session.SetMethod(Method::kSlamBucketRao).ok());
+  const auto slam_map = *session.Render();
+  ASSERT_TRUE(session.SetMethod(Method::kScan).ok());
+  const auto scan_map = *session.Render();
+  const auto cmp = *scan_map.CompareTo(slam_map);
+  EXPECT_LT(cmp.max_abs_diff, 1e-9 * std::max(1.0, scan_map.MaxValue()));
+}
+
+TEST(SessionTest, ZoomRejectsBadRatio) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  EXPECT_FALSE(session.Zoom(-2.0).ok());
+}
+
+}  // namespace
+}  // namespace slam

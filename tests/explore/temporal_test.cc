@@ -1,0 +1,181 @@
+#include "explore/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/filter.h"
+#include "explore/viewport_ops.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+/// Events at three known month-long bursts in 2019, each in a different
+/// corner of a 100x100 region.
+PointDataset BurstyEvents() {
+  PointDataset ds("bursts");
+  Rng rng(701);
+  const struct {
+    int month;
+    Point center;
+  } bursts[] = {{1, {20, 20}}, {6, {80, 20}}, {11, {50, 80}}};
+  for (const auto& burst : bursts) {
+    const int64_t t0 = *UnixFromDate(2019, burst.month, 1);
+    for (int i = 0; i < 300; ++i) {
+      ds.Add({burst.center.x + rng.Gaussian(0, 4),
+              burst.center.y + rng.Gaussian(0, 4)},
+             t0 + static_cast<int64_t>(rng.NextBelow(20 * 86400)));
+    }
+  }
+  return ds;
+}
+
+Viewport FixedViewport() {
+  return *Viewport::Create(BoundingBox({0, 0}, {100, 100}), 25, 25);
+}
+
+TEST(TemporalTest, SlicesCoverTheRange) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  config.bandwidth = 8.0;
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  ASSERT_GE(slices.size(), 10u);  // Jan..Nov span, ~30-day windows
+  // Windows tile the range without gaps.
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].begin, slices[i - 1].begin + config.step_seconds);
+  }
+  // Total events across disjoint windows = dataset size.
+  size_t total = 0;
+  for (const auto& s : slices) total += s.event_count;
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(TemporalTest, ActivityFollowsTheBursts) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  config.bandwidth = 8.0;
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  // The first slice (January) peaks near raster (5, 5) = geo (20, 20);
+  // quiet slices are ~zero everywhere.
+  int busy = 0, quiet = 0;
+  for (const auto& s : slices) {
+    if (s.event_count > 100) {
+      ++busy;
+      EXPECT_GT(s.map.MaxValue(), 0.0);
+    } else if (s.event_count == 0) {
+      ++quiet;
+      EXPECT_EQ(s.map.MaxValue(), 0.0);
+    }
+  }
+  EXPECT_GE(busy, 3);
+  EXPECT_GE(quiet, 3);
+}
+
+TEST(TemporalTest, OverlappingWindowsSmooth) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 60 * 86400;
+  config.step_seconds = 15 * 86400;  // 4x overlap
+  config.bandwidth = 8.0;
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  size_t total = 0;
+  for (const auto& s : slices) total += s.event_count;
+  EXPECT_GT(total, ds.size());  // events counted by multiple windows
+}
+
+TEST(TemporalTest, WeightPolicyChangesScaleNotShape) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  config.bandwidth = 8.0;
+  config.weight_by_total = true;
+  const auto total_weighted = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  config.weight_by_total = false;
+  const auto self_weighted = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  ASSERT_EQ(total_weighted.size(), self_weighted.size());
+  for (size_t i = 0; i < total_weighted.size(); ++i) {
+    if (total_weighted[i].event_count == 0) continue;
+    const double ratio = static_cast<double>(ds.size()) /
+                         static_cast<double>(total_weighted[i].event_count);
+    EXPECT_NEAR(self_weighted[i].map.MaxValue(),
+                total_weighted[i].map.MaxValue() * ratio,
+                1e-9 * self_weighted[i].map.MaxValue());
+  }
+}
+
+TEST(TemporalTest, SlicesMatchManualFilterPlusKdv) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  config.bandwidth = 8.0;
+  config.weight_by_total = false;
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  // Reproduce slice 0 by hand.
+  EventFilter filter;
+  filter.time_begin = slices[0].begin;
+  filter.time_end = slices[0].end;
+  const auto manual_data = *ApplyFilter(ds, filter);
+  ASSERT_EQ(manual_data.size(), slices[0].event_count);
+  if (!manual_data.empty()) {
+    const auto manual_map = *ComputeKdv(
+        MakeTask(manual_data, FixedViewport(), config.kernel, 8.0),
+        config.method);
+    const auto cmp = *manual_map.CompareTo(slices[0].map);
+    EXPECT_EQ(cmp.max_abs_diff, 0.0);
+  }
+}
+
+TEST(TemporalTest, ExplicitRangeRespected) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  config.bandwidth = 8.0;
+  config.begin = *UnixFromDate(2019, 6, 1);
+  config.end = *UnixFromDate(2019, 8, 1);
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  ASSERT_GE(slices.size(), 2u);
+  EXPECT_EQ(slices.front().begin, *config.begin);
+  EXPECT_LE(slices.back().end, *config.end);
+}
+
+TEST(TemporalTest, Validation) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.bandwidth = 8.0;
+  config.window_seconds = 0;
+  EXPECT_FALSE(ComputeTimeSlicedKdv(ds, FixedViewport(), config).ok());
+  config = TimeSliceConfig{};
+  config.step_seconds = -5;
+  EXPECT_FALSE(ComputeTimeSlicedKdv(ds, FixedViewport(), config).ok());
+  config = TimeSliceConfig{};
+  config.begin = 100;
+  config.end = 50;
+  EXPECT_FALSE(ComputeTimeSlicedKdv(ds, FixedViewport(), config).ok());
+  config = TimeSliceConfig{};
+  config.bandwidth = -1.0;
+  EXPECT_FALSE(ComputeTimeSlicedKdv(ds, FixedViewport(), config).ok());
+  config = TimeSliceConfig{};
+  config.kernel = KernelType::kGaussian;  // SLAM method default
+  EXPECT_FALSE(ComputeTimeSlicedKdv(ds, FixedViewport(), config).ok());
+  EXPECT_FALSE(
+      ComputeTimeSlicedKdv(PointDataset("e"), FixedViewport(), {}).ok());
+}
+
+TEST(TemporalTest, ScottBandwidthDefaultIsShared) {
+  const auto ds = BurstyEvents();
+  TimeSliceConfig config;
+  config.window_seconds = 30 * 86400;
+  config.step_seconds = 30 * 86400;
+  // No explicit bandwidth: must still succeed via Scott on the full data.
+  const auto slices = *ComputeTimeSlicedKdv(ds, FixedViewport(), config);
+  EXPECT_FALSE(slices.empty());
+}
+
+}  // namespace
+}  // namespace slam

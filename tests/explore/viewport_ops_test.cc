@@ -1,0 +1,105 @@
+#include "explore/viewport_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace slam {
+namespace {
+
+PointDataset MakeSpread() {
+  PointDataset ds("spread");
+  ds.Add({0, 0});
+  ds.Add({100, 50});
+  ds.Add({40, 20});
+  return ds;
+}
+
+TEST(DatasetViewportTest, CoversMbr) {
+  const auto v = *DatasetViewport(MakeSpread(), 128, 96);
+  EXPECT_EQ(v.region().min(), (Point{0.0, 0.0}));
+  EXPECT_EQ(v.region().max(), (Point{100.0, 50.0}));
+  EXPECT_EQ(v.width_px(), 128);
+}
+
+TEST(DatasetViewportTest, RejectsEmptyDataset) {
+  EXPECT_FALSE(DatasetViewport(PointDataset("e"), 10, 10).ok());
+}
+
+TEST(ZoomSequenceTest, PaperRatios) {
+  const auto seq =
+      *ZoomSequence(MakeSpread(), {0.25, 0.5, 0.75, 1.0}, 64, 48);
+  ASSERT_EQ(seq.size(), 4u);
+  const Point center = MakeSpread().Extent().center();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].region().center(), center);
+    EXPECT_EQ(seq[i].width_px(), 64);
+  }
+  EXPECT_DOUBLE_EQ(seq[0].region().width(), 25.0);
+  EXPECT_DOUBLE_EQ(seq[3].region().width(), 100.0);
+  // Ratios ascending -> strictly growing regions.
+  for (size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_GT(seq[i].region().Area(), seq[i - 1].region().Area());
+  }
+}
+
+TEST(ZoomSequenceTest, RejectsBadRatios) {
+  EXPECT_FALSE(ZoomSequence(MakeSpread(), {0.5, 0.0}, 64, 48).ok());
+}
+
+TEST(RandomPanViewportsTest, CountSizeContainment) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.002, 7);
+  const auto pans = *RandomPanViewports(ds, 5, 0.5, 64, 48, 99);
+  ASSERT_EQ(pans.size(), 5u);
+  const BoundingBox mbr = ds.Extent();
+  for (const Viewport& v : pans) {
+    EXPECT_NEAR(v.region().width(), mbr.width() * 0.5, 1e-9);
+    EXPECT_NEAR(v.region().height(), mbr.height() * 0.5, 1e-9);
+    EXPECT_TRUE(mbr.Contains(v.region()));
+    EXPECT_EQ(v.width_px(), 64);
+  }
+}
+
+TEST(RandomPanViewportsTest, DeterministicInSeed) {
+  const auto ds = MakeSpread();
+  const auto a = *RandomPanViewports(ds, 3, 0.5, 10, 10, 1);
+  const auto b = *RandomPanViewports(ds, 3, 0.5, 10, 10, 1);
+  const auto c = *RandomPanViewports(ds, 3, 0.5, 10, 10, 2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(a[i] == b[i]);
+  }
+  bool any_diff = false;
+  for (int i = 0; i < 3; ++i) {
+    if (!(a[i] == c[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomPanViewportsTest, PansActuallyMove) {
+  const auto ds = *GenerateCityDataset(City::kLosAngeles, 0.001, 3);
+  const auto pans = *RandomPanViewports(ds, 5, 0.5, 10, 10, 17);
+  bool any_pair_differs = false;
+  for (size_t i = 1; i < pans.size(); ++i) {
+    if (!(pans[i] == pans[0])) any_pair_differs = true;
+  }
+  EXPECT_TRUE(any_pair_differs);
+}
+
+TEST(RandomPanViewportsTest, FullRatioDegeneratesToMbr) {
+  const auto ds = MakeSpread();
+  const auto pans = *RandomPanViewports(ds, 2, 1.0, 10, 10, 5);
+  for (const Viewport& v : pans) {
+    EXPECT_TRUE(v.region() == ds.Extent());
+  }
+}
+
+TEST(RandomPanViewportsTest, Validation) {
+  const auto ds = MakeSpread();
+  EXPECT_FALSE(RandomPanViewports(ds, 0, 0.5, 10, 10, 1).ok());
+  EXPECT_FALSE(RandomPanViewports(ds, 3, 0.0, 10, 10, 1).ok());
+  EXPECT_FALSE(RandomPanViewports(ds, 3, 1.5, 10, 10, 1).ok());
+  EXPECT_FALSE(RandomPanViewports(PointDataset("e"), 3, 0.5, 10, 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,129 @@
+#include "geom/bounding_box.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slam {
+namespace {
+
+TEST(BoundingBoxTest, DefaultIsEmpty) {
+  const BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.Area(), 0.0);
+}
+
+TEST(BoundingBoxTest, ExtendMakesNonEmpty) {
+  BoundingBox box;
+  box.Extend({1.0, 2.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.min(), (Point{1.0, 2.0}));
+  EXPECT_EQ(box.max(), (Point{1.0, 2.0}));
+  EXPECT_EQ(box.Area(), 0.0);  // degenerate but non-empty
+}
+
+TEST(BoundingBoxTest, FromPoints) {
+  const std::vector<Point> pts{{0, 0}, {4, 1}, {2, 5}, {-1, 3}};
+  const BoundingBox box = BoundingBox::FromPoints(pts);
+  EXPECT_EQ(box.min(), (Point{-1.0, 0.0}));
+  EXPECT_EQ(box.max(), (Point{4.0, 5.0}));
+  EXPECT_DOUBLE_EQ(box.width(), 5.0);
+  EXPECT_DOUBLE_EQ(box.height(), 5.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 25.0);
+}
+
+TEST(BoundingBoxTest, CenterAndContains) {
+  const BoundingBox box({0, 0}, {10, 4});
+  EXPECT_EQ(box.center(), (Point{5.0, 2.0}));
+  EXPECT_TRUE(box.Contains({5.0, 2.0}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));    // boundary inclusive
+  EXPECT_TRUE(box.Contains({10.0, 4.0}));
+  EXPECT_FALSE(box.Contains({10.001, 2.0}));
+  EXPECT_FALSE(box.Contains({5.0, -0.001}));
+}
+
+TEST(BoundingBoxTest, ContainsBox) {
+  const BoundingBox outer({0, 0}, {10, 10});
+  EXPECT_TRUE(outer.Contains(BoundingBox({2, 2}, {8, 8})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(BoundingBox({2, 2}, {11, 8})));
+  EXPECT_FALSE(outer.Contains(BoundingBox{}));  // empty not contained
+}
+
+TEST(BoundingBoxTest, Intersects) {
+  const BoundingBox a({0, 0}, {5, 5});
+  EXPECT_TRUE(a.Intersects(BoundingBox({4, 4}, {9, 9})));
+  EXPECT_TRUE(a.Intersects(BoundingBox({5, 0}, {7, 2})));  // edge touch
+  EXPECT_FALSE(a.Intersects(BoundingBox({6, 6}, {9, 9})));
+  EXPECT_FALSE(a.Intersects(BoundingBox({0, 5.1}, {5, 9})));
+}
+
+TEST(BoundingBoxTest, ExtendWithBox) {
+  BoundingBox a({0, 0}, {1, 1});
+  a.Extend(BoundingBox({3, -2}, {4, 0.5}));
+  EXPECT_EQ(a.min(), (Point{0.0, -2.0}));
+  EXPECT_EQ(a.max(), (Point{4.0, 1.0}));
+  // Extending with an empty box is a no-op.
+  const BoundingBox before = a;
+  a.Extend(BoundingBox{});
+  EXPECT_EQ(a, before);
+}
+
+TEST(BoundingBoxTest, MinSquaredDistance) {
+  const BoundingBox box({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance({5, 5}), 0.0);    // inside
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance({10, 10}), 0.0);  // corner
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance({13, 5}), 9.0);   // right side
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance({5, -2}), 4.0);   // below
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance({13, 14}), 25.0); // corner diag
+}
+
+TEST(BoundingBoxTest, MaxSquaredDistance) {
+  const BoundingBox box({0, 0}, {10, 10});
+  // Farthest corner from the center is any corner: 50.
+  EXPECT_DOUBLE_EQ(box.MaxSquaredDistance({5, 5}), 50.0);
+  // From the origin corner, farthest is (10, 10): 200.
+  EXPECT_DOUBLE_EQ(box.MaxSquaredDistance({0, 0}), 200.0);
+  // From outside left, farthest is the far right corner.
+  EXPECT_DOUBLE_EQ(box.MaxSquaredDistance({-2, 5}), 144.0 + 25.0);
+}
+
+TEST(BoundingBoxTest, MinMaxDistanceBracketPointDistances) {
+  const BoundingBox box({2, 3}, {7, 9});
+  const std::vector<Point> corners{{2, 3}, {7, 3}, {2, 9}, {7, 9}};
+  const Point q{-1, 4};
+  const double min_d2 = box.MinSquaredDistance(q);
+  const double max_d2 = box.MaxSquaredDistance(q);
+  for (const Point& c : corners) {
+    const double d2 = SquaredDistance(q, c);
+    EXPECT_GE(d2, min_d2 - 1e-12);
+    EXPECT_LE(d2, max_d2 + 1e-12);
+  }
+}
+
+TEST(BoundingBoxTest, ScaledAboutCenter) {
+  const BoundingBox box({0, 0}, {10, 20});
+  const BoundingBox half = box.ScaledAboutCenter(0.5);
+  EXPECT_EQ(half.center(), box.center());
+  EXPECT_DOUBLE_EQ(half.width(), 5.0);
+  EXPECT_DOUBLE_EQ(half.height(), 10.0);
+  const BoundingBox twice = box.ScaledAboutCenter(2.0);
+  EXPECT_DOUBLE_EQ(twice.width(), 20.0);
+}
+
+TEST(BoundingBoxTest, Expanded) {
+  const BoundingBox box({1, 1}, {2, 2});
+  const BoundingBox bigger = box.Expanded(0.5);
+  EXPECT_EQ(bigger.min(), (Point{0.5, 0.5}));
+  EXPECT_EQ(bigger.max(), (Point{2.5, 2.5}));
+}
+
+TEST(BoundingBoxTest, ToStringMentionsCoordinates) {
+  const BoundingBox box({1, 2}, {3, 4});
+  const std::string s = box.ToString();
+  EXPECT_NE(s.find("1.000"), std::string::npos);
+  EXPECT_NE(s.find("4.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,114 @@
+#include "geom/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace slam {
+namespace {
+
+TEST(MortonTest, InterleaveRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextU64());
+    EXPECT_EQ(DeinterleaveBits32(InterleaveBits32(v)), v);
+  }
+}
+
+TEST(MortonTest, InterleaveSpreadsBits) {
+  EXPECT_EQ(InterleaveBits32(0b1), 0b1ull);
+  EXPECT_EQ(InterleaveBits32(0b10), 0b100ull);
+  EXPECT_EQ(InterleaveBits32(0b11), 0b101ull);
+  EXPECT_EQ(InterleaveBits32(0xffffffffu), 0x5555555555555555ull);
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextU64());
+    const uint32_t y = static_cast<uint32_t>(rng.NextU64());
+    uint32_t dx, dy;
+    MortonDecode(MortonEncode(x, y), &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(MortonTest, KnownCodes) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+  EXPECT_EQ(MortonEncode(2, 2), 12u);
+}
+
+TEST(MortonTest, CodeForPointRespectsQuadrants) {
+  const BoundingBox extent({0, 0}, {100, 100});
+  // Z-order visits SW, SE, NW, NE quadrants in that order.
+  const uint64_t sw = MortonCodeForPoint({10, 10}, extent);
+  const uint64_t se = MortonCodeForPoint({90, 10}, extent);
+  const uint64_t nw = MortonCodeForPoint({10, 90}, extent);
+  const uint64_t ne = MortonCodeForPoint({90, 90}, extent);
+  EXPECT_LT(sw, se);
+  EXPECT_LT(se, nw);
+  EXPECT_LT(nw, ne);
+}
+
+TEST(MortonTest, CodeClampsOutOfExtent) {
+  const BoundingBox extent({0, 0}, {10, 10});
+  EXPECT_EQ(MortonCodeForPoint({-5, -5}, extent), 0u);
+  const uint64_t max_code = MortonCodeForPoint({10, 10}, extent);
+  EXPECT_EQ(MortonCodeForPoint({99, 99}, extent), max_code);
+}
+
+TEST(MortonTest, EmptyExtentMapsToZero) {
+  EXPECT_EQ(MortonCodeForPoint({3, 4}, BoundingBox{}), 0u);
+}
+
+TEST(MortonSortOrderTest, IsAPermutation) {
+  const std::vector<Point> pts{{5, 5}, {1, 1}, {9, 9}, {1, 9}, {9, 1}};
+  const auto order = MortonSortOrder(pts);
+  ASSERT_EQ(order.size(), pts.size());
+  std::vector<bool> seen(pts.size(), false);
+  for (const uint32_t idx : order) {
+    ASSERT_LT(idx, pts.size());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(MortonSortOrderTest, CodesAreNonDecreasing) {
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  const auto order = MortonSortOrder(pts);
+  const BoundingBox extent = BoundingBox::FromPoints(pts);
+  uint64_t prev = 0;
+  for (const uint32_t idx : order) {
+    const uint64_t code = MortonCodeForPoint(pts[idx], extent);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(MortonSortOrderTest, PreservesNeighborhoods) {
+  // Points in the same small cell should land near each other in the order.
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({1.0 + i * 0.001, 1.0});
+  for (int i = 0; i < 50; ++i) pts.push_back({99.0 + i * 0.001, 99.0});
+  const auto order = MortonSortOrder(pts);
+  // The first 50 positions must all come from one of the two clusters.
+  const bool first_cluster_low = order[0] < 50;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[i] < 50, first_cluster_low);
+  }
+}
+
+TEST(MortonSortOrderTest, EmptyInput) {
+  EXPECT_TRUE(MortonSortOrder({}).empty());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,57 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  const Point p;
+  EXPECT_EQ(p.x, 0.0);
+  EXPECT_EQ(p.y, 0.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, CompoundAssignment) {
+  Point p{1.0, 1.0};
+  p += {2.0, 3.0};
+  EXPECT_EQ(p, (Point{3.0, 4.0}));
+  p -= {1.0, 1.0};
+  EXPECT_EQ(p, (Point{2.0, 3.0}));
+}
+
+TEST(PointTest, DotAndNorms) {
+  const Point a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot({1.0, 2.0}), 11.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(PointTest, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(b, a), 5.0);  // symmetric
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(PointTest, TriangleInequalityHolds) {
+  const Point a{0, 0}, b{5, 1}, c{2, 7};
+  EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+}
+
+TEST(PointTest, IsTriviallyCopyableAndCompact) {
+  static_assert(std::is_trivially_copyable_v<Point>);
+  static_assert(sizeof(Point) == 16);
+}
+
+}  // namespace
+}  // namespace slam

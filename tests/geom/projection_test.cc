@@ -1,0 +1,82 @@
+#include "geom/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slam {
+namespace {
+
+TEST(ProjectionTest, ReferenceMapsToOrigin) {
+  const auto proj = *LocalProjection::Create(-122.33, 47.61);  // Seattle
+  const Point xy = proj.Forward({-122.33, 47.61});
+  EXPECT_NEAR(xy.x, 0.0, 1e-9);
+  EXPECT_NEAR(xy.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, ForwardInverseRoundTrip) {
+  const auto proj = *LocalProjection::Create(-74.0, 40.7);  // NYC
+  const Point lonlat{-73.95, 40.78};
+  const Point back = proj.Inverse(proj.Forward(lonlat));
+  EXPECT_NEAR(back.x, lonlat.x, 1e-12);
+  EXPECT_NEAR(back.y, lonlat.y, 1e-12);
+}
+
+TEST(ProjectionTest, OneDegreeLatitudeIsAbout111Km) {
+  const auto proj = *LocalProjection::Create(0.0, 45.0);
+  const Point xy = proj.Forward({0.0, 46.0});
+  EXPECT_NEAR(xy.y, 111195.0, 100.0);  // mean-radius value
+}
+
+TEST(ProjectionTest, LongitudeShrinksWithLatitude) {
+  const auto equator = *LocalProjection::Create(0.0, 0.0);
+  const auto mid = *LocalProjection::Create(0.0, 60.0);
+  const double dx_equator = equator.Forward({1.0, 0.0}).x;
+  const double dx_mid = mid.Forward({1.0, 60.0}).x;
+  // cos(60 deg) = 0.5
+  EXPECT_NEAR(dx_mid / dx_equator, 0.5, 1e-6);
+}
+
+TEST(ProjectionTest, DistancesApproximateGreatCircleAtCityScale) {
+  // Two points ~5 km apart in San Francisco.
+  const auto proj = *LocalProjection::Create(-122.42, 37.77);
+  const Point a = proj.Forward({-122.42, 37.77});
+  const Point b = proj.Forward({-122.42, 37.815});  // 0.045 deg north
+  const double d = Distance(a, b);
+  EXPECT_NEAR(d, 0.045 * 111195.0, 50.0);
+}
+
+TEST(ProjectionTest, ForDataCentersOnCentroid) {
+  const std::vector<Point> lonlat{{-122.0, 47.0}, {-122.4, 47.8}};
+  const auto proj = *LocalProjection::ForData(lonlat);
+  EXPECT_NEAR(proj.lon0_deg(), -122.2, 1e-9);
+  EXPECT_NEAR(proj.lat0_deg(), 47.4, 1e-9);
+}
+
+TEST(ProjectionTest, ForwardAllMatchesForward) {
+  const auto proj = *LocalProjection::Create(10.0, 50.0);
+  const std::vector<Point> lonlat{{10.1, 50.1}, {9.9, 49.9}};
+  const auto all = proj.ForwardAll(lonlat);
+  ASSERT_EQ(all.size(), 2u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].x, proj.Forward(lonlat[i]).x);
+    EXPECT_EQ(all[i].y, proj.Forward(lonlat[i]).y);
+  }
+}
+
+TEST(ProjectionTest, RejectsPolarReference) {
+  EXPECT_FALSE(LocalProjection::Create(0.0, 90.0).ok());
+  EXPECT_FALSE(LocalProjection::Create(0.0, -89.95).ok());
+}
+
+TEST(ProjectionTest, RejectsBadLongitude) {
+  EXPECT_FALSE(LocalProjection::Create(181.0, 0.0).ok());
+  EXPECT_FALSE(LocalProjection::Create(-200.0, 0.0).ok());
+}
+
+TEST(ProjectionTest, ForDataRejectsEmpty) {
+  EXPECT_FALSE(LocalProjection::ForData({}).ok());
+}
+
+}  // namespace
+}  // namespace slam

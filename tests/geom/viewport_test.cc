@@ -1,0 +1,106 @@
+#include "geom/viewport.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+Viewport MakeViewport() {
+  return Viewport::Create(BoundingBox({0, 0}, {100, 50}), 200, 100)
+      .ValueOrDie();
+}
+
+TEST(ViewportTest, CreateValidatesInputs) {
+  EXPECT_TRUE(Viewport::Create(BoundingBox({0, 0}, {1, 1}), 10, 10).ok());
+  EXPECT_FALSE(Viewport::Create(BoundingBox{}, 10, 10).ok());
+  EXPECT_FALSE(Viewport::Create(BoundingBox({0, 0}, {0, 1}), 10, 10).ok());
+  EXPECT_FALSE(Viewport::Create(BoundingBox({0, 0}, {1, 1}), 0, 10).ok());
+  EXPECT_FALSE(Viewport::Create(BoundingBox({0, 0}, {1, 1}), 10, -1).ok());
+}
+
+TEST(ViewportTest, PixelGaps) {
+  const Viewport v = MakeViewport();
+  EXPECT_DOUBLE_EQ(v.pixel_gap_x(), 0.5);
+  EXPECT_DOUBLE_EQ(v.pixel_gap_y(), 0.5);
+  EXPECT_EQ(v.pixel_count(), 20000);
+}
+
+TEST(ViewportTest, PixelCentersAreOffsetByHalfGap) {
+  const Viewport v = MakeViewport();
+  EXPECT_EQ(v.PixelCenter(0, 0), (Point{0.25, 0.25}));
+  EXPECT_EQ(v.PixelCenter(199, 99), (Point{99.75, 49.75}));
+  // Consecutive centers differ by exactly one gap.
+  const Point a = v.PixelCenter(10, 20);
+  const Point b = v.PixelCenter(11, 20);
+  EXPECT_DOUBLE_EQ(b.x - a.x, v.pixel_gap_x());
+}
+
+TEST(ViewportTest, GeoToPixelInverse) {
+  const Viewport v = MakeViewport();
+  for (int ix : {0, 7, 100, 199}) {
+    for (int iy : {0, 13, 99}) {
+      int rx, ry;
+      ASSERT_TRUE(v.GeoToPixel(v.PixelCenter(ix, iy), &rx, &ry));
+      EXPECT_EQ(rx, ix);
+      EXPECT_EQ(ry, iy);
+    }
+  }
+}
+
+TEST(ViewportTest, GeoToPixelEdges) {
+  const Viewport v = MakeViewport();
+  int ix, iy;
+  ASSERT_TRUE(v.GeoToPixel({0.0, 0.0}, &ix, &iy));
+  EXPECT_EQ(ix, 0);
+  EXPECT_EQ(iy, 0);
+  // Max edge maps to the last pixel, not one past it.
+  ASSERT_TRUE(v.GeoToPixel({100.0, 50.0}, &ix, &iy));
+  EXPECT_EQ(ix, 199);
+  EXPECT_EQ(iy, 99);
+  EXPECT_FALSE(v.GeoToPixel({100.1, 25.0}, &ix, &iy));
+  EXPECT_FALSE(v.GeoToPixel({-0.1, 25.0}, &ix, &iy));
+}
+
+TEST(ViewportTest, ZoomKeepsCenterAndResolution) {
+  const Viewport v = MakeViewport();
+  const Viewport z = *v.Zoomed(0.5);
+  EXPECT_EQ(z.width_px(), v.width_px());
+  EXPECT_EQ(z.height_px(), v.height_px());
+  EXPECT_EQ(z.region().center(), v.region().center());
+  EXPECT_DOUBLE_EQ(z.region().width(), 50.0);
+  EXPECT_DOUBLE_EQ(z.region().height(), 25.0);
+  // Zooming in halves the pixel gap.
+  EXPECT_DOUBLE_EQ(z.pixel_gap_x(), v.pixel_gap_x() * 0.5);
+}
+
+TEST(ViewportTest, ZoomRejectsBadRatio) {
+  const Viewport v = MakeViewport();
+  EXPECT_FALSE(v.Zoomed(0.0).ok());
+  EXPECT_FALSE(v.Zoomed(-1.0).ok());
+}
+
+TEST(ViewportTest, PanTranslatesRegion) {
+  const Viewport v = MakeViewport();
+  const Viewport p = *v.Panned(10.0, -5.0);
+  EXPECT_EQ(p.region().min(), (Point{10.0, -5.0}));
+  EXPECT_EQ(p.region().max(), (Point{110.0, 45.0}));
+  EXPECT_DOUBLE_EQ(p.pixel_gap_x(), v.pixel_gap_x());
+}
+
+TEST(ViewportTest, WithRegionKeepsResolution) {
+  const Viewport v = MakeViewport();
+  const Viewport w = *v.WithRegion(BoundingBox({5, 5}, {6, 6}));
+  EXPECT_EQ(w.width_px(), 200);
+  EXPECT_DOUBLE_EQ(w.pixel_gap_x(), 1.0 / 200);
+}
+
+TEST(ViewportTest, EqualityAndToString) {
+  const Viewport a = MakeViewport();
+  const Viewport b = MakeViewport();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == *a.Zoomed(0.5));
+  EXPECT_NE(a.ToString().find("200x100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slam

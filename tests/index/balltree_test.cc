@@ -1,0 +1,100 @@
+#include "index/balltree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::RandomPoints;
+
+int64_t BruteCount(const std::vector<Point>& pts, const Point& q, double r) {
+  int64_t count = 0;
+  for (const Point& p : pts) {
+    if (SquaredDistance(q, p) <= r * r) ++count;
+  }
+  return count;
+}
+
+TEST(BallTreeTest, BuildValidatesOptions) {
+  const std::vector<Point> pts{{0, 0}};
+  EXPECT_FALSE(BallTree::Build(pts, {.leaf_size = -1}).ok());
+  EXPECT_TRUE(BallTree::Build(pts).ok());
+}
+
+TEST(BallTreeTest, EmptyTree) {
+  const auto tree = *BallTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.RangeCount({1, 1}, 5.0), 0);
+  EXPECT_EQ(tree.RangeAggregateQuery({1, 1}, 5.0).count, 0.0);
+}
+
+TEST(BallTreeTest, RangeQueryMatchesBruteForce) {
+  const auto pts = RandomPoints(2000, 100.0, 71);
+  const auto tree = *BallTree::Build(pts);
+  Rng rng(73);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+    const double r = rng.Uniform(0.0, 25.0);
+    EXPECT_EQ(tree.RangeCount(q, r), BruteCount(pts, q, r));
+  }
+}
+
+TEST(BallTreeTest, ClusteredDataAndBoundaryRadii) {
+  const auto pts = ClusteredPoints(3000, 100.0, 6, 79);
+  const auto tree = *BallTree::Build(pts);
+  // Radius exactly the distance to some point: inclusive.
+  const Point q = pts[42];
+  EXPECT_GE(tree.RangeCount(q, 0.0), 1);
+}
+
+TEST(BallTreeTest, ReportedPointsAreWithinRadius) {
+  const auto pts = RandomPoints(500, 50.0, 83);
+  const auto tree = *BallTree::Build(pts);
+  const Point q{25, 25};
+  const double r = 10.0;
+  tree.RangeQuery(q, r, [&](const Point& p) {
+    EXPECT_LE(SquaredDistance(q, p), r * r * (1 + 1e-12));
+  });
+}
+
+TEST(BallTreeTest, AggregateMatchesPerPoint) {
+  const auto pts = ClusteredPoints(1500, 60.0, 3, 89);
+  const auto tree = *BallTree::Build(pts);
+  Rng rng(97);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.Uniform(0, 60), rng.Uniform(0, 60)};
+    const double r = rng.Uniform(0.5, 20.0);
+    const RangeAggregates agg = tree.RangeAggregateQuery(q, r);
+    RangeAggregates expected;
+    for (const Point& p : pts) {
+      if (SquaredDistance(q, p) <= r * r) expected.Add(p);
+    }
+    EXPECT_DOUBLE_EQ(agg.count, expected.count);
+    EXPECT_NEAR(agg.sum.y, expected.sum.y, 1e-7);
+    EXPECT_NEAR(agg.sum_sq, expected.sum_sq, 1e-5);
+  }
+}
+
+TEST(BallTreeTest, AgreesWithKdTree) {
+  const auto pts = RandomPoints(1000, 40.0, 101);
+  const auto ball = *BallTree::Build(pts);
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.Uniform(0, 40), rng.Uniform(0, 40)};
+    const double r = rng.Uniform(1.0, 12.0);
+    EXPECT_EQ(ball.RangeCount(q, r), BruteCount(pts, q, r));
+  }
+}
+
+TEST(BallTreeTest, NodeAndMemoryAccounting) {
+  const auto pts = RandomPoints(1000, 10.0, 107);
+  const auto tree = *BallTree::Build(pts);
+  EXPECT_GT(tree.node_count(), 0u);
+  EXPECT_GT(tree.MemoryUsageBytes(), 1000 * sizeof(Point));
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,100 @@
+// Degenerate-geometry edge cases shared by all three tree indexes.
+#include <gtest/gtest.h>
+
+#include "index/balltree.h"
+#include "index/kdtree.h"
+#include "index/quadtree.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+std::vector<Point> VerticalLine(int n) {
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({5.0, static_cast<double>(i)});
+  return pts;
+}
+
+TEST(IndexEdgeTest, KdTreeVerticalLine) {
+  // Zero x-spread forces every split onto the y axis.
+  const auto pts = VerticalLine(500);
+  const auto tree = *KdTree::Build(pts, {.leaf_size = 8});
+  EXPECT_EQ(tree.RangeCount({5.0, 250.0}, 10.0), 21);
+  EXPECT_EQ(tree.RangeCount({6.0, 250.0}, 0.5), 0);
+  const RangeAggregates agg = tree.RangeAggregateQuery({5.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(agg.count, 3.0);  // y = 0, 1, 2
+}
+
+TEST(IndexEdgeTest, BallTreeVerticalLine) {
+  const auto pts = VerticalLine(500);
+  const auto tree = *BallTree::Build(pts, {.leaf_size = 8});
+  EXPECT_EQ(tree.RangeCount({5.0, 250.0}, 10.0), 21);
+}
+
+TEST(IndexEdgeTest, SinglePointTrees) {
+  const std::vector<Point> pts{{3.0, 4.0}};
+  const auto kd = *KdTree::Build(pts);
+  const auto ball = *BallTree::Build(pts);
+  const auto quad = *QuadTree::Build(pts);
+  EXPECT_EQ(kd.RangeCount({0, 0}, 5.0), 1);       // dist exactly 5
+  EXPECT_EQ(ball.RangeCount({0, 0}, 5.0), 1);
+  EXPECT_DOUBLE_EQ(quad.RangeAggregateQuery({0, 0}, 5.0).count, 1.0);
+  EXPECT_EQ(kd.RangeCount({0, 0}, 4.999), 0);
+}
+
+TEST(IndexEdgeTest, TinyLeafSizeDeepTrees) {
+  const auto pts = testing::RandomPoints(300, 10.0, 907);
+  const auto kd = *KdTree::Build(pts, {.leaf_size = 1});
+  const auto ball = *BallTree::Build(pts, {.leaf_size = 1});
+  Rng rng(911);
+  for (int i = 0; i < 10; ++i) {
+    const Point q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const double r = rng.Uniform(0.5, 3.0);
+    int64_t brute = 0;
+    for (const Point& p : pts) {
+      if (SquaredDistance(q, p) <= r * r) ++brute;
+    }
+    EXPECT_EQ(kd.RangeCount(q, r), brute);
+    EXPECT_EQ(ball.RangeCount(q, r), brute);
+  }
+}
+
+TEST(IndexEdgeTest, QueryFarOutsideData) {
+  const auto pts = testing::RandomPoints(200, 10.0, 919);
+  const auto kd = *KdTree::Build(pts);
+  EXPECT_EQ(kd.RangeCount({1e6, 1e6}, 100.0), 0);
+  EXPECT_EQ(kd.RangeAggregateQuery({1e6, 1e6}, 100.0).count, 0.0);
+  EXPECT_EQ(kd.AccumulateKernelBounded({1e6, 1e6},
+                                       KernelType::kEpanechnikov, 5.0, 0.0),
+            0.0);
+}
+
+TEST(IndexEdgeTest, RadiusCoveringEverything) {
+  const auto pts = testing::RandomPoints(200, 10.0, 929);
+  const auto kd = *KdTree::Build(pts);
+  const auto ball = *BallTree::Build(pts);
+  const auto quad = *QuadTree::Build(pts);
+  EXPECT_EQ(kd.RangeCount({5, 5}, 1e5), 200);
+  EXPECT_EQ(ball.RangeCount({5, 5}, 1e5), 200);
+  // Whole-tree containment: the root contributes via its aggregates.
+  EXPECT_DOUBLE_EQ(quad.RangeAggregateQuery({5, 5}, 1e5).count, 200.0);
+}
+
+TEST(IndexEdgeTest, AggregatesAreOrderIndependent) {
+  // Same point multiset in two different input orders must give the same
+  // range aggregates (the tree reorders internally anyway).
+  auto pts = testing::ClusteredPoints(400, 30.0, 3, 937);
+  auto reversed = pts;
+  std::reverse(reversed.begin(), reversed.end());
+  const auto a = *KdTree::Build(pts);
+  const auto b = *KdTree::Build(reversed);
+  const Point q{15, 15};
+  const RangeAggregates aa = a.RangeAggregateQuery(q, 8.0);
+  const RangeAggregates bb = b.RangeAggregateQuery(q, 8.0);
+  EXPECT_DOUBLE_EQ(aa.count, bb.count);
+  EXPECT_NEAR(aa.sum.x, bb.sum.x, 1e-9);
+  EXPECT_NEAR(aa.sum_sq, bb.sum_sq, 1e-7);
+}
+
+}  // namespace
+}  // namespace slam

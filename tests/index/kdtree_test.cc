@@ -1,0 +1,176 @@
+#include "index/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::RandomPoints;
+
+std::vector<Point> BruteRange(const std::vector<Point>& pts, const Point& q,
+                              double r) {
+  std::vector<Point> out;
+  for (const Point& p : pts) {
+    if (SquaredDistance(q, p) <= r * r) out.push_back(p);
+  }
+  return out;
+}
+
+TEST(KdTreeTest, BuildValidatesOptions) {
+  const std::vector<Point> pts{{0, 0}};
+  EXPECT_FALSE(KdTree::Build(pts, {.leaf_size = 0}).ok());
+  EXPECT_TRUE(KdTree::Build(pts, {.leaf_size = 1}).ok());
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  const auto tree = *KdTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.RangeCount({0, 0}, 10.0), 0);
+  EXPECT_EQ(tree.RangeAggregateQuery({0, 0}, 10.0).count, 0.0);
+  EXPECT_EQ(tree.AccumulateKernelBounded({0, 0}, KernelType::kEpanechnikov,
+                                         1.0, 0.0),
+            0.0);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  const std::vector<Point> pts{{5, 5}};
+  const auto tree = *KdTree::Build(pts);
+  EXPECT_EQ(tree.RangeCount({5, 5}, 0.0), 1);  // dist == radius inclusive
+  EXPECT_EQ(tree.RangeCount({6, 5}, 1.0), 1);
+  EXPECT_EQ(tree.RangeCount({6, 5}, 0.99), 0);
+}
+
+TEST(KdTreeTest, RangeQueryMatchesBruteForce) {
+  const auto pts = RandomPoints(2000, 100.0, 17);
+  const auto tree = *KdTree::Build(pts);
+  Rng rng(18);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+    const double r = rng.Uniform(0.0, 30.0);
+    const auto expected = BruteRange(pts, q, r);
+    int64_t found = 0;
+    double sum_x = 0.0;
+    tree.RangeQuery(q, r, [&](const Point& p) {
+      ++found;
+      sum_x += p.x;
+      EXPECT_LE(SquaredDistance(q, p), r * r * (1 + 1e-12));
+    });
+    EXPECT_EQ(found, static_cast<int64_t>(expected.size()));
+    double expected_sum_x = 0.0;
+    for (const Point& p : expected) expected_sum_x += p.x;
+    EXPECT_NEAR(sum_x, expected_sum_x, 1e-6);
+  }
+}
+
+TEST(KdTreeTest, RangeQueryOnClusteredData) {
+  const auto pts = ClusteredPoints(3000, 100.0, 5, 23);
+  const auto tree = *KdTree::Build(pts);
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double r = rng.Uniform(1.0, 20.0);
+    EXPECT_EQ(tree.RangeCount(q, r),
+              static_cast<int64_t>(BruteRange(pts, q, r).size()));
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllFound) {
+  std::vector<Point> pts(100, Point{3.0, 3.0});
+  const auto tree = *KdTree::Build(pts);
+  EXPECT_EQ(tree.RangeCount({3, 3}, 0.5), 100);
+}
+
+TEST(KdTreeTest, RangeAggregateMatchesPerPoint) {
+  const auto pts = ClusteredPoints(2000, 50.0, 4, 31);
+  const auto tree = *KdTree::Build(pts);
+  Rng rng(37);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    const double r = rng.Uniform(0.5, 15.0);
+    const RangeAggregates agg = tree.RangeAggregateQuery(q, r);
+    RangeAggregates expected;
+    for (const Point& p : BruteRange(pts, q, r)) expected.Add(p);
+    EXPECT_DOUBLE_EQ(agg.count, expected.count);
+    EXPECT_NEAR(agg.sum.x, expected.sum.x, 1e-7);
+    EXPECT_NEAR(agg.sum_sq, expected.sum_sq, 1e-5);
+    EXPECT_NEAR(agg.sum_quad, expected.sum_quad, 1e-2);
+    EXPECT_NEAR(agg.m_xy, expected.m_xy, 1e-5);
+  }
+}
+
+TEST(KdTreeTest, BoundedKernelExactWhenEpsilonZero) {
+  const auto pts = RandomPoints(1000, 20.0, 41);
+  const auto tree = *KdTree::Build(pts);
+  Rng rng(43);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Point q{rng.Uniform(0, 20), rng.Uniform(0, 20)};
+      const double b = rng.Uniform(0.5, 5.0);
+      double expected = 0.0;
+      for (const Point& p : pts) {
+        expected += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      }
+      EXPECT_NEAR(tree.AccumulateKernelBounded(q, kernel, b, 0.0), expected,
+                  1e-9 * std::max(1.0, expected));
+    }
+  }
+}
+
+TEST(KdTreeTest, BoundedKernelRespectsEpsilon) {
+  const auto pts = RandomPoints(5000, 20.0, 47);
+  const auto tree = *KdTree::Build(pts);
+  const Point q{10, 10};
+  const double b = 6.0;
+  double exact = 0.0;
+  for (const Point& p : pts) {
+    exact += EvaluateKernel(KernelType::kEpanechnikov, SquaredDistance(q, p),
+                            b);
+  }
+  const double eps = 0.01;
+  const double approx =
+      tree.AccumulateKernelBounded(q, KernelType::kEpanechnikov, b, eps);
+  // Midpoint error is at most eps/2 per point in range; in-range count is
+  // bounded by n, so this is a loose but sound bound.
+  EXPECT_NEAR(approx, exact, eps * 0.5 * static_cast<double>(pts.size()));
+}
+
+TEST(KdTreeTest, GaussianKernelAccumulates) {
+  const auto pts = RandomPoints(500, 10.0, 53);
+  const auto tree = *KdTree::Build(pts);
+  const Point q{5, 5};
+  double exact = 0.0;
+  for (const Point& p : pts) {
+    exact += EvaluateKernel(KernelType::kGaussian, SquaredDistance(q, p), 2.0);
+  }
+  EXPECT_NEAR(tree.AccumulateKernelBounded(q, KernelType::kGaussian, 2.0, 0.0),
+              exact, 1e-9 * std::max(1.0, exact));
+}
+
+TEST(KdTreeTest, NegativeRadiusFindsNothing) {
+  const auto pts = RandomPoints(10, 5.0, 59);
+  const auto tree = *KdTree::Build(pts);
+  EXPECT_EQ(tree.RangeCount({2, 2}, -1.0), 0);
+}
+
+TEST(KdTreeTest, NodeCountScalesWithLeafSize) {
+  const auto pts = RandomPoints(1000, 10.0, 61);
+  const auto coarse = *KdTree::Build(pts, {.leaf_size = 256});
+  const auto fine = *KdTree::Build(pts, {.leaf_size = 4});
+  EXPECT_LT(coarse.node_count(), fine.node_count());
+  EXPECT_GT(fine.MemoryUsageBytes(), coarse.MemoryUsageBytes());
+}
+
+TEST(KdTreeTest, SizeReported) {
+  const auto pts = RandomPoints(123, 10.0, 67);
+  EXPECT_EQ(KdTree::Build(pts)->size(), 123u);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,106 @@
+#include "index/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::RandomPoints;
+
+TEST(QuadTreeTest, BuildValidatesOptions) {
+  const std::vector<Point> pts{{0, 0}};
+  EXPECT_FALSE(QuadTree::Build(pts, {.leaf_size = 0, .max_depth = 8}).ok());
+  EXPECT_FALSE(QuadTree::Build(pts, {.leaf_size = 8, .max_depth = 0}).ok());
+  EXPECT_TRUE(QuadTree::Build(pts).ok());
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  const auto tree = *QuadTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.RangeAggregateQuery({0, 0}, 5.0).count, 0.0);
+}
+
+TEST(QuadTreeTest, AggregateMatchesBruteForce) {
+  const auto pts = ClusteredPoints(2500, 80.0, 5, 109);
+  const auto tree = *QuadTree::Build(pts);
+  Rng rng(113);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.Uniform(-5, 85), rng.Uniform(-5, 85)};
+    const double r = rng.Uniform(0.5, 25.0);
+    const RangeAggregates agg = tree.RangeAggregateQuery(q, r);
+    RangeAggregates expected;
+    for (const Point& p : pts) {
+      if (SquaredDistance(q, p) <= r * r) expected.Add(p);
+    }
+    EXPECT_DOUBLE_EQ(agg.count, expected.count) << "trial " << trial;
+    EXPECT_NEAR(agg.sum.x, expected.sum.x, 1e-6);
+    EXPECT_NEAR(agg.sum_sq, expected.sum_sq, 1e-4);
+    EXPECT_NEAR(agg.m_xx, expected.m_xx, 1e-4);
+  }
+}
+
+TEST(QuadTreeTest, DegenerateCollinearPoints) {
+  // All points on one horizontal line: the root cell is degenerate in y and
+  // must be expanded internally rather than recursing forever.
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({static_cast<double>(i), 7.0});
+  const auto tree = *QuadTree::Build(pts, {.leaf_size = 8, .max_depth = 16});
+  EXPECT_EQ(tree.RangeAggregateQuery({250.0, 7.0}, 10.5).count, 21.0);
+}
+
+TEST(QuadTreeTest, AllIdenticalPoints) {
+  std::vector<Point> pts(200, Point{1.0, 1.0});
+  // max_depth stops the infinite split of inseparable points.
+  const auto tree = *QuadTree::Build(pts, {.leaf_size = 4, .max_depth = 10});
+  EXPECT_EQ(tree.RangeAggregateQuery({1, 1}, 0.1).count, 200.0);
+  EXPECT_EQ(tree.RangeAggregateQuery({5, 5}, 0.1).count, 0.0);
+}
+
+TEST(QuadTreeTest, BoundedKernelExactWhenEpsilonZero) {
+  const auto pts = RandomPoints(1500, 30.0, 127);
+  const auto tree = *QuadTree::Build(pts);
+  Rng rng(131);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Point q{rng.Uniform(0, 30), rng.Uniform(0, 30)};
+      const double b = rng.Uniform(0.5, 8.0);
+      double expected = 0.0;
+      for (const Point& p : pts) {
+        expected += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      }
+      EXPECT_NEAR(tree.AccumulateKernelBounded(q, kernel, b, 0.0), expected,
+                  1e-9 * std::max(1.0, expected));
+    }
+  }
+}
+
+TEST(QuadTreeTest, EpsilonModeStaysWithinBound) {
+  const auto pts = ClusteredPoints(4000, 40.0, 4, 137);
+  const auto tree = *QuadTree::Build(pts);
+  const Point q{20, 20};
+  const double b = 10.0;
+  double exact = 0.0;
+  for (const Point& p : pts) {
+    exact += EvaluateKernel(KernelType::kQuartic, SquaredDistance(q, p), b);
+  }
+  const double eps = 0.02;
+  const double approx =
+      tree.AccumulateKernelBounded(q, KernelType::kQuartic, b, eps);
+  EXPECT_NEAR(approx, exact, eps * 0.5 * static_cast<double>(pts.size()));
+}
+
+TEST(QuadTreeTest, NodeCountAndMemory) {
+  const auto pts = RandomPoints(2000, 50.0, 139);
+  const auto tree = *QuadTree::Build(pts);
+  EXPECT_GT(tree.node_count(), 4u);
+  EXPECT_GE(tree.MemoryUsageBytes(), 2000 * sizeof(Point));
+  EXPECT_EQ(tree.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace slam

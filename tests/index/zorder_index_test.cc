@@ -1,0 +1,107 @@
+#include "index/zorder_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/morton.h"
+#include "testing/test_util.h"
+
+namespace slam {
+namespace {
+
+using testing::RandomPoints;
+
+TEST(ZOrderIndexTest, EmptyInput) {
+  const auto idx = *ZOrderIndex::Build({});
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.StridedSample(10).empty());
+  EXPECT_EQ(idx.SampleSizeForEpsilon(0.1), 0u);
+}
+
+TEST(ZOrderIndexTest, SortedPointsArePermutationOfInput) {
+  const auto pts = RandomPoints(500, 100.0, 149);
+  const auto idx = *ZOrderIndex::Build(pts);
+  ASSERT_EQ(idx.size(), pts.size());
+  auto a = pts;
+  std::vector<Point> b(idx.sorted_points().begin(),
+                       idx.sorted_points().end());
+  const auto cmp = [](const Point& l, const Point& r) {
+    return l.x != r.x ? l.x < r.x : l.y < r.y;
+  };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ZOrderIndexTest, PointsAreInMortonOrder) {
+  const auto pts = RandomPoints(500, 100.0, 151);
+  const auto idx = *ZOrderIndex::Build(pts);
+  const BoundingBox extent =
+      BoundingBox::FromPoints(idx.sorted_points());
+  uint64_t prev = 0;
+  for (const Point& p : idx.sorted_points()) {
+    const uint64_t code = MortonCodeForPoint(p, extent);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(ZOrderIndexTest, StridedSampleSizes) {
+  const auto pts = RandomPoints(1000, 50.0, 157);
+  const auto idx = *ZOrderIndex::Build(pts);
+  EXPECT_EQ(idx.StridedSample(0).size(), 0u);
+  EXPECT_EQ(idx.StridedSample(1).size(), 1u);
+  EXPECT_EQ(idx.StridedSample(100).size(), 100u);
+  EXPECT_EQ(idx.StridedSample(1000).size(), 1000u);
+  EXPECT_EQ(idx.StridedSample(5000).size(), 1000u);  // clamped to n
+}
+
+TEST(ZOrderIndexTest, FullSampleIsWholeDataset) {
+  const auto pts = RandomPoints(64, 10.0, 163);
+  const auto idx = *ZOrderIndex::Build(pts);
+  const auto sample = idx.StridedSample(64);
+  ASSERT_EQ(sample.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(sample[i], idx.sorted_points()[i]);
+  }
+}
+
+TEST(ZOrderIndexTest, SampleIsSpatiallyStratified) {
+  // Half the points in each of two distant clusters: an m=10 strided sample
+  // must draw from both (that is the point of sorting by Morton code).
+  std::vector<Point> pts;
+  Rng rng(167);
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(90, 100), rng.Uniform(90, 100)});
+  }
+  const auto idx = *ZOrderIndex::Build(pts);
+  const auto sample = idx.StridedSample(10);
+  int low = 0, high = 0;
+  for (const Point& p : sample) {
+    (p.x < 50 ? low : high)++;
+  }
+  EXPECT_EQ(low, 5);
+  EXPECT_EQ(high, 5);
+}
+
+TEST(ZOrderIndexTest, SampleSizeForEpsilon) {
+  const auto pts = RandomPoints(100000, 10.0, 173);
+  const auto idx = *ZOrderIndex::Build(pts);
+  EXPECT_EQ(idx.SampleSizeForEpsilon(0.1), 100u);    // 1/0.01
+  EXPECT_EQ(idx.SampleSizeForEpsilon(0.01), 10000u); // 1/0.0001
+  EXPECT_EQ(idx.SampleSizeForEpsilon(0.001), 100000u);  // clamped to n
+  EXPECT_EQ(idx.SampleSizeForEpsilon(0.0), 100000u);    // degenerate -> all
+}
+
+TEST(ZOrderIndexTest, MemoryUsage) {
+  const auto pts = RandomPoints(1000, 10.0, 179);
+  const auto idx = *ZOrderIndex::Build(pts);
+  EXPECT_GE(idx.MemoryUsageBytes(), 1000 * sizeof(Point));
+}
+
+}  // namespace
+}  // namespace slam

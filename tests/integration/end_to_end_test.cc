@@ -1,0 +1,147 @@
+// End-to-end flows across the whole stack: generate a city -> project ->
+// pick a bandwidth -> explore -> compute with every method -> render.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/csv_io.h"
+#include "data/generators.h"
+#include "data/sampling.h"
+#include "explore/session.h"
+#include "explore/viewport_ops.h"
+#include "geom/projection.h"
+#include "kdv/bandwidth.h"
+#include "kdv/engine.h"
+#include "util/random.h"
+#include "viz/ascii.h"
+#include "viz/render.h"
+
+namespace slam {
+namespace {
+
+TEST(EndToEndTest, CityToRasterAgreementAcrossAllMethods) {
+  const auto ds = *GenerateCityDataset(City::kSanFrancisco, 0.0008, 21);
+  const auto viewport = *DatasetViewport(ds, 48, 36);
+  const double bandwidth = *ScottBandwidth(ds.coords());
+  const KdvTask task =
+      MakeTask(ds, viewport, KernelType::kEpanechnikov, bandwidth);
+
+  const DensityMap reference = *ComputeKdv(task, Method::kScan);
+  ASSERT_GT(reference.MaxValue(), 0.0);
+  for (const Method m : ExactMethods()) {
+    const DensityMap out = *ComputeKdv(task, m);
+    const auto cmp = *reference.CompareTo(out);
+    EXPECT_LT(cmp.max_abs_diff, 1e-9 * std::max(1.0, reference.MaxValue()))
+        << MethodName(m);
+  }
+  for (const Method m : {Method::kZorder, Method::kAkde}) {
+    const DensityMap out = *ComputeKdv(task, m);
+    const auto cmp = *reference.CompareTo(out);
+    EXPECT_LT(cmp.max_abs_diff, 0.25 * reference.MaxValue()) << MethodName(m);
+  }
+}
+
+TEST(EndToEndTest, LonLatPipelineThroughProjection) {
+  // Events in lon/lat around Seattle; project, then KDV in meters.
+  Rng rng(77);
+  std::vector<Point> lonlat;
+  for (int i = 0; i < 400; ++i) {
+    lonlat.push_back({-122.33 + rng.Gaussian(0.0, 0.01),
+                      47.61 + rng.Gaussian(0.0, 0.01)});
+  }
+  const auto proj = *LocalProjection::ForData(lonlat);
+  const auto ds =
+      PointDataset::FromPoints("seattle-lonlat", proj.ForwardAll(lonlat));
+  const double bandwidth = *ScottBandwidth(ds.coords());
+  EXPECT_GT(bandwidth, 10.0);    // hundreds of meters expected
+  EXPECT_LT(bandwidth, 10000.0);
+  const auto viewport = *DatasetViewport(ds, 32, 32);
+  const auto map = *ComputeKdv(
+      MakeTask(ds, viewport, KernelType::kQuartic, bandwidth),
+      Method::kSlamBucketRao);
+  EXPECT_GT(map.MaxValue(), 0.0);
+}
+
+TEST(EndToEndTest, CsvRoundTripThenKdv) {
+  const auto ds = *GenerateCityDataset(City::kNewYork, 0.0005, 31);
+  const std::string path = ::testing::TempDir() + "/e2e_city.csv";
+  ASSERT_TRUE(SaveDatasetCsv(ds, path).ok());
+  const auto loaded = *LoadDatasetCsv(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  const auto viewport = *DatasetViewport(loaded, 24, 24);
+  const double b = *ScottBandwidth(loaded.coords());
+  const auto from_disk = *ComputeKdv(
+      MakeTask(loaded, viewport, KernelType::kEpanechnikov, b),
+      Method::kSlamBucket);
+  const auto from_memory = *ComputeKdv(
+      MakeTask(ds, *DatasetViewport(ds, 24, 24), KernelType::kEpanechnikov,
+               *ScottBandwidth(ds.coords())),
+      Method::kSlamBucket);
+  const auto cmp = *from_memory.CompareTo(from_disk);
+  EXPECT_LT(cmp.max_rel_diff, 1e-6);  // CSV stores %.9g
+  std::remove(path.c_str());
+}
+
+TEST(EndToEndTest, ExploratoryWorkflowStaysExact) {
+  // The Figure 2 workflow: filter to 2019, zoom twice, pan, re-bandwidth —
+  // SLAM_BUCKET_RAO against SCAN after every step.
+  SessionConfig cfg;
+  cfg.width_px = 32;
+  cfg.height_px = 24;
+  auto session = *ExplorerSession::Create(
+      *GenerateCityDataset(City::kLosAngeles, 0.0008, 41), cfg);
+  ASSERT_TRUE(session.SetFilter(Year2019Filter()).ok());
+  const auto check = [&session]() {
+    ASSERT_TRUE(session.SetMethod(Method::kSlamBucketRao).ok());
+    const auto fast = *session.Render();
+    ASSERT_TRUE(session.SetMethod(Method::kScan).ok());
+    const auto slow = *session.Render();
+    const auto cmp = *slow.CompareTo(fast);
+    EXPECT_LT(cmp.max_abs_diff, 1e-9 * std::max(1.0, slow.MaxValue()));
+  };
+  check();
+  ASSERT_TRUE(session.Zoom(0.5).ok());
+  check();
+  ASSERT_TRUE(session.Zoom(0.5).ok());
+  ASSERT_TRUE(session.Pan(0.3, -0.2).ok());
+  check();
+  ASSERT_TRUE(session.ScaleBandwidth(2.0).ok());
+  check();
+}
+
+TEST(EndToEndTest, DatasetSizeSweepKeepsExactness) {
+  // The Figure 14 mechanism: sampled subsets stay exact for SLAM.
+  const auto full = *GenerateCityDataset(City::kSeattle, 0.002, 51);
+  for (const double fraction : {0.25, 0.5, 0.75}) {
+    const auto subset = *SampleFraction(full, fraction, 61);
+    const auto viewport = *DatasetViewport(subset, 20, 20);
+    const double b = *ScottBandwidth(subset.coords());
+    const KdvTask task =
+        MakeTask(subset, viewport, KernelType::kEpanechnikov, b);
+    const auto fast = *ComputeKdv(task, Method::kSlamBucketRao);
+    const auto slow = *ComputeKdv(task, Method::kScan);
+    const auto cmp = *slow.CompareTo(fast);
+    EXPECT_LT(cmp.max_abs_diff, 1e-9 * std::max(1.0, slow.MaxValue()))
+        << "fraction " << fraction;
+  }
+}
+
+TEST(EndToEndTest, RasterRendersToImageAndAscii) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 71);
+  const auto viewport = *DatasetViewport(ds, 64, 48);
+  const auto map = *ComputeKdv(
+      MakeTask(ds, viewport, KernelType::kEpanechnikov,
+               *ScottBandwidth(ds.coords())),
+      Method::kSlamBucketRao);
+  const std::string ppm = ::testing::TempDir() + "/e2e_hotspots.ppm";
+  ASSERT_TRUE(WriteDensityPpm(map, ppm).ok());
+  std::remove(ppm.c_str());
+  const std::string art = *RenderAscii(map);
+  EXPECT_FALSE(art.empty());
+  // A hotspot map should have both empty space and dense marks.
+  EXPECT_NE(art.find(' '), std::string::npos);
+  EXPECT_NE(art.find_first_not_of(" \n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,62 @@
+// Golden regression pins: fixed-seed generator output, Scott bandwidth,
+// and a full KDV raster are pinned to stored constants. These protect the
+// reproducibility chain EXPERIMENTS.md depends on — if a change to the
+// PRNG, the generators, the bandwidth rule, or any exact method shifts
+// these values, the recorded experiment results are stale and must be
+// regenerated (and this file updated deliberately).
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "explore/viewport_ops.h"
+#include "kdv/bandwidth.h"
+#include "kdv/engine.h"
+
+namespace slam {
+namespace {
+
+constexpr double kTolerance = 1e-12;  // relative
+
+TEST(GoldenTest, SeattleGeneratorPins) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 42);
+  ASSERT_EQ(ds.size(), 863u);
+  EXPECT_NEAR(ds.coord(0).x, 6226.0991621234689, 1e-9);
+  EXPECT_NEAR(ds.coord(0).y, 8833.0417624567508, 1e-9);
+  EXPECT_EQ(ds.event_time(0), 1542316221);
+  EXPECT_EQ(ds.category(0), 3);
+  EXPECT_NEAR(ds.coord(1).x, 4765.7884344406575, 1e-9);
+  EXPECT_NEAR(ds.coord(862).y, 16447.801167488382, 1e-9);
+  EXPECT_EQ(ds.event_time(862), 1551227303);
+}
+
+TEST(GoldenTest, ScottBandwidthPin) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 42);
+  const double b = *ScottBandwidth(ds.coords());
+  EXPECT_NEAR(b, 1455.0169385421937, kTolerance * 1455.0);
+}
+
+TEST(GoldenTest, KdvRasterPins) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 42);
+  const double b = *ScottBandwidth(ds.coords());
+  const auto viewport = *DatasetViewport(ds, 16, 12);
+  const auto map = *ComputeKdv(
+      MakeTask(ds, viewport, KernelType::kEpanechnikov, b),
+      Method::kSlamBucketRao);
+  EXPECT_NEAR(map.Sum(), 1.5786574296786566, kTolerance * 1.58);
+  EXPECT_NEAR(map.MaxValue(), 0.07155869499990733, kTolerance * 0.072);
+  EXPECT_NEAR(map.at(7, 7), 0.011733891223112495, kTolerance * 0.012);
+}
+
+TEST(GoldenTest, EveryExactMethodReproducesThePinnedRaster) {
+  const auto ds = *GenerateCityDataset(City::kSeattle, 0.001, 42);
+  const double b = *ScottBandwidth(ds.coords());
+  const auto viewport = *DatasetViewport(ds, 16, 12);
+  const KdvTask task = MakeTask(ds, viewport, KernelType::kEpanechnikov, b);
+  for (const Method m : ExactMethods()) {
+    const auto map = *ComputeKdv(task, m);
+    EXPECT_NEAR(map.Sum(), 1.5786574296786566, 1e-9) << MethodName(m);
+    EXPECT_NEAR(map.MaxValue(), 0.07155869499990733, 1e-9) << MethodName(m);
+  }
+}
+
+}  // namespace
+}  // namespace slam

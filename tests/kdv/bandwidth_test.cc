@@ -1,0 +1,86 @@
+#include "kdv/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace slam {
+namespace {
+
+TEST(SampleStddevTest, KnownValues) {
+  const std::vector<Point> pts{{0, 0}, {2, 4}};
+  const Point sd = *SampleStddev(pts);
+  EXPECT_NEAR(sd.x, std::sqrt(2.0), 1e-12);   // var = (1+1)/(2-1) = 2
+  EXPECT_NEAR(sd.y, std::sqrt(8.0), 1e-12);
+}
+
+TEST(SampleStddevTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(SampleStddev({}).ok());
+  const std::vector<Point> one{{1, 1}};
+  EXPECT_FALSE(SampleStddev(one).ok());
+}
+
+TEST(ScottBandwidthTest, MatchesFormula) {
+  // 4 points with per-axis stddevs sx, sy: b = mean(sx, sy) * 4^(-1/6).
+  const std::vector<Point> pts{{0, 0}, {4, 2}, {0, 2}, {4, 0}};
+  const Point sd = *SampleStddev(pts);
+  const double expected =
+      (sd.x + sd.y) / 2.0 * std::pow(4.0, -1.0 / 6.0);
+  EXPECT_NEAR(*ScottBandwidth(pts), expected, 1e-12);
+}
+
+TEST(ScottBandwidthTest, ShrinksWithSampleSize) {
+  Rng rng(3);
+  std::vector<Point> small, large;
+  for (int i = 0; i < 5000; ++i) {
+    const Point p{rng.Gaussian(0, 10), rng.Gaussian(0, 10)};
+    if (i < 500) small.push_back(p);
+    large.push_back(p);
+  }
+  EXPECT_GT(*ScottBandwidth(small), *ScottBandwidth(large));
+}
+
+TEST(ScottBandwidthTest, ScalesWithSpread) {
+  Rng rng(5);
+  std::vector<Point> narrow, wide;
+  for (int i = 0; i < 1000; ++i) {
+    const double gx = rng.NextGaussian();
+    const double gy = rng.NextGaussian();
+    narrow.push_back({gx, gy});
+    wide.push_back({10 * gx, 10 * gy});
+  }
+  EXPECT_NEAR(*ScottBandwidth(wide) / *ScottBandwidth(narrow), 10.0, 1e-9);
+}
+
+TEST(ScottBandwidthTest, RejectsDegenerateData) {
+  const std::vector<Point> same{{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_FALSE(ScottBandwidth(same).ok());
+}
+
+TEST(SilvermanBandwidthTest, CoincidesWithScottIn2D) {
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(0, 50), rng.Uniform(0, 30)});
+  }
+  EXPECT_DOUBLE_EQ(*SilvermanBandwidth(pts), *ScottBandwidth(pts));
+}
+
+TEST(ScottBandwidthTest, PositiveOnRealisticData) {
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back({rng.Uniform(0, 30000), rng.Uniform(0, 25000)});
+  }
+  const double b = *ScottBandwidth(pts);
+  EXPECT_GT(b, 0.0);
+  // City-scale meters with a few thousand points should give a bandwidth in
+  // the hundreds-to-thousands range, like the paper's Table 5.
+  EXPECT_GT(b, 100.0);
+  EXPECT_LT(b, 10000.0);
+}
+
+}  // namespace
+}  // namespace slam

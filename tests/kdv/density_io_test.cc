@@ -1,0 +1,88 @@
+#include "kdv/density_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace slam {
+namespace {
+
+DensityMap SampleMap() {
+  auto m = *DensityMap::Create(7, 5);
+  double v = 0.001;
+  for (auto& cell : m.mutable_values()) {
+    cell = v;
+    v = v * 1.7 + 0.013;  // irregular doubles
+  }
+  return m;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DensityIoTest, BinaryRoundTripIsExact) {
+  const DensityMap original = SampleMap();
+  const std::string path = TempPath("map.sldm");
+  ASSERT_TRUE(SaveDensityMap(original, path).ok());
+  const auto loaded = *LoadDensityMap(path);
+  ASSERT_EQ(loaded.width(), 7);
+  ASSERT_EQ(loaded.height(), 5);
+  const auto cmp = *original.CompareTo(loaded);
+  EXPECT_EQ(cmp.max_abs_diff, 0.0);  // bit-exact
+  std::remove(path.c_str());
+}
+
+TEST(DensityIoTest, RejectsEmptyMap) {
+  EXPECT_FALSE(SaveDensityMap(DensityMap{}, TempPath("x.sldm")).ok());
+  EXPECT_FALSE(ExportDensityCsv(DensityMap{}, TempPath("x.csv")).ok());
+}
+
+TEST(DensityIoTest, RejectsMissingFile) {
+  EXPECT_TRUE(LoadDensityMap("/nonexistent/m.sldm").status().IsIoError());
+}
+
+TEST(DensityIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad.sldm");
+  std::ofstream(path) << "definitely not a density map";
+  EXPECT_FALSE(LoadDensityMap(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DensityIoTest, RejectsTruncatedPayload) {
+  const DensityMap original = SampleMap();
+  const std::string path = TempPath("trunc.sldm");
+  ASSERT_TRUE(SaveDensityMap(original, path).ok());
+  // Chop off the last 16 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 16);
+  std::ofstream(path, std::ios::binary) << data;
+  EXPECT_FALSE(LoadDensityMap(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DensityIoTest, CsvExportHasHeaderAndAllPixels) {
+  const DensityMap map = SampleMap();
+  const std::string path = TempPath("map.csv");
+  ASSERT_TRUE(ExportDensityCsv(map, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,y,density");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 35);
+  std::remove(path.c_str());
+}
+
+TEST(DensityIoTest, SaveToBadPathFails) {
+  EXPECT_TRUE(SaveDensityMap(SampleMap(), "/nonexistent/d/m.sldm").IsIoError());
+  EXPECT_TRUE(ExportDensityCsv(SampleMap(), "/nonexistent/d/m.csv").IsIoError());
+}
+
+}  // namespace
+}  // namespace slam

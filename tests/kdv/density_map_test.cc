@@ -1,0 +1,117 @@
+#include "kdv/density_map.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+TEST(DensityMapTest, CreateValidates) {
+  EXPECT_TRUE(DensityMap::Create(3, 4).ok());
+  EXPECT_FALSE(DensityMap::Create(0, 4).ok());
+  EXPECT_FALSE(DensityMap::Create(3, -1).ok());
+}
+
+TEST(DensityMapTest, ZeroInitialized) {
+  const auto m = *DensityMap::Create(4, 3);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.pixel_count(), 12);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(m.at(x, y), 0.0);
+    }
+  }
+}
+
+TEST(DensityMapTest, SetGetRowMajor) {
+  auto m = *DensityMap::Create(3, 2);
+  m.set(2, 1, 7.5);
+  EXPECT_EQ(m.at(2, 1), 7.5);
+  // Row-major layout: (2, 1) is index 1*3+2 = 5.
+  EXPECT_EQ(m.values()[5], 7.5);
+}
+
+TEST(DensityMapTest, RowSpansAliasStorage) {
+  auto m = *DensityMap::Create(4, 3);
+  auto row = m.mutable_row(1);
+  ASSERT_EQ(row.size(), 4u);
+  row[2] = 9.0;
+  EXPECT_EQ(m.at(2, 1), 9.0);
+  EXPECT_EQ(m.row(1)[2], 9.0);
+}
+
+TEST(DensityMapTest, Stats) {
+  auto m = *DensityMap::Create(2, 2);
+  m.set(0, 0, 1.0);
+  m.set(1, 0, -2.0);
+  m.set(0, 1, 4.0);
+  m.set(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(m.MinValue(), -2.0);
+  EXPECT_DOUBLE_EQ(m.MaxValue(), 4.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 6.0);
+}
+
+TEST(DensityMapTest, EmptyDefaultStats) {
+  const DensityMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.MinValue(), 0.0);
+  EXPECT_EQ(m.MaxValue(), 0.0);
+  EXPECT_EQ(m.Sum(), 0.0);
+}
+
+TEST(DensityMapTest, Transposed) {
+  auto m = *DensityMap::Create(3, 2);
+  int v = 0;
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      m.set(x, y, v++);
+    }
+  }
+  const DensityMap t = m.Transposed();
+  EXPECT_EQ(t.width(), 2);
+  EXPECT_EQ(t.height(), 3);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(t.at(y, x), m.at(x, y));
+    }
+  }
+}
+
+TEST(DensityMapTest, CompareIdentical) {
+  auto a = *DensityMap::Create(2, 2);
+  a.set(0, 0, 1.5);
+  const auto cmp = *a.CompareTo(a);
+  EXPECT_EQ(cmp.max_abs_diff, 0.0);
+  EXPECT_EQ(cmp.max_rel_diff, 0.0);
+  EXPECT_EQ(cmp.mismatched_pixels, 0);
+}
+
+TEST(DensityMapTest, CompareFindsDifferences) {
+  auto a = *DensityMap::Create(2, 1);
+  auto b = *DensityMap::Create(2, 1);
+  a.set(0, 0, 10.0);
+  b.set(0, 0, 10.5);
+  a.set(1, 0, 1.0);
+  b.set(1, 0, 1.0);
+  const auto cmp = *a.CompareTo(b, 0.1);
+  EXPECT_DOUBLE_EQ(cmp.max_abs_diff, 0.5);
+  EXPECT_NEAR(cmp.max_rel_diff, 0.5 / 10.5, 1e-12);
+  EXPECT_EQ(cmp.mismatched_pixels, 1);
+}
+
+TEST(DensityMapTest, CompareRejectsShapeMismatch) {
+  const auto a = *DensityMap::Create(2, 2);
+  const auto b = *DensityMap::Create(3, 2);
+  EXPECT_FALSE(a.CompareTo(b).ok());
+}
+
+TEST(DensityMapTest, ToStringHasShapeAndRange) {
+  auto m = *DensityMap::Create(5, 6);
+  m.set(0, 0, 2.0);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("5x6"), std::string::npos);
+  EXPECT_NE(s.find("max=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,78 @@
+#include "kdv/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+TEST(GridAxisTest, CoordArithmetic) {
+  const GridAxis axis{10.0, 2.5, 5};
+  EXPECT_DOUBLE_EQ(axis.Coord(0), 10.0);
+  EXPECT_DOUBLE_EQ(axis.Coord(4), 20.0);
+  EXPECT_DOUBLE_EQ(axis.last(), 20.0);
+}
+
+TEST(GridTest, CreateValidates) {
+  EXPECT_TRUE(Grid::Create({0, 1, 4}, {0, 1, 4}).ok());
+  EXPECT_FALSE(Grid::Create({0, 1, 0}, {0, 1, 4}).ok());
+  EXPECT_FALSE(Grid::Create({0, 1, 4}, {0, 1, -2}).ok());
+  EXPECT_FALSE(Grid::Create({0, 0.0, 4}, {0, 1, 4}).ok());
+  EXPECT_FALSE(Grid::Create({0, -1.0, 4}, {0, 1, 4}).ok());
+}
+
+TEST(GridTest, PixelCenterAndCounts) {
+  const Grid g = *Grid::Create({1.0, 2.0, 3}, {10.0, 5.0, 2});
+  EXPECT_EQ(g.width(), 3);
+  EXPECT_EQ(g.height(), 2);
+  EXPECT_EQ(g.pixel_count(), 6);
+  EXPECT_EQ(g.PixelCenter(2, 1), (Point{5.0, 15.0}));
+}
+
+TEST(GridTest, FromViewportCentersPixels) {
+  const Viewport v =
+      *Viewport::Create(BoundingBox({0, 0}, {10, 10}), 10, 5);
+  const Grid g = Grid::FromViewport(v);
+  EXPECT_EQ(g.width(), 10);
+  EXPECT_EQ(g.height(), 5);
+  EXPECT_DOUBLE_EQ(g.x_axis().origin, 0.5);
+  EXPECT_DOUBLE_EQ(g.x_axis().gap, 1.0);
+  EXPECT_DOUBLE_EQ(g.y_axis().origin, 1.0);
+  EXPECT_DOUBLE_EQ(g.y_axis().gap, 2.0);
+  EXPECT_EQ(g.PixelCenter(0, 0), v.PixelCenter(0, 0));
+  EXPECT_EQ(g.PixelCenter(9, 4), v.PixelCenter(9, 4));
+}
+
+TEST(GridTest, TransposedSwapsAxes) {
+  const Grid g = *Grid::Create({1.0, 2.0, 3}, {10.0, 5.0, 7});
+  const Grid t = g.Transposed();
+  EXPECT_EQ(t.width(), 7);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_DOUBLE_EQ(t.x_axis().origin, 10.0);
+  EXPECT_DOUBLE_EQ(t.y_axis().gap, 2.0);
+  // Transposing twice is the identity.
+  const Grid tt = t.Transposed();
+  EXPECT_EQ(tt.width(), g.width());
+  EXPECT_DOUBLE_EQ(tt.x_axis().origin, g.x_axis().origin);
+  // Pixel (i, j) of g is pixel (j, i) of t.
+  const Point a = g.PixelCenter(2, 5);
+  const Point b = t.PixelCenter(5, 2);
+  EXPECT_DOUBLE_EQ(a.x, b.y);
+  EXPECT_DOUBLE_EQ(a.y, b.x);
+}
+
+TEST(GridTest, TranslatedShiftsOrigins) {
+  const Grid g = *Grid::Create({100.0, 1.0, 4}, {200.0, 1.0, 4});
+  const Grid t = g.Translated(100.0, 200.0);
+  EXPECT_DOUBLE_EQ(t.x_axis().origin, 0.0);
+  EXPECT_DOUBLE_EQ(t.y_axis().origin, 0.0);
+  EXPECT_DOUBLE_EQ(t.x_axis().gap, 1.0);
+  EXPECT_EQ(t.width(), 4);
+}
+
+TEST(GridTest, ToStringIncludesShape) {
+  const Grid g = *Grid::Create({0, 1, 12}, {0, 1, 34});
+  EXPECT_NE(g.ToString().find("12x34"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,176 @@
+#include "kdv/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace slam {
+namespace {
+
+TEST(KernelNameTest, RoundTrips) {
+  for (const KernelType k :
+       {KernelType::kUniform, KernelType::kEpanechnikov, KernelType::kQuartic,
+        KernelType::kGaussian}) {
+    EXPECT_EQ(*KernelTypeFromName(KernelTypeName(k)), k);
+  }
+  EXPECT_EQ(*KernelTypeFromName("EPAN"), KernelType::kEpanechnikov);
+  EXPECT_EQ(*KernelTypeFromName("biweight"), KernelType::kQuartic);
+  EXPECT_FALSE(KernelTypeFromName("triangular").ok());
+}
+
+TEST(KernelSupportTest, SlamCoversBoundedKernelsOnly) {
+  EXPECT_TRUE(KernelSupportedBySlam(KernelType::kUniform));
+  EXPECT_TRUE(KernelSupportedBySlam(KernelType::kEpanechnikov));
+  EXPECT_TRUE(KernelSupportedBySlam(KernelType::kQuartic));
+  EXPECT_FALSE(KernelSupportedBySlam(KernelType::kGaussian));
+}
+
+TEST(EvaluateKernelTest, UniformValues) {
+  const double b = 2.0;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kUniform, 0.0, b), 0.5);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kUniform, 3.9, b), 0.5);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kUniform, 4.0, b), 0.5);  // d=b
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kUniform, 4.1, b), 0.0);
+}
+
+TEST(EvaluateKernelTest, EpanechnikovValues) {
+  const double b = 2.0;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kEpanechnikov, 0.0, b), 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kEpanechnikov, 1.0, b), 0.75);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kEpanechnikov, 4.0, b), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kEpanechnikov, 5.0, b), 0.0);
+}
+
+TEST(EvaluateKernelTest, QuarticValues) {
+  const double b = 2.0;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kQuartic, 0.0, b), 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kQuartic, 1.0, b), 0.5625);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kQuartic, 4.0, b), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kQuartic, 9.0, b), 0.0);
+}
+
+TEST(EvaluateKernelTest, GaussianValues) {
+  const double b = 1.0;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(KernelType::kGaussian, 0.0, b), 1.0);
+  EXPECT_NEAR(EvaluateKernel(KernelType::kGaussian, 2.0, b),
+              std::exp(-1.0), 1e-15);
+  // No bounded support: still positive far away.
+  EXPECT_GT(EvaluateKernel(KernelType::kGaussian, 100.0, b), 0.0);
+}
+
+TEST(EvaluateKernelTest, MonotoneNonIncreasingInDistance) {
+  for (const KernelType k :
+       {KernelType::kUniform, KernelType::kEpanechnikov, KernelType::kQuartic,
+        KernelType::kGaussian}) {
+    double prev = EvaluateKernel(k, 0.0, 3.0);
+    for (double d2 = 0.5; d2 < 15.0; d2 += 0.5) {
+      const double v = EvaluateKernel(k, d2, 3.0);
+      EXPECT_LE(v, prev + 1e-15) << KernelTypeName(k);
+      prev = v;
+    }
+  }
+}
+
+TEST(RangeAggregatesTest, AddAccumulates) {
+  RangeAggregates agg;
+  agg.Add({3.0, 4.0});
+  agg.Add({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(agg.count, 2.0);
+  EXPECT_DOUBLE_EQ(agg.sum.x, 4.0);
+  EXPECT_DOUBLE_EQ(agg.sum.y, 4.0);
+  EXPECT_DOUBLE_EQ(agg.sum_sq, 26.0);       // 25 + 1
+  EXPECT_DOUBLE_EQ(agg.sum_quad, 626.0);    // 625 + 1
+  EXPECT_DOUBLE_EQ(agg.sum_sq_p.x, 76.0);   // 25*3 + 1*1
+  EXPECT_DOUBLE_EQ(agg.m_xx, 10.0);         // 9 + 1
+  EXPECT_DOUBLE_EQ(agg.m_xy, 12.0);
+  EXPECT_DOUBLE_EQ(agg.m_yy, 16.0);
+}
+
+TEST(RangeAggregatesTest, MergeEqualsSequentialAdds) {
+  RangeAggregates a, b, all;
+  const std::vector<Point> pts{{1, 2}, {3, -1}, {0.5, 0.5}, {-2, 4}};
+  for (size_t i = 0; i < pts.size(); ++i) {
+    (i < 2 ? a : b).Add(pts[i]);
+    all.Add(pts[i]);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.sum_sq, all.sum_sq);
+  EXPECT_DOUBLE_EQ(a.sum_quad, all.sum_quad);
+  EXPECT_DOUBLE_EQ(a.m_xy, all.m_xy);
+}
+
+TEST(RangeAggregatesTest, MinusInvertsMerge) {
+  RangeAggregates a, b;
+  a.Add({1, 1});
+  a.Add({2, 2});
+  b.Add({2, 2});
+  const RangeAggregates diff = a.Minus(b);
+  EXPECT_DOUBLE_EQ(diff.count, 1.0);
+  EXPECT_DOUBLE_EQ(diff.sum.x, 1.0);
+  EXPECT_DOUBLE_EQ(diff.sum_sq, 2.0);
+}
+
+/// The load-bearing identity: for every bounded kernel, the aggregate
+/// decomposition must equal direct per-point evaluation for any point set
+/// within the bandwidth.
+TEST(DensityFromAggregatesTest, MatchesDirectEvaluation) {
+  Rng rng(13);
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const double b = rng.Uniform(0.5, 5.0);
+      const Point q{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+      RangeAggregates agg;
+      double direct = 0.0;
+      const int n = 1 + static_cast<int>(rng.NextBelow(30));
+      for (int i = 0; i < n; ++i) {
+        // Draw points inside the disk of radius b around q (rejection).
+        Point p;
+        do {
+          p = {q.x + rng.Uniform(-b, b), q.y + rng.Uniform(-b, b)};
+        } while (SquaredDistance(q, p) > b * b);
+        agg.Add(p);
+        direct += EvaluateKernel(kernel, SquaredDistance(q, p), b);
+      }
+      const double w = 0.37;
+      const double from_agg = DensityFromAggregates(kernel, q, agg, b, w);
+      EXPECT_NEAR(from_agg, w * direct, 1e-9 * std::max(1.0, w * direct))
+          << KernelTypeName(kernel) << " trial " << trial;
+    }
+  }
+}
+
+TEST(DensityFromAggregatesTest, EmptyAggregatesGiveZero) {
+  const RangeAggregates empty;
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    EXPECT_DOUBLE_EQ(
+        DensityFromAggregates(kernel, {3, 4}, empty, 2.0, 1.0), 0.0);
+  }
+}
+
+TEST(DensityFromAggregatesTest, WeightScalesLinearly) {
+  RangeAggregates agg;
+  agg.Add({1.0, 1.0});
+  const Point q{1.2, 0.8};
+  const double one =
+      DensityFromAggregates(KernelType::kQuartic, q, agg, 2.0, 1.0);
+  const double three =
+      DensityFromAggregates(KernelType::kQuartic, q, agg, 2.0, 3.0);
+  EXPECT_NEAR(three, 3.0 * one, 1e-12);
+}
+
+TEST(AggregateArityTest, MatchesPaperTable4) {
+  EXPECT_EQ(AggregateArity(KernelType::kUniform), 1);
+  EXPECT_EQ(AggregateArity(KernelType::kEpanechnikov), 4);
+  EXPECT_EQ(AggregateArity(KernelType::kQuartic), 9);
+  EXPECT_EQ(AggregateArity(KernelType::kGaussian), 0);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,91 @@
+// Shared helpers for the gtest suite: random task generation, brute-force
+// reference densities, and raster comparison.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/point.h"
+#include "kdv/density_map.h"
+#include "kdv/grid.h"
+#include "kdv/kernel.h"
+#include "kdv/task.h"
+#include "util/random.h"
+
+namespace slam::testing {
+
+/// n uniform points in [0, extent] x [0, extent].
+inline std::vector<Point> RandomPoints(size_t n, double extent,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+/// Clustered points: most tests are more interesting with hotspots.
+inline std::vector<Point> ClusteredPoints(size_t n, double extent,
+                                          int clusters, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> centers;
+  for (int c = 0; c < clusters; ++c) {
+    centers.push_back({rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)});
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& c = centers[rng.NextBelow(centers.size())];
+    pts.push_back({rng.Gaussian(c.x, extent / 20.0),
+                   rng.Gaussian(c.y, extent / 20.0)});
+  }
+  return pts;
+}
+
+/// A grid of `width` x `height` pixel centers covering [0, extent]^2.
+inline Grid MakeGrid(int width, int height, double extent) {
+  const double gx = extent / width;
+  const double gy = extent / height;
+  return Grid::Create(GridAxis{0.5 * gx, gx, width},
+                      GridAxis{0.5 * gy, gy, height})
+      .ValueOrDie();
+}
+
+/// O(XYn) reference density, computed without any library method beyond
+/// EvaluateKernel — the oracle for every equivalence test.
+inline DensityMap BruteForceDensity(const KdvTask& task) {
+  DensityMap map =
+      DensityMap::Create(task.grid.width(), task.grid.height()).ValueOrDie();
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const Point q = task.grid.PixelCenter(ix, iy);
+      double sum = 0.0;
+      for (const Point& p : task.points) {
+        sum += EvaluateKernel(task.kernel, SquaredDistance(q, p),
+                              task.bandwidth);
+      }
+      map.set(ix, iy, task.weight * sum);
+    }
+  }
+  return map;
+}
+
+/// Asserts element-wise closeness with an absolute-plus-relative tolerance.
+inline void ExpectMapsNear(const DensityMap& expected,
+                           const DensityMap& actual, double tolerance,
+                           const char* label = "") {
+  ASSERT_EQ(expected.width(), actual.width()) << label;
+  ASSERT_EQ(expected.height(), actual.height()) << label;
+  const double scale = std::max(1.0, expected.MaxValue());
+  for (int y = 0; y < expected.height(); ++y) {
+    for (int x = 0; x < expected.width(); ++x) {
+      ASSERT_NEAR(expected.at(x, y), actual.at(x, y), tolerance * scale)
+          << label << " mismatch at pixel (" << x << ", " << y << ")";
+    }
+  }
+}
+
+}  // namespace slam::testing

@@ -1,0 +1,106 @@
+// End-to-end tests of the slam_kdv CLI binary, run as a subprocess.
+// The binary path is injected by CMake via SLAM_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace slam {
+namespace {
+
+#ifndef SLAM_CLI_PATH
+#error "SLAM_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command = std::string(SLAM_CLI_PATH) + " " + args + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t read;
+  while ((read = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+bool FileExists(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(CliTest, HelpPrintsUsageAndExitsZero) {
+  const auto result = RunCli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("slam_kdv"), std::string::npos);
+  EXPECT_NE(result.output.find("--method"), std::string::npos);
+  EXPECT_NE(result.output.find("--bandwidth"), std::string::npos);
+}
+
+TEST(CliTest, GeneratesImageFromSyntheticCity) {
+  const std::string out = ::testing::TempDir() + "/cli_city.ppm";
+  const auto result = RunCli(
+      "--city seattle --scale 0.001 --width 40 --height 30 --output " + out);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("Scott bandwidth"), std::string::npos);
+  EXPECT_NE(result.output.find("SLAM_BUCKET_RAO"), std::string::npos);
+  EXPECT_TRUE(FileExists(out));
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, CompareModeReportsOracleAgreement) {
+  const auto result = RunCli(
+      "--city la --scale 0.0005 --width 24 --height 18 --compare "
+      "--output ''");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("vs SCAN oracle"), std::string::npos);
+}
+
+TEST(CliTest, HotspotsAndAsciiAndFilters) {
+  const auto result = RunCli(
+      "--city sf --scale 0.001 --width 32 --height 24 --filter-year 2019 "
+      "--hotspots 3 --ascii --threads 2 --kernel quartic --output ''");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("after filter"), std::string::npos);
+  EXPECT_NE(result.output.find("hotspots"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  const auto result = RunCli("--definitely-not-a-flag=1");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(CliTest, UnknownCityFails) {
+  const auto result = RunCli("--city atlantis");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown city"), std::string::npos);
+}
+
+TEST(CliTest, GaussianWithSlamFailsWithExplanation) {
+  const auto result = RunCli(
+      "--city seattle --scale 0.0005 --kernel gaussian --width 10 "
+      "--height 10 --output ''");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("gaussian"), std::string::npos);
+}
+
+TEST(CliTest, GaussianWithScanSucceeds) {
+  const auto result = RunCli(
+      "--city seattle --scale 0.0005 --kernel gaussian --method scan "
+      "--width 12 --height 9 --output ''");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+}  // namespace
+}  // namespace slam

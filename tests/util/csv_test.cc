@@ -1,0 +1,133 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slam {
+namespace {
+
+TEST(ParseCsvRecordTest, PlainFields) {
+  const auto fields = *ParseCsvRecord("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvRecordTest, QuotedFieldWithDelimiter) {
+  const auto fields = *ParseCsvRecord("\"x,y\",z", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "z");
+}
+
+TEST(ParseCsvRecordTest, EscapedQuotes) {
+  const auto fields = *ParseCsvRecord("\"say \"\"hi\"\"\",b", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvRecordTest, EmptyFields) {
+  const auto fields = *ParseCsvRecord(",,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_EQ(f, "");
+}
+
+TEST(ParseCsvRecordTest, ToleratesTrailingCr) {
+  const auto fields = *ParseCsvRecord("a,b\r", ',');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ParseCsvRecordTest, AlternateDelimiter) {
+  const auto fields = *ParseCsvRecord("a;b;c", ';');
+  EXPECT_EQ(fields.size(), 3u);
+}
+
+TEST(ParseCsvRecordTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsvRecord("\"open", ',').ok());
+}
+
+TEST(ParseCsvRecordTest, RejectsMidFieldQuote) {
+  EXPECT_FALSE(ParseCsvRecord("ab\"c\",d", ',').ok());
+}
+
+TEST(ReadCsvStreamTest, HeaderAndRows) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  const Status st = ReadCsvStream(
+      in, CsvOptions{},
+      [&](const std::vector<std::string>& h) {
+        header = h;
+        return Status::OK();
+      },
+      [&](int64_t, const std::vector<std::string>& r) {
+        rows.push_back(r);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(header.size(), 2u);
+  EXPECT_EQ(header[0], "x");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "4");
+}
+
+TEST(ReadCsvStreamTest, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  int rows = 0;
+  const Status st = ReadCsvStream(
+      in, CsvOptions{.delimiter = ',', .has_header = false}, nullptr,
+      [&](int64_t index, const std::vector<std::string>&) {
+        EXPECT_EQ(index, rows);
+        ++rows;
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(ReadCsvStreamTest, SkipsBlankLines) {
+  std::istringstream in("x\n\n1\n\n2\n");
+  int rows = 0;
+  ASSERT_TRUE(ReadCsvStream(in, CsvOptions{}, nullptr,
+                            [&](int64_t, const std::vector<std::string>&) {
+                              ++rows;
+                              return Status::OK();
+                            })
+                  .ok());
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(ReadCsvStreamTest, RowCallbackErrorStops) {
+  std::istringstream in("x\n1\n2\n3\n");
+  int rows = 0;
+  const Status st = ReadCsvStream(
+      in, CsvOptions{}, nullptr,
+      [&](int64_t, const std::vector<std::string>&) -> Status {
+        if (++rows == 2) return Status::Cancelled("enough");
+        return Status::OK();
+      });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(WriteCsvRecordTest, PlainAndQuoted) {
+  std::ostringstream out;
+  WriteCsvRecord(out, {"a", "b,c", "d\"e", "f\ng"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",\"d\"\"e\",\"f\ng\"\n");
+}
+
+TEST(CsvRoundTripTest, WriteThenParse) {
+  std::ostringstream out;
+  const std::vector<std::string> original{"plain", "with,comma",
+                                          "with\"quote", ""};
+  WriteCsvRecord(out, original);
+  std::string line = out.str();
+  line.pop_back();  // strip trailing newline
+  const auto parsed = *ParseCsvRecord(line, ',');
+  EXPECT_EQ(parsed, original);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,141 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesEqualsAndSpaceForms) {
+  std::string name = "default";
+  double ratio = 1.0;
+  int count = 0;
+  FlagParser parser("test");
+  parser.AddString("name", &name, "a name");
+  parser.AddDouble("ratio", &ratio, "a ratio");
+  parser.AddInt("count", &count, "a count");
+  const auto argv = Argv({"--name=alpha", "--ratio", "2.5", "--count=7"});
+  const auto positional =
+      parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(positional.ok()) << positional.status().ToString();
+  EXPECT_TRUE(positional->empty());
+  EXPECT_EQ(name, "alpha");
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+  EXPECT_EQ(count, 7);
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenUnset) {
+  std::string s = "keep";
+  FlagParser parser("test");
+  parser.AddString("s", &s, "");
+  const auto argv = Argv({});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(s, "keep");
+}
+
+TEST(FlagParserTest, BoolForms) {
+  bool a = false, b = true, c = false, d = false;
+  FlagParser parser("test");
+  parser.AddBool("a", &a, "");
+  parser.AddBool("b", &b, "");
+  parser.AddBool("c", &c, "");
+  parser.AddBool("d", &d, "");
+  const auto argv = Argv({"--a", "--no-b", "--c=true", "--d=false"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+  EXPECT_FALSE(d);
+}
+
+TEST(FlagParserTest, PositionalArgumentsPassThrough) {
+  int n = 0;
+  FlagParser parser("test");
+  parser.AddInt("n", &n, "");
+  const auto argv = Argv({"file1", "--n=3", "file2"});
+  const auto positional =
+      parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(positional.ok());
+  ASSERT_EQ(positional->size(), 2u);
+  EXPECT_EQ((*positional)[0], "file1");
+  EXPECT_EQ((*positional)[1], "file2");
+  EXPECT_EQ(n, 3);
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser("test");
+  const auto argv = Argv({"--mystery=1"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  int n = 0;
+  FlagParser parser("test");
+  parser.AddInt("n", &n, "");
+  const auto argv = Argv({"--n"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, BadNumericValueIsError) {
+  double d = 0;
+  int64_t i = 0;
+  FlagParser parser("test");
+  parser.AddDouble("d", &d, "");
+  parser.AddInt64("i", &i, "");
+  {
+    const auto argv = Argv({"--d=abc"});
+    EXPECT_FALSE(
+        parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    const auto argv = Argv({"--i=1.5"});
+    EXPECT_FALSE(
+        parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+}
+
+TEST(FlagParserTest, IntRangeChecked) {
+  int n = 0;
+  FlagParser parser("test");
+  parser.AddInt("n", &n, "");
+  const auto argv = Argv({"--n=99999999999"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, NoNegationForNonBool) {
+  int n = 0;
+  FlagParser parser("test");
+  parser.AddInt("n", &n, "");
+  const auto argv = Argv({"--no-n"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, HelpShortCircuits) {
+  int n = 5;
+  FlagParser parser("my tool");
+  parser.AddInt("n", &n, "the n");
+  const auto argv = Argv({"--help", "--unknown-after-help"});
+  const auto positional =
+      parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(positional.ok());
+  EXPECT_TRUE(parser.help_requested());
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("default: 5"), std::string::npos);
+}
+
+TEST(FlagParserDeathTest, DuplicateFlagIsProgrammingError) {
+  FlagParser parser("test");
+  int a = 0, b = 0;
+  parser.AddInt("x", &a, "");
+  EXPECT_DEATH(parser.AddInt("x", &b, ""), "duplicate flag");
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessageDoesNotCrash) {
+  SetLogLevel(LogLevel::kFatal);
+  SLAM_LOG(Info) << "this is dropped " << 123;
+}
+
+TEST_F(LoggingTest, EmittedMessageGoesToStderr) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  SLAM_LOG(Warning) << "value=" << 7;
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("value=7"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(SLAM_LOG(Fatal) << "fatal goes boom", "fatal goes boom");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SLAM_CHECK(1 == 2) << "math broke", "Check failed");
+}
+
+TEST(LoggingCheckTest, CheckPassesSilently) {
+  SLAM_CHECK(true);
+  SLAM_CHECK_EQ(2 + 2, 4);
+  SLAM_CHECK_NE(1, 2);
+  SLAM_CHECK_LT(1, 2);
+  SLAM_CHECK_LE(2, 2);
+  SLAM_CHECK_GT(3, 2);
+  SLAM_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckOpFormats) {
+  EXPECT_DEATH(SLAM_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(SLAM_CHECK_LT(5, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,79 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slam {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ImplicitFromValueAtReturn) {
+  const auto make = [](bool ok) -> Result<std::string> {
+    if (!ok) return Status::InvalidArgument("no");
+    return std::string("yes");
+  };
+  EXPECT_EQ(*make(true), "yes");
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ((Result<int>(5)).ValueOr(-1), 5);
+  EXPECT_EQ((Result<int>(Status::Internal("x"))).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.ValueOrDie().push_back(2);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ResultDeathTest, ValueOfErrorAborts) {
+  Result<int> r = Status::Internal("kaput");
+  EXPECT_DEATH((void)r.ValueOrDie(), "kaput");
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  SLAM_ASSIGN_OR_RETURN(const int half, Half(v));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace slam {
+namespace {
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, MultipleWaitRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, 1000, [&hits](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  int calls = 0;
+  ParallelFor(nullptr, 5, 25, [&calls](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 5);
+    EXPECT_EQ(hi, 25);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 10, 10, [](int64_t, int64_t) { FAIL(); });
+  ParallelFor(&pool, 10, 5, [](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, SmallRangeFewerChunksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(&pool, 0, 3, [&sum](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 3);  // 0 + 1 + 2
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), int64_t{1});
+  std::atomic<int64_t> parallel_sum{0};
+  ParallelFor(&pool, 0, static_cast<int64_t>(values.size()),
+              [&](int64_t lo, int64_t hi) {
+                int64_t local = 0;
+                for (int64_t i = lo; i < hi; ++i) local += values[i];
+                parallel_sum.fetch_add(local);
+              });
+  EXPECT_EQ(parallel_sum.load(), 10000LL * 10001 / 2);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,62 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace slam {
+namespace {
+
+TEST(TimerTest, ElapsedIsMonotoneNonNegative) {
+  Timer t;
+  const double first = t.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(t.ElapsedSeconds(), first);
+}
+
+TEST(TimerTest, MeasuresSleepApproximately) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 25.0);
+  EXPECT_LT(ms, 500.0);  // generous upper bound for a loaded CI box
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, UnitsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = t.ElapsedSeconds();
+  const double ms = t.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);
+  EXPECT_GT(t.ElapsedNanos(), 0);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  const Deadline d(0.0);
+  EXPECT_FALSE(d.Expired());
+  const Deadline neg(-1.0);
+  EXPECT_FALSE(neg.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  const Deadline d(0.01);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, ReportsBudget) {
+  const Deadline d(3.5);
+  EXPECT_DOUBLE_EQ(d.budget_seconds(), 3.5);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,76 @@
+#include "viz/ascii.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace slam {
+namespace {
+
+DensityMap Gradient(int w, int h) {
+  auto m = *DensityMap::Create(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      m.set(x, y, static_cast<double>(x + y));
+    }
+  }
+  return m;
+}
+
+TEST(AsciiTest, ShapeRespectsLimits) {
+  const auto m = Gradient(100, 60);
+  AsciiOptions opts;
+  opts.max_columns = 40;
+  opts.max_rows = 12;
+  const std::string art = *RenderAscii(m, opts);
+  // 12 lines of 40 chars + newline each.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 12);
+  EXPECT_EQ(art.size(), 12u * 41u);
+}
+
+TEST(AsciiTest, SmallMapNotUpscaled) {
+  const auto m = Gradient(5, 3);
+  const std::string art = *RenderAscii(m);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(AsciiTest, HotCornerIsDenserCharacter) {
+  // Density rises toward (max x, max y); top-right of the art should use a
+  // denser ramp character than the bottom-left.
+  const auto m = Gradient(40, 40);
+  AsciiOptions opts;
+  opts.max_columns = 10;
+  opts.max_rows = 10;
+  opts.gamma = 1.0;
+  const std::string art = *RenderAscii(m, opts);
+  const std::string ramp = " .:-=+*#%@";
+  const char top_right = art[9];                 // row 0 (max y), last col
+  const char bottom_left = art[9 * 11];          // last row, first col
+  EXPECT_GT(ramp.find(top_right), ramp.find(bottom_left));
+}
+
+TEST(AsciiTest, UniformMapRendersUniformly) {
+  auto m = *DensityMap::Create(10, 10);
+  for (auto& v : m.mutable_values()) v = 3.0;
+  const std::string art = *RenderAscii(m);
+  // Degenerate range normalizes to 0 -> all blanks.
+  for (const char c : art) {
+    if (c != '\n') {
+      EXPECT_EQ(c, ' ');
+    }
+  }
+}
+
+TEST(AsciiTest, Validation) {
+  const auto m = Gradient(4, 4);
+  AsciiOptions opts;
+  opts.max_columns = 0;
+  EXPECT_FALSE(RenderAscii(m, opts).ok());
+  opts = AsciiOptions{};
+  opts.gamma = 0.0;
+  EXPECT_FALSE(RenderAscii(m, opts).ok());
+  EXPECT_FALSE(RenderAscii(DensityMap{}).ok());
+}
+
+}  // namespace
+}  // namespace slam

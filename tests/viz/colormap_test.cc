@@ -1,0 +1,72 @@
+#include "viz/colormap.h"
+
+#include <gtest/gtest.h>
+
+namespace slam {
+namespace {
+
+TEST(ColorMapNameTest, RoundTrips) {
+  for (const ColorMapType t : {ColorMapType::kHeat, ColorMapType::kGrayscale,
+                               ColorMapType::kViridis}) {
+    EXPECT_EQ(*ColorMapFromName(ColorMapName(t)), t);
+  }
+  EXPECT_EQ(*ColorMapFromName("gray"), ColorMapType::kGrayscale);
+  EXPECT_FALSE(ColorMapFromName("plasma").ok());
+}
+
+TEST(MapColorTest, GrayscaleEndpoints) {
+  EXPECT_EQ(MapColor(ColorMapType::kGrayscale, 0.0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(MapColor(ColorMapType::kGrayscale, 1.0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(MapColor(ColorMapType::kGrayscale, 0.5), (Rgb{128, 128, 128}));
+}
+
+TEST(MapColorTest, ClampsOutOfRange) {
+  EXPECT_EQ(MapColor(ColorMapType::kGrayscale, -1.0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(MapColor(ColorMapType::kGrayscale, 2.0), (Rgb{255, 255, 255}));
+}
+
+TEST(MapColorTest, HeatGoesFromCoolToHot) {
+  const Rgb cold = MapColor(ColorMapType::kHeat, 0.0);
+  const Rgb hot = MapColor(ColorMapType::kHeat, 1.0);
+  // Cold end is blue-dominant, hot end red-dominant (paper Figure 1: red =
+  // hotspot).
+  EXPECT_GT(cold.b, cold.r);
+  EXPECT_GT(hot.r, hot.b);
+}
+
+TEST(MapColorTest, RampIsContinuous) {
+  for (const ColorMapType t : {ColorMapType::kHeat, ColorMapType::kViridis}) {
+    Rgb prev = MapColor(t, 0.0);
+    for (double x = 0.01; x <= 1.0; x += 0.01) {
+      const Rgb c = MapColor(t, x);
+      EXPECT_LT(std::abs(int(c.r) - int(prev.r)), 32);
+      EXPECT_LT(std::abs(int(c.g) - int(prev.g)), 32);
+      EXPECT_LT(std::abs(int(c.b) - int(prev.b)), 32);
+      prev = c;
+    }
+  }
+}
+
+TEST(NormalizerTest, LinearMapping) {
+  const Normalizer n{10.0, 20.0, 1.0};
+  EXPECT_DOUBLE_EQ(n.Normalize(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(n.Normalize(5.0), 0.0);    // clamped
+  EXPECT_DOUBLE_EQ(n.Normalize(25.0), 1.0);   // clamped
+}
+
+TEST(NormalizerTest, GammaBoostsLowValues) {
+  const Normalizer n{0.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(n.Normalize(0.25), 0.5);  // sqrt
+  EXPECT_GT(n.Normalize(0.1), 0.1);
+}
+
+TEST(NormalizerTest, DegenerateRangeIsZero) {
+  const Normalizer n{5.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(n.Normalize(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace slam

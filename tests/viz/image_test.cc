@@ -1,0 +1,71 @@
+#include "viz/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace slam {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ImageTest, CreateValidates) {
+  EXPECT_TRUE(Image::Create(4, 4).ok());
+  EXPECT_FALSE(Image::Create(0, 4).ok());
+  EXPECT_FALSE(Image::Create(4, -1).ok());
+}
+
+TEST(ImageTest, SetGet) {
+  auto img = *Image::Create(3, 2);
+  img.set(2, 1, {10, 20, 30});
+  EXPECT_EQ(img.at(2, 1), (Rgb{10, 20, 30}));
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(ImageTest, PpmHeaderAndSize) {
+  auto img = *Image::Create(5, 3);
+  img.set(0, 0, {255, 0, 0});
+  const std::string path = ::testing::TempDir() + "/img_test.ppm";
+  ASSERT_TRUE(img.WritePpm(path).ok());
+  const std::string data = ReadFile(path);
+  EXPECT_EQ(data.substr(0, 2), "P6");
+  EXPECT_NE(data.find("5 3"), std::string::npos);
+  // Header + 5*3*3 bytes of pixels.
+  const size_t header_end = data.find("255\n") + 4;
+  EXPECT_EQ(data.size() - header_end, 45u);
+  // First pixel is red.
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end + 1]), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, PgmLumaOrdering) {
+  auto img = *Image::Create(2, 1);
+  img.set(0, 0, {255, 255, 255});  // white -> 255
+  img.set(1, 0, {0, 0, 0});        // black -> 0
+  const std::string path = ::testing::TempDir() + "/img_test.pgm";
+  ASSERT_TRUE(img.WritePgm(path).ok());
+  const std::string data = ReadFile(path);
+  EXPECT_EQ(data.substr(0, 2), "P5");
+  const size_t header_end = data.find("255\n") + 4;
+  EXPECT_EQ(data.size() - header_end, 2u);
+  EXPECT_GT(static_cast<unsigned char>(data[header_end]),
+            static_cast<unsigned char>(data[header_end + 1]));
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, WriteToBadPathFails) {
+  const auto img = *Image::Create(2, 2);
+  EXPECT_TRUE(img.WritePpm("/nonexistent/dir/x.ppm").IsIoError());
+  EXPECT_TRUE(img.WritePgm("/nonexistent/dir/x.pgm").IsIoError());
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,59 @@
+#include "viz/render.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace slam {
+namespace {
+
+DensityMap PeakAtTopRight() {
+  auto m = *DensityMap::Create(8, 6);
+  m.set(7, 5, 10.0);  // raster row 5 = max y
+  return m;
+}
+
+TEST(RenderTest, ShapeMatchesMap) {
+  const auto img = *RenderDensityMap(PeakAtTopRight());
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 6);
+}
+
+TEST(RenderTest, FlipsVertically) {
+  const auto map = PeakAtTopRight();
+  RenderOptions opts;
+  opts.colormap = ColorMapType::kGrayscale;
+  opts.gamma = 1.0;
+  const auto img = *RenderDensityMap(map, opts);
+  // Max density at raster (7, 5) = geographic top; image row 0 is the top.
+  EXPECT_EQ(img.at(7, 0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(img.at(7, 5), (Rgb{0, 0, 0}));
+}
+
+TEST(RenderTest, HotspotIsRedInHeatMap) {
+  const auto img = *RenderDensityMap(PeakAtTopRight());
+  const Rgb hot = img.at(7, 0);
+  EXPECT_GT(hot.r, hot.b);
+}
+
+TEST(RenderTest, Validation) {
+  EXPECT_FALSE(RenderDensityMap(DensityMap{}).ok());
+  RenderOptions opts;
+  opts.gamma = -1.0;
+  EXPECT_FALSE(RenderDensityMap(PeakAtTopRight(), opts).ok());
+}
+
+TEST(RenderTest, WriteDensityPpmEndToEnd) {
+  const std::string path = ::testing::TempDir() + "/render_test.ppm";
+  ASSERT_TRUE(WriteDensityPpm(PeakAtTopRight(), path).ok());
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::string magic(2, '\0');
+  in.read(magic.data(), 2);
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slam
