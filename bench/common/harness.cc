@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "kdv/bandwidth.h"
+#include "util/exec_context.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -48,8 +49,13 @@ CellResult RunCell(const KdvTask& task, Method method,
                    const EngineOptions& engine_options) {
   CellResult result;
   const Deadline deadline(config.budget_seconds);
+  ExecContext exec;
+  if (engine_options.compute.exec != nullptr) {
+    exec = *engine_options.compute.exec;  // keep caller's budget/injector
+  }
+  exec.set_deadline(&deadline);
   EngineOptions options = engine_options;
-  options.compute.deadline = &deadline;
+  options.compute.exec = &exec;
   Timer timer;
   const auto map = ComputeKdv(task, method, options);
   result.seconds = timer.ElapsedSeconds();

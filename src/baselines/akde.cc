@@ -10,13 +10,15 @@ Status ComputeAkde(const KdvTask& task, const ComputeOptions& options,
   if (options.akde_epsilon < 0.0) {
     return Status::InvalidArgument("akde_epsilon must be non-negative");
   }
-  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points));
+  KdTreeOptions kd_options;
+  kd_options.exec = options.exec;
+  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points, kd_options));
+  ScopedMemoryCharge charge(options.exec, "akde/index");
+  SLAM_RETURN_NOT_OK(charge.Update(index.MemoryUsageBytes()));
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
   for (int iy = 0; iy < task.grid.height(); ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("aKDE exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "akde/row"));
     std::span<double> row = map.mutable_row(iy);
     for (int ix = 0; ix < task.grid.width(); ++ix) {
       const Point q = task.grid.PixelCenter(ix, iy);

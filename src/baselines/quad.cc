@@ -10,7 +10,12 @@ Status ComputeQuad(const KdvTask& task, const ComputeOptions& options,
   if (options.quad_epsilon < 0.0) {
     return Status::InvalidArgument("quad_epsilon must be non-negative");
   }
-  SLAM_ASSIGN_OR_RETURN(QuadTree index, QuadTree::Build(task.points));
+  QuadTreeOptions quad_options;
+  quad_options.exec = options.exec;
+  SLAM_ASSIGN_OR_RETURN(QuadTree index,
+                        QuadTree::Build(task.points, quad_options));
+  ScopedMemoryCharge charge(options.exec, "quad/index");
+  SLAM_RETURN_NOT_OK(charge.Update(index.MemoryUsageBytes()));
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
   // Exact mode decomposes the density over R(q) aggregates (possible for
@@ -19,9 +24,7 @@ Status ComputeQuad(const KdvTask& task, const ComputeOptions& options,
   const bool exact_via_aggregates =
       options.quad_epsilon == 0.0 && KernelSupportedBySlam(task.kernel);
   for (int iy = 0; iy < task.grid.height(); ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("QUAD exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "quad/row"));
     std::span<double> row = map.mutable_row(iy);
     for (int ix = 0; ix < task.grid.width(); ++ix) {
       const Point q = task.grid.PixelCenter(ix, iy);

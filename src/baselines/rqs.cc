@@ -7,19 +7,21 @@ namespace slam {
 
 namespace {
 
-/// Shared pixel loop: `index` must provide RangeQuery(q, radius, fn).
+/// Shared pixel loop: `index` must provide RangeQuery(q, radius, fn) and
+/// MemoryUsageBytes(). The index heap is charged against the context's
+/// budget for the duration of the loop.
 template <typename Index>
 Status RqsLoop(const Index& index, const KdvTask& task,
                const ComputeOptions& options, DensityMap* out) {
+  ScopedMemoryCharge charge(options.exec, "rqs/index");
+  SLAM_RETURN_NOT_OK(charge.Update(index.MemoryUsageBytes()));
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
   const KernelType kernel = task.kernel;
   const double b = task.bandwidth;
   const double w = task.weight;
   for (int iy = 0; iy < task.grid.height(); ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("RQS exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "rqs/row"));
     std::span<double> row = map.mutable_row(iy);
     for (int ix = 0; ix < task.grid.width(); ++ix) {
       const Point q = task.grid.PixelCenter(ix, iy);
@@ -39,14 +41,19 @@ Status RqsLoop(const Index& index, const KdvTask& task,
 Status ComputeRqsKd(const KdvTask& task, const ComputeOptions& options,
                     DensityMap* out) {
   SLAM_RETURN_NOT_OK(ValidateTask(task));
-  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points));
+  KdTreeOptions kd_options;
+  kd_options.exec = options.exec;
+  SLAM_ASSIGN_OR_RETURN(KdTree index, KdTree::Build(task.points, kd_options));
   return RqsLoop(index, task, options, out);
 }
 
 Status ComputeRqsBall(const KdvTask& task, const ComputeOptions& options,
                       DensityMap* out) {
   SLAM_RETURN_NOT_OK(ValidateTask(task));
-  SLAM_ASSIGN_OR_RETURN(BallTree index, BallTree::Build(task.points));
+  BallTreeOptions ball_options;
+  ball_options.exec = options.exec;
+  SLAM_ASSIGN_OR_RETURN(BallTree index,
+                        BallTree::Build(task.points, ball_options));
   return RqsLoop(index, task, options, out);
 }
 

@@ -11,9 +11,7 @@ Status ComputeScan(const KdvTask& task, const ComputeOptions& options,
   const double b = task.bandwidth;
   const double w = task.weight;
   for (int iy = 0; iy < task.grid.height(); ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("SCAN exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "scan/row"));
     std::span<double> row = map.mutable_row(iy);
     for (int ix = 0; ix < task.grid.width(); ++ix) {
       const Point q = task.grid.PixelCenter(ix, iy);

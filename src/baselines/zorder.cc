@@ -13,9 +13,19 @@ Status ComputeZorder(const KdvTask& task, const ComputeOptions& options,
   if (!(options.zorder_epsilon > 0.0) || options.zorder_epsilon > 1.0) {
     return Status::InvalidArgument("zorder_epsilon must be in (0, 1]");
   }
-  SLAM_ASSIGN_OR_RETURN(ZOrderIndex index, ZOrderIndex::Build(task.points));
-  const size_t m = index.SampleSizeForEpsilon(options.zorder_epsilon);
-  const std::vector<Point> sample = index.StridedSample(m);
+  SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "zorder/build"));
+  ScopedMemoryCharge charge(options.exec, "zorder/sample");
+  std::vector<Point> sample;
+  {
+    // The Morton-sorted copy lives only long enough to draw the sample, so
+    // its charge is returned before the exact KDV on the reduction runs.
+    SLAM_ASSIGN_OR_RETURN(ZOrderIndex index,
+                          ZOrderIndex::Build(task.points, options.exec));
+    SLAM_RETURN_NOT_OK(charge.Update(index.MemoryUsageBytes()));
+    const size_t m = index.SampleSizeForEpsilon(options.zorder_epsilon);
+    sample = index.StridedSample(m);
+  }
+  SLAM_RETURN_NOT_OK(charge.Update(sample.capacity() * sizeof(Point)));
 
   // The reduced dataset approximates the full one once each sampled point
   // is re-weighted to stand for n/m originals.

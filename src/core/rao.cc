@@ -15,6 +15,9 @@ Status ComputeWithRao(BaseMethod base, const KdvTask& task,
   if (!RaoWouldTranspose(task)) {
     return base(task, options, out);  // X >= Y: the default row sweep wins
   }
+  SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "rao/transpose"));
+  ScopedMemoryCharge charge(options.exec, "rao/transposed_points");
+  SLAM_RETURN_NOT_OK(charge.Update(task.points.size() * sizeof(Point)));
   const TransposedTask transposed(task);
   DensityMap transposed_map;
   SLAM_RETURN_NOT_OK(base(transposed.task(), options, &transposed_map));

@@ -31,6 +31,18 @@ struct BucketWorkspace {
     lower_offsets.assign(num_pixels + 2, 0);
     upper_offsets.assign(num_pixels + 2, 0);
   }
+
+  /// Heap held by the bucket workspace, accounted against the memory
+  /// budget (the scatter cursors inside BucketEndpoints are transient and
+  /// bounded by the offset arrays, so they are folded in here).
+  size_t HeapBytes() const {
+    return envelope.capacity() * sizeof(Point) +
+           intervals.capacity() * sizeof(BoundInterval) +
+           (lower_offsets.capacity() + upper_offsets.capacity()) * 2 *
+               sizeof(int32_t) +
+           (lower_points.capacity() + upper_points.capacity()) *
+               sizeof(Point);
+  }
 };
 
 /// Bucket of a lower bound: the first pixel index i with value <= x_i,
@@ -109,17 +121,19 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
   }
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
+  const ExecContext* exec = options.exec;
+  ScopedMemoryCharge charge(exec, "slam_bucket/workspace");
   std::unique_ptr<EnvelopeScanner> scanner;
   if (options.incremental_envelope) {
+    SLAM_RETURN_NOT_OK(charge.Update(task.points.size() * sizeof(Point)));
     scanner = std::make_unique<EnvelopeScanner>(task.points);
   }
+  const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
 
   BucketWorkspace ws;
   const GridAxis& ys = task.grid.y_axis();
   for (int iy = 0; iy < ys.count; ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("SLAM_BUCKET exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, "slam_bucket/row"));
     const double k = ys.Coord(iy);
     std::span<const Point> envelope;
     if (scanner) {
@@ -130,6 +144,7 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
     }
     ComputeBoundIntervals(envelope, k, task.bandwidth, &ws.intervals);
     BucketEndpoints(ws, task.grid.x_axis());
+    SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
     SweepRowBuckets(ws, task, k, map.mutable_row(iy));
   }
   *out = std::move(map);

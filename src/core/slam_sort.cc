@@ -23,6 +23,14 @@ struct RowWorkspace {
   std::vector<BoundInterval> intervals;
   std::vector<Event> lower_events;
   std::vector<Event> upper_events;
+
+  /// Heap held by the sweep workspace, accounted against the memory budget.
+  size_t HeapBytes() const {
+    return envelope.capacity() * sizeof(Point) +
+           intervals.capacity() * sizeof(BoundInterval) +
+           (lower_events.capacity() + upper_events.capacity()) *
+               sizeof(Event);
+  }
 };
 
 /// Sweeps one row: pixels at x0, x0+gx, ..., writing densities into `row`.
@@ -64,19 +72,22 @@ Status ComputeSlamSort(const KdvTask& task, const ComputeOptions& options,
   }
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
+  const ExecContext* exec = options.exec;
+  ScopedMemoryCharge charge(exec, "slam_sort/workspace");
   // The y-sorted scanner is an optional exact optimization; Algorithm 1
   // rescans all n points per row.
   std::unique_ptr<EnvelopeScanner> scanner;
   if (options.incremental_envelope) {
+    SLAM_RETURN_NOT_OK(
+        charge.Update(task.points.size() * sizeof(Point)));
     scanner = std::make_unique<EnvelopeScanner>(task.points);
   }
+  const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
 
   RowWorkspace ws;
   const GridAxis& ys = task.grid.y_axis();
   for (int iy = 0; iy < ys.count; ++iy) {
-    if (options.deadline != nullptr && options.deadline->Expired()) {
-      return Status::Cancelled("SLAM_SORT exceeded the time budget");
-    }
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, "slam_sort/row"));
     const double k = ys.Coord(iy);
     std::span<const Point> envelope;
     if (scanner) {
@@ -95,6 +106,7 @@ Status ComputeSlamSort(const KdvTask& task, const ComputeOptions& options,
       ws.lower_events.push_back({iv.lb, iv.p});
       ws.upper_events.push_back({iv.ub, iv.p});
     }
+    SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
     // The O(n log n) step Theorem 1 charges per row.
     const auto by_x = [](const Event& a, const Event& b) { return a.x < b.x; };
     std::sort(ws.lower_events.begin(), ws.lower_events.end(), by_x);

@@ -1,8 +1,10 @@
 #include "data/csv_io.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace slam {
@@ -17,12 +19,19 @@ struct ColumnMap {
 }  // namespace
 
 Result<PointDataset> LoadDatasetCsv(const std::string& path) {
+  return LoadDatasetCsv(path, CsvLoadOptions{}, nullptr);
+}
+
+Result<PointDataset> LoadDatasetCsv(const std::string& path,
+                                    const CsvLoadOptions& options,
+                                    size_t* dropped_rows) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
   ColumnMap columns;
   PointDataset ds(path);
+  size_t dropped = 0;
   const Status st = ReadCsvStream(
       in, CsvOptions{},
       [&columns](const std::vector<std::string>& header) -> Status {
@@ -45,36 +54,73 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path) {
         }
         return Status::OK();
       },
-      [&columns, &ds](int64_t row,
-                      const std::vector<std::string>& fields) -> Status {
+      [&columns, &ds, &options, &dropped](
+          int64_t row, const std::vector<std::string>& fields) -> Status {
+        // 1-based file line: data row 0 follows the header on line 1.
+        const long long line = static_cast<long long>(row) + 2;
         const auto need = [&](int idx) -> Result<std::string_view> {
           if (idx < 0 || static_cast<size_t>(idx) >= fields.size()) {
-            return Status::InvalidArgument(StringPrintf(
-                "row %lld: missing column %d", static_cast<long long>(row),
-                idx));
+            return Status::InvalidArgument(
+                StringPrintf("line %lld: missing column %d", line, idx));
           }
           return std::string_view(fields[idx]);
         };
+        const auto parse = [&](std::string_view field,
+                               const char* what) -> Result<double> {
+          const auto value = ParseDouble(field);
+          if (!value.ok()) {
+            return Status::InvalidArgument(
+                StringPrintf("line %lld: bad %s value: ", line, what) +
+                value.status().message());
+          }
+          return value;
+        };
         SLAM_ASSIGN_OR_RETURN(std::string_view xs, need(columns.x));
         SLAM_ASSIGN_OR_RETURN(std::string_view ys, need(columns.y));
-        SLAM_ASSIGN_OR_RETURN(double x, ParseDouble(xs));
-        SLAM_ASSIGN_OR_RETURN(double y, ParseDouble(ys));
+        SLAM_ASSIGN_OR_RETURN(double x, parse(xs, "x coordinate"));
+        SLAM_ASSIGN_OR_RETURN(double y, parse(ys, "y coordinate"));
+        if (!std::isfinite(x) || !std::isfinite(y)) {
+          if (options.sanitize) {
+            ++dropped;
+            return Status::OK();
+          }
+          return Status::InvalidArgument(StringPrintf(
+              "line %lld: non-finite coordinates (%g, %g); pass "
+              "CsvLoadOptions::sanitize to drop such rows",
+              line, x, y));
+        }
         int64_t t = 0;
         int32_t category = 0;
         if (columns.time >= 0 &&
             static_cast<size_t>(columns.time) < fields.size()) {
-          SLAM_ASSIGN_OR_RETURN(t, ParseInt64(fields[columns.time]));
+          const auto parsed_t = ParseInt64(fields[columns.time]);
+          if (!parsed_t.ok()) {
+            return Status::InvalidArgument(
+                StringPrintf("line %lld: bad time value: ", line) +
+                parsed_t.status().message());
+          }
+          t = *parsed_t;
         }
         if (columns.category >= 0 &&
             static_cast<size_t>(columns.category) < fields.size()) {
-          SLAM_ASSIGN_OR_RETURN(int64_t c,
-                                ParseInt64(fields[columns.category]));
-          category = static_cast<int32_t>(c);
+          const auto parsed_c = ParseInt64(fields[columns.category]);
+          if (!parsed_c.ok()) {
+            return Status::InvalidArgument(
+                StringPrintf("line %lld: bad category value: ", line) +
+                parsed_c.status().message());
+          }
+          category = static_cast<int32_t>(*parsed_c);
         }
         ds.Add({x, y}, t, category);
         return Status::OK();
       });
   if (!st.ok()) return st;
+  if (dropped > 0) {
+    SLAM_LOG(Warning) << "LoadDatasetCsv: dropped " << dropped
+                      << " row(s) with non-finite coordinates from '" << path
+                      << "'";
+  }
+  if (dropped_rows != nullptr) *dropped_rows = dropped;
   return ds;
 }
 

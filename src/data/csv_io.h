@@ -10,9 +10,22 @@
 
 namespace slam {
 
+struct CsvLoadOptions {
+  /// When true, rows with NaN/Inf coordinates are dropped (with a logged
+  /// warning and a count in *dropped_rows) instead of failing the load.
+  bool sanitize = false;
+};
+
 /// Expected header: x,y[,time[,category]]. Extra columns are ignored;
-/// missing time/category default to 0.
+/// missing time/category default to 0. Parse failures and non-finite
+/// coordinates are reported with the offending 1-based line number.
 Result<PointDataset> LoadDatasetCsv(const std::string& path);
+
+/// As above; with options.sanitize, non-finite rows are dropped and their
+/// count stored in *dropped_rows (may be null).
+Result<PointDataset> LoadDatasetCsv(const std::string& path,
+                                    const CsvLoadOptions& options,
+                                    size_t* dropped_rows = nullptr);
 
 Status SaveDatasetCsv(const PointDataset& dataset, const std::string& path);
 

@@ -1,5 +1,8 @@
 #include "explore/session.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "kdv/bandwidth.h"
 #include "util/string_util.h"
 
@@ -59,16 +62,17 @@ Status ExplorerSession::SetFilter(const EventFilter& filter) {
 }
 
 Status ExplorerSession::ScaleBandwidth(double factor) {
-  if (!(factor > 0.0)) {
-    return Status::InvalidArgument("bandwidth scale factor must be positive");
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    return Status::InvalidArgument(
+        "bandwidth scale factor must be positive and finite");
   }
   bandwidth_ *= factor;
   return Status::OK();
 }
 
 Status ExplorerSession::SetBandwidth(double bandwidth) {
-  if (!(bandwidth > 0.0)) {
-    return Status::InvalidArgument("bandwidth must be positive");
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument("bandwidth must be positive and finite");
   }
   bandwidth_ = bandwidth;
   return Status::OK();
@@ -98,6 +102,49 @@ Result<DensityMap> ExplorerSession::Render() const {
   const KdvTask task =
       MakeTask(filtered_, viewport_, config_.kernel, bandwidth_);
   return ComputeKdv(task, config_.method, config_.engine);
+}
+
+Result<RenderOutcome> ExplorerSession::RenderAdaptive() const {
+  const ExecContext* base_exec = config_.engine.compute.exec;
+  RenderOutcome outcome;
+  const int max_attempts = std::max(0, config_.max_degrade_retries) + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Each attempt gets its own deadline (a Deadline cannot be re-armed);
+    // cancellation, budget and fault injector pass through unchanged.
+    ExecContext attempt_exec;
+    if (base_exec != nullptr) attempt_exec = *base_exec;
+    Deadline attempt_deadline(config_.render_budget_seconds);
+    if (config_.render_budget_seconds > 0.0) {
+      attempt_exec.set_deadline(&attempt_deadline);
+    }
+    EngineOptions attempt_engine = config_.engine;
+    attempt_engine.compute.exec = &attempt_exec;
+
+    const int shift = attempt;  // halve once per retry
+    const int width = std::max(1, config_.width_px >> shift);
+    const int height = std::max(1, config_.height_px >> shift);
+    auto attempt_viewport =
+        Viewport::Create(viewport_.region(), width, height);
+    if (!attempt_viewport.ok()) return attempt_viewport.status();
+    const KdvTask task =
+        MakeTask(filtered_, *attempt_viewport, config_.kernel, bandwidth_);
+    auto map = ComputeKdv(task, config_.method, attempt_engine);
+    if (map.ok()) {
+      outcome.map = *std::move(map);
+      outcome.degrade_level = attempt;
+      return outcome;
+    }
+    if (attempt == 0) outcome.full_res_status = map.status();
+    const StatusCode code = map.status().code();
+    const bool degradable = code == StatusCode::kCancelled ||
+                            code == StatusCode::kResourceExhausted;
+    // A tripped user token means "stop", not "try smaller".
+    const bool user_cancelled = base_exec != nullptr &&
+                                base_exec->cancellation() != nullptr &&
+                                base_exec->cancellation()->cancelled();
+    if (!degradable || user_cancelled) return map.status();
+  }
+  return outcome.full_res_status;
 }
 
 }  // namespace slam

@@ -24,6 +24,23 @@ struct SessionConfig {
   std::optional<double> bandwidth;
   Method method = Method::kSlamBucketRao;
   EngineOptions engine;
+  /// Per-attempt wall-clock budget for RenderAdaptive; <= 0 keeps whatever
+  /// deadline engine.compute.exec already carries (possibly none).
+  double render_budget_seconds = 0.0;
+  /// How many times RenderAdaptive may halve the resolution after a
+  /// Cancelled / ResourceExhausted attempt before giving up.
+  int max_degrade_retries = 2;
+};
+
+/// Result of an adaptive render: the raster actually produced, how many
+/// halvings were needed to get it, and (when degraded) why full resolution
+/// failed.
+struct RenderOutcome {
+  DensityMap map;
+  /// 0 = full resolution; k = rendered at width/2^k x height/2^k.
+  int degrade_level = 0;
+  /// OK at degrade_level 0, else the full-resolution attempt's error.
+  Status full_res_status;
 };
 
 class ExplorerSession {
@@ -53,6 +70,15 @@ class ExplorerSession {
 
   /// Computes the density raster for the current state.
   Result<DensityMap> Render() const;
+
+  /// Render with graceful degradation: when an attempt fails with
+  /// Cancelled (deadline) or ResourceExhausted (memory budget), retries at
+  /// half the resolution, up to config.max_degrade_retries times. A
+  /// render_budget_seconds > 0 arms a fresh per-attempt deadline. An
+  /// explicitly tripped cancellation token is honoured immediately — the
+  /// user asked to stop, so no degraded retry is attempted. Errors other
+  /// than Cancelled / ResourceExhausted propagate unchanged.
+  Result<RenderOutcome> RenderAdaptive() const;
 
   // -- Introspection ----------------------------------------------------
 

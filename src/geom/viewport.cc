@@ -12,6 +12,11 @@ Result<Viewport> Viewport::Create(const BoundingBox& region, int width_px,
     return Status::InvalidArgument("viewport region must have positive area, got " +
                                    region.ToString());
   }
+  if (!std::isfinite(region.width()) || !std::isfinite(region.height()) ||
+      !std::isfinite(region.min().x) || !std::isfinite(region.min().y)) {
+    return Status::InvalidArgument("viewport region must be finite, got " +
+                                   region.ToString());
+  }
   if (width_px <= 0 || height_px <= 0) {
     return Status::InvalidArgument(StringPrintf(
         "viewport resolution must be positive, got %dx%d", width_px,

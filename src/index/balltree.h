@@ -11,12 +11,15 @@
 
 #include "geom/point.h"
 #include "kdv/kernel.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace slam {
 
 struct BallTreeOptions {
   int leaf_size = 32;
+  /// Polled periodically during the build; not owned, may be null.
+  const ExecContext* exec = nullptr;
 };
 
 class BallTree {
@@ -52,7 +55,8 @@ class BallTree {
     bool IsLeaf() const { return left < 0; }
   };
 
-  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size);
+  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size,
+                         const ExecContext* exec, Status* build_status);
 
   std::vector<Point> points_;
   std::vector<Node> nodes_;

@@ -11,17 +11,30 @@ Result<KdTree> KdTree::Build(std::span<const Point> points,
   if (options.leaf_size <= 0) {
     return Status::InvalidArgument("kd-tree leaf size must be positive");
   }
+  SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "kdtree/build"));
   KdTree tree;
   tree.points_.assign(points.begin(), points.end());
   if (!tree.points_.empty()) {
     tree.nodes_.reserve(2 * tree.points_.size() / options.leaf_size + 2);
+    Status build_status;
     tree.root_ = tree.BuildRecursive(0, static_cast<uint32_t>(tree.points_.size()),
-                                     options.leaf_size);
+                                     options.leaf_size, options.exec,
+                                     &build_status);
+    SLAM_RETURN_NOT_OK(build_status);
   }
   return tree;
 }
 
-int32_t KdTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size) {
+int32_t KdTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size,
+                               const ExecContext* exec,
+                               Status* build_status) {
+  if (!build_status->ok()) return -1;
+  // Poll at node-creation granularity (every 64 nodes keeps the overhead
+  // well under the aggregate pass that follows).
+  if (exec != nullptr && nodes_.size() % 64 == 0) {
+    *build_status = exec->Check("kdtree/build");
+    if (!build_status->ok()) return -1;
+  }
   const int32_t index = static_cast<int32_t>(nodes_.size());
   nodes_.emplace_back();
   {
@@ -45,8 +58,11 @@ int32_t KdTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size) {
                    [split_x](const Point& a, const Point& b) {
                      return split_x ? a.x < b.x : a.y < b.y;
                    });
-  const int32_t left = BuildRecursive(begin, mid, leaf_size);
-  const int32_t right = BuildRecursive(mid, end, leaf_size);
+  const int32_t left = BuildRecursive(begin, mid, leaf_size, exec,
+                                      build_status);
+  const int32_t right = BuildRecursive(mid, end, leaf_size, exec,
+                                       build_status);
+  if (!build_status->ok()) return -1;
   nodes_[index].left = left;
   nodes_[index].right = right;
   return index;

@@ -16,12 +16,16 @@
 #include "geom/bounding_box.h"
 #include "geom/point.h"
 #include "kdv/kernel.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace slam {
 
 struct KdTreeOptions {
   int leaf_size = 32;
+  /// Polled periodically during the build so a cancelled or expired
+  /// context aborts index construction promptly. Not owned; may be null.
+  const ExecContext* exec = nullptr;
 };
 
 class KdTree {
@@ -67,7 +71,8 @@ class KdTree {
     bool IsLeaf() const { return left < 0; }
   };
 
-  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size);
+  int32_t BuildRecursive(uint32_t begin, uint32_t end, int leaf_size,
+                         const ExecContext* exec, Status* build_status);
 
   std::vector<Point> points_;
   std::vector<Node> nodes_;

@@ -10,6 +10,7 @@ Result<QuadTree> QuadTree::Build(std::span<const Point> points,
     return Status::InvalidArgument(
         "quadtree leaf size and max depth must be positive");
   }
+  SLAM_RETURN_NOT_OK(ExecCheck(options.exec, "quadtree/build"));
   QuadTree tree;
   tree.points_.assign(points.begin(), points.end());
   if (!tree.points_.empty()) {
@@ -18,15 +19,24 @@ Result<QuadTree> QuadTree::Build(std::span<const Point> points,
     if (root_cell.width() <= 0.0 || root_cell.height() <= 0.0) {
       root_cell = root_cell.Expanded(1.0);
     }
+    Status build_status;
     tree.root_ = tree.BuildRecursive(
-        0, static_cast<uint32_t>(tree.points_.size()), root_cell, 0, options);
+        0, static_cast<uint32_t>(tree.points_.size()), root_cell, 0, options,
+        &build_status);
+    SLAM_RETURN_NOT_OK(build_status);
   }
   return tree;
 }
 
 int32_t QuadTree::BuildRecursive(uint32_t begin, uint32_t end,
                                  const BoundingBox& cell, int depth,
-                                 const QuadTreeOptions& options) {
+                                 const QuadTreeOptions& options,
+                                 Status* build_status) {
+  if (!build_status->ok()) return -1;
+  if (options.exec != nullptr && nodes_.size() % 64 == 0) {
+    *build_status = options.exec->Check("quadtree/build");
+    if (!build_status->ok()) return -1;
+  }
   const int32_t index = static_cast<int32_t>(nodes_.size());
   nodes_.emplace_back();
   {
@@ -69,9 +79,10 @@ int32_t QuadTree::BuildRecursive(uint32_t begin, uint32_t end,
     if (ranges[quadrant] < ranges[quadrant + 1]) {
       children[quadrant] =
           BuildRecursive(ranges[quadrant], ranges[quadrant + 1],
-                         cells[quadrant], depth + 1, options);
+                         cells[quadrant], depth + 1, options, build_status);
     }
   }
+  if (!build_status->ok()) return -1;
   Node& node = nodes_[index];
   node.leaf = false;
   for (int quadrant = 0; quadrant < 4; ++quadrant) {

@@ -14,6 +14,7 @@
 #include "geom/bounding_box.h"
 #include "geom/point.h"
 #include "kdv/kernel.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace slam {
@@ -21,6 +22,8 @@ namespace slam {
 struct QuadTreeOptions {
   int leaf_size = 32;
   int max_depth = 24;
+  /// Polled periodically during the build; not owned, may be null.
+  const ExecContext* exec = nullptr;
 };
 
 class QuadTree {
@@ -55,7 +58,8 @@ class QuadTree {
 
   int32_t BuildRecursive(uint32_t begin, uint32_t end,
                          const BoundingBox& cell, int depth,
-                         const QuadTreeOptions& options);
+                         const QuadTreeOptions& options,
+                         Status* build_status);
 
   std::vector<Point> points_;
   std::vector<Node> nodes_;

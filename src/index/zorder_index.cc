@@ -7,7 +7,9 @@
 
 namespace slam {
 
-Result<ZOrderIndex> ZOrderIndex::Build(std::span<const Point> points) {
+Result<ZOrderIndex> ZOrderIndex::Build(std::span<const Point> points,
+                                       const ExecContext* exec) {
+  SLAM_RETURN_NOT_OK(ExecCheck(exec, "zorder_index/build"));
   ZOrderIndex index;
   const std::vector<uint32_t> order = MortonSortOrder(points);
   index.sorted_points_.reserve(points.size());

@@ -8,13 +8,16 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace slam {
 
 class ZOrderIndex {
  public:
-  static Result<ZOrderIndex> Build(std::span<const Point> points);
+  /// `exec` (not owned, may be null) is polled before the Morton sort.
+  static Result<ZOrderIndex> Build(std::span<const Point> points,
+                                   const ExecContext* exec = nullptr);
 
   size_t size() const { return sorted_points_.size(); }
   bool empty() const { return sorted_points_.empty(); }

@@ -1,6 +1,7 @@
 #include "kdv/engine.h"
 
 #include <array>
+#include <vector>
 
 #include "baselines/akde.h"
 #include "baselines/quad.h"
@@ -10,6 +11,7 @@
 #include "core/rao.h"
 #include "core/slam_bucket.h"
 #include "core/slam_sort.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace slam {
@@ -124,26 +126,55 @@ bool MethodIsSlam(Method method) {
 
 Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
                               const EngineOptions& options) {
-  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  const ExecContext* exec = options.compute.exec;
+  SLAM_RETURN_NOT_OK(ExecCheck(exec, "engine/start"));
   MethodFn fn = Dispatch(method);
   if (fn == nullptr) {
     return Status::InvalidArgument(
         StringPrintf("unknown method id %d", static_cast<int>(method)));
   }
-  if (MethodIsSlam(method) && !KernelSupportedBySlam(task.kernel)) {
+  // Sanitization precedes validation so that NaN/Inf points are dropped
+  // rather than fatal; everything else (grid, bandwidth, weight) still
+  // fails fast.
+  KdvTask run_task = task;
+  std::vector<Point> finite_points;
+  if (options.sanitize) {
+    const size_t dropped = CopyFinitePoints(task.points, &finite_points);
+    if (dropped > 0) {
+      SLAM_LOG(Warning) << "sanitize: dropped " << dropped << " of "
+                        << task.points.size()
+                        << " points with non-finite coordinates";
+      run_task.points = finite_points;
+    }
+  }
+  SLAM_RETURN_NOT_OK(ValidateTask(run_task));
+  if (MethodIsSlam(method) && !KernelSupportedBySlam(run_task.kernel)) {
     return Status::InvalidArgument(
-        "SLAM cannot support the " + std::string(KernelTypeName(task.kernel)) +
+        "SLAM cannot support the " +
+        std::string(KernelTypeName(run_task.kernel)) +
         " kernel: its density has no finite aggregate decomposition "
         "(paper Section 3.7)");
   }
+  // Pre-flight memory check: refuse before doing any work if the method's
+  // analytic peak auxiliary space cannot fit in the remaining budget.
+  if (exec != nullptr && exec->memory_budget() != nullptr) {
+    SLAM_RETURN_NOT_OK(exec->CheckBudgetFor(
+        EstimateAuxiliarySpaceBytes(method, run_task.points.size(),
+                                    run_task.grid.width(),
+                                    run_task.grid.height()),
+        MethodName(method)));
+  }
   DensityMap map;
   if (options.recenter_coordinates) {
-    const Point c = {task.grid.x_axis().Coord(task.grid.width() / 2),
-                     task.grid.y_axis().Coord(task.grid.height() / 2)};
-    const TranslatedTask translated(task, c.x, c.y);
+    ScopedMemoryCharge recenter_charge(exec, "engine/recentered_points");
+    SLAM_RETURN_NOT_OK(
+        recenter_charge.Update(run_task.points.size() * sizeof(Point)));
+    const Point c = {run_task.grid.x_axis().Coord(run_task.grid.width() / 2),
+                     run_task.grid.y_axis().Coord(run_task.grid.height() / 2)};
+    const TranslatedTask translated(run_task, c.x, c.y);
     SLAM_RETURN_NOT_OK(fn(translated.task(), options.compute, &map));
   } else {
-    SLAM_RETURN_NOT_OK(fn(task, options.compute, &map));
+    SLAM_RETURN_NOT_OK(fn(run_task, options.compute, &map));
   }
   return map;
 }

@@ -46,12 +46,18 @@ struct EngineOptions {
   /// when coordinates are large (e.g. projected meters with a far datum);
   /// costs one O(n) copy. The result is identical up to FP rounding.
   bool recenter_coordinates = false;
+  /// Opt-in input sanitization: drop points with NaN/Inf coordinates (one
+  /// O(n) copy, warning logged with the dropped count) instead of failing
+  /// validation. Off by default — silent data loss should be a choice.
+  bool sanitize = false;
 };
 
 /// Computes the density raster with the chosen method. Returns
 /// InvalidArgument for unsupported kernel/method combinations (e.g. any
-/// SLAM variant with the Gaussian kernel) and Cancelled if the options'
-/// deadline expires mid-computation.
+/// SLAM variant with the Gaussian kernel), Cancelled if the options'
+/// ExecContext deadline expires or its token is cancelled mid-computation,
+/// and ResourceExhausted if the method's estimated or actual auxiliary
+/// space exceeds the context's memory budget.
 Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
                               const EngineOptions& options = {});
 

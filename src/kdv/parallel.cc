@@ -4,13 +4,23 @@
 #include <mutex>
 #include <vector>
 
+#include "util/exec_context.h"
 #include "util/thread_pool.h"
 
 namespace slam {
 
 Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
                                       const ParallelOptions& options) {
-  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  // Sanitize once here rather than per stripe, so every stripe sees the
+  // same point set and the dropped-count warning is logged once.
+  KdvTask clean_task = task;
+  std::vector<Point> finite_points;
+  if (options.engine.sanitize) {
+    if (CopyFinitePoints(task.points, &finite_points) > 0) {
+      clean_task.points = finite_points;
+    }
+  }
+  SLAM_RETURN_NOT_OK(ValidateTask(clean_task));
   if (MethodIsSlam(method) && !KernelSupportedBySlam(task.kernel)) {
     return Status::InvalidArgument(
         "SLAM cannot support the " + std::string(KernelTypeName(task.kernel)) +
@@ -18,37 +28,70 @@ Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
   }
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
-  ThreadPool pool(options.num_threads);
-  std::mutex status_mutex;
-  Status first_error;  // first failure wins; stripes are independent
+  const ExecContext* caller_exec = options.engine.compute.exec;
+  SLAM_RETURN_NOT_OK(ExecCheck(caller_exec, "parallel/start"));
 
-  ParallelFor(
-      &pool, 0, task.grid.height(),
-      [&](int64_t row_begin, int64_t row_end) {
-        // Sub-task: same lattice restricted to rows [row_begin, row_end).
-        KdvTask stripe = task;
-        GridAxis y = task.grid.y_axis();
-        y.origin = task.grid.y_axis().Coord(static_cast<int>(row_begin));
-        y.count = static_cast<int>(row_end - row_begin);
-        const auto stripe_grid = Grid::Create(task.grid.x_axis(), y);
-        if (!stripe_grid.ok()) {
-          std::lock_guard<std::mutex> lock(status_mutex);
-          if (first_error.ok()) first_error = stripe_grid.status();
-          return;
-        }
-        stripe.grid = *stripe_grid;
-        const auto stripe_map = ComputeKdv(stripe, method, options.engine);
-        if (!stripe_map.ok()) {
-          std::lock_guard<std::mutex> lock(status_mutex);
-          if (first_error.ok()) first_error = stripe_map.status();
-          return;
-        }
-        for (int iy = 0; iy < stripe_map->height(); ++iy) {
-          const auto src = stripe_map->row(iy);
-          auto dst = map.mutable_row(static_cast<int>(row_begin) + iy);
-          std::copy(src.begin(), src.end(), dst.begin());
-        }
-      });
+  // Stripes share the caller's deadline/budget/fault injector but get a
+  // cancellation token chained to the caller's: the first failing stripe
+  // trips it, so sibling stripes stop at their next row poll instead of
+  // running to completion.
+  CancellationToken stripe_cancel(
+      caller_exec != nullptr ? caller_exec->cancellation() : nullptr);
+  ExecContext stripe_exec;
+  if (caller_exec != nullptr) stripe_exec = *caller_exec;
+  stripe_exec.set_cancellation(&stripe_cancel);
+  EngineOptions stripe_engine = options.engine;
+  stripe_engine.compute.exec = &stripe_exec;
+  stripe_engine.sanitize = false;  // already sanitized above, once
+
+  std::mutex status_mutex;
+  Status first_error;  // first failure wins; secondary Cancelled is dropped
+  auto record_error = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(status_mutex);
+    if (first_error.ok()) {
+      first_error = status;
+      stripe_cancel.Cancel();  // stop sibling stripes
+    }
+  };
+
+  {
+    // Scope: the pool joins before first_error is read or `map` returned,
+    // so no stripe thread outlives this function.
+    ThreadPool pool(options.num_threads);
+    ParallelFor(
+        &pool, 0, task.grid.height(),
+        [&](int64_t row_begin, int64_t row_end) {
+          const Status entry = stripe_exec.Check("parallel/stripe");
+          if (!entry.ok()) {
+            // Cancellation here is a sibling's doing; its error is already
+            // recorded. Anything else (deadline, injected fault) is this
+            // stripe's own failure.
+            record_error(entry);
+            return;
+          }
+          // Sub-task: same lattice restricted to rows [row_begin, row_end).
+          KdvTask stripe = clean_task;
+          GridAxis y = task.grid.y_axis();
+          y.origin = task.grid.y_axis().Coord(static_cast<int>(row_begin));
+          y.count = static_cast<int>(row_end - row_begin);
+          const auto stripe_grid = Grid::Create(task.grid.x_axis(), y);
+          if (!stripe_grid.ok()) {
+            record_error(stripe_grid.status());
+            return;
+          }
+          stripe.grid = *stripe_grid;
+          const auto stripe_map = ComputeKdv(stripe, method, stripe_engine);
+          if (!stripe_map.ok()) {
+            record_error(stripe_map.status());
+            return;
+          }
+          for (int iy = 0; iy < stripe_map->height(); ++iy) {
+            const auto src = stripe_map->row(iy);
+            auto dst = map.mutable_row(static_cast<int>(row_begin) + iy);
+            std::copy(src.begin(), src.end(), dst.begin());
+          }
+        });
+  }
 
   if (!first_error.ok()) return first_error;
   return map;

@@ -22,7 +22,26 @@ Status ValidateTask(const KdvTask& task) {
         "normalization weight must be positive and finite, got %g",
         task.weight));
   }
+  for (size_t i = 0; i < task.points.size(); ++i) {
+    const Point& p = task.points[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument(StringPrintf(
+          "point %zu has non-finite coordinates (%g, %g); enable "
+          "EngineOptions::sanitize to drop such points",
+          i, p.x, p.y));
+    }
+  }
   return Status::OK();
+}
+
+size_t CopyFinitePoints(std::span<const Point> points,
+                        std::vector<Point>* out) {
+  out->clear();
+  out->reserve(points.size());
+  for (const Point& p : points) {
+    if (std::isfinite(p.x) && std::isfinite(p.y)) out->push_back(p);
+  }
+  return points.size() - out->size();
 }
 
 KdvTask MakeTask(const PointDataset& dataset, const Viewport& viewport,

@@ -9,8 +9,8 @@
 #include "geom/point.h"
 #include "kdv/grid.h"
 #include "kdv/kernel.h"
+#include "util/exec_context.h"
 #include "util/result.h"
-#include "util/timer.h"
 
 namespace slam {
 
@@ -26,10 +26,13 @@ struct KdvTask {
 
 /// Per-computation knobs shared by every method implementation.
 struct ComputeOptions {
-  /// Cooperative budget: methods poll it between pixel rows and return
-  /// Status::Cancelled once expired. Nullptr = unlimited. This implements
-  /// the paper's ">14400 sec" censoring rule for the experiment harness.
-  const Deadline* deadline = nullptr;
+  /// Hardened execution context: cancellation token, deadline, memory
+  /// budget, fault injection (util/exec_context.h). Methods poll it between
+  /// pixel rows and at phase boundaries (index build, transposition) and
+  /// account their workspace allocations against its budget. Nullptr =
+  /// unlimited. The deadline member implements the paper's ">14400 sec"
+  /// censoring rule for the experiment harness.
+  const ExecContext* exec = nullptr;
   /// Z-order baseline: target uniform density error (fraction of the
   /// density scale); sample size is ~1/eps² (Zheng et al. [73]).
   double zorder_epsilon = 0.005;
@@ -45,10 +48,16 @@ struct ComputeOptions {
   bool incremental_envelope = false;
 };
 
-/// Rejects empty grids, non-positive bandwidth/weight, and non-finite
-/// coordinates are the caller's responsibility (checked only in debug —
-/// scanning n points per call would dominate small tasks).
+/// Rejects empty grids, non-positive or non-finite bandwidth/weight, and
+/// points with NaN/Inf coordinates (the O(n) scan is negligible next to
+/// any density computation, which is at least O(n) per pixel row). To drop
+/// bad points instead of failing, see EngineOptions::sanitize.
 Status ValidateTask(const KdvTask& task);
+
+/// Indices-free helper behind EngineOptions::sanitize: copies the finite
+/// points of `points` into `*out` and returns how many were dropped.
+size_t CopyFinitePoints(std::span<const Point> points,
+                        std::vector<Point>* out);
 
 /// Convenience: a task over a dataset rendered through a viewport, with
 /// weight defaulting to 1/n.

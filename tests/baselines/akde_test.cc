@@ -82,8 +82,10 @@ TEST(AkdeTest, HonorsDeadline) {
   KdvTask task = MakeAkdeTask(pts, KernelType::kEpanechnikov);
   task.grid = MakeGrid(300, 300, 70.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeAkde(task, opts, &out).code(), StatusCode::kCancelled);
 }

@@ -87,8 +87,10 @@ TEST(QuadTest, HonorsDeadline) {
   KdvTask task = MakeQuadTask(pts, KernelType::kEpanechnikov);
   task.grid = MakeGrid(400, 400, 70.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeQuad(task, opts, &out).code(), StatusCode::kCancelled);
 }

@@ -81,8 +81,10 @@ TEST(RqsTest, HonorsDeadline) {
   KdvTask task = MakeRqsTask(pts, KernelType::kEpanechnikov, 30.0);
   task.grid = MakeGrid(300, 300, 60.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeRqsKd(task, opts, &out).code(), StatusCode::kCancelled);
   EXPECT_EQ(ComputeRqsBall(task, opts, &out).code(), StatusCode::kCancelled);

@@ -64,8 +64,10 @@ TEST(ScanTest, HonorsDeadline) {
   KdvTask task = MakeScanTask(pts, KernelType::kEpanechnikov);
   task.grid = MakeGrid(200, 200, 40.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeScan(task, opts, &out).code(), StatusCode::kCancelled);
 }

@@ -93,8 +93,10 @@ TEST(RaoTest, PropagatesDeadline) {
   const auto pts = RandomPoints(20000, 100.0, 331);
   const KdvTask task = MakeRaoTask(pts, 100, 500, 100.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeSlamBucketRao(task, opts, &out).code(),
             StatusCode::kCancelled);

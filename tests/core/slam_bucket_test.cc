@@ -84,8 +84,10 @@ TEST(SlamBucketTest, HonorsDeadline) {
   const KdvTask task =
       MakeBucketTask(pts, KernelType::kEpanechnikov, 30.0, 400, 400, 100.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ComputeOptions opts;
-  opts.deadline = &expired;
+  opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeSlamBucket(task, opts, &out).code(),
             StatusCode::kCancelled);

@@ -77,6 +77,53 @@ TEST_F(CsvIoTest, MalformedNumberFails) {
   std::remove(path.c_str());
 }
 
+TEST_F(CsvIoTest, ParseErrorsNameTheOffendingLine) {
+  const std::string path = TempPath("badline.csv");
+  WriteFile(path, "x,y\n1,2\n3,4\n5,oops\n");
+  const auto result = LoadDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  // The bad record is the third data row, i.e. file line 4.
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, NonFiniteCoordinatesRejectedWithLine) {
+  const std::string path = TempPath("nonfinite.csv");
+  WriteFile(path, "x,y\n1,2\nnan,5\n");
+  const auto result = LoadDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("non-finite"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, SanitizeDropsNonFiniteRowsAndCountsThem) {
+  const std::string path = TempPath("sanitize.csv");
+  WriteFile(path, "x,y\n1,2\nnan,5\n3,4\ninf,-inf\n");
+  CsvLoadOptions options;
+  options.sanitize = true;
+  size_t dropped = 0;
+  const auto ds = LoadDatasetCsv(path, options, &dropped);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(ds->coord(1), (Point{3.0, 4.0}));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, SanitizeStillRejectsUnparsableRows) {
+  const std::string path = TempPath("sanitize_bad.csv");
+  WriteFile(path, "x,y\n1,2\nabc,5\n");
+  CsvLoadOptions options;
+  options.sanitize = true;
+  // Sanitize drops non-finite values, not syntax errors.
+  EXPECT_FALSE(LoadDatasetCsv(path, options).ok());
+  std::remove(path.c_str());
+}
+
 TEST_F(CsvIoTest, MissingFileFails) {
   EXPECT_TRUE(LoadDatasetCsv("/nonexistent/nope.csv").status().IsIoError());
 }

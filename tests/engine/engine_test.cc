@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "testing/test_util.h"
+#include "util/exec_context.h"
 
 namespace slam {
 namespace {
@@ -115,10 +118,37 @@ TEST(EngineTest, DeadlinePropagatesThroughDispatch) {
   KdvTask task = MakeEngineTask(pts);
   task.grid = MakeGrid(400, 400, 50.0);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   EngineOptions opts;
-  opts.compute.deadline = &expired;
+  opts.compute.exec = &exec;
   const auto result = ComputeKdv(task, Method::kScan, opts);
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineTest, SanitizeDropsNonFinitePoints) {
+  auto pts = ClusteredPoints(200, 50.0, 2, 509);
+  const KdvTask clean = MakeEngineTask(pts);
+  const DensityMap expected = *ComputeKdv(clean, Method::kScan);
+
+  auto dirty = pts;
+  dirty.push_back({std::numeric_limits<double>::quiet_NaN(), 10.0});
+  dirty.push_back({10.0, std::numeric_limits<double>::infinity()});
+  KdvTask dirty_task = clean;
+  dirty_task.points = dirty;
+
+  // Without sanitize: hard validation error naming the point.
+  const auto rejected = ComputeKdv(dirty_task, Method::kScan);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_NE(rejected.status().message().find("non-finite"), std::string::npos);
+
+  // With sanitize: the bad rows vanish and the raster matches the clean run.
+  EngineOptions opts;
+  opts.sanitize = true;
+  const auto cleaned = ComputeKdv(dirty_task, Method::kScan, opts);
+  ASSERT_TRUE(cleaned.ok()) << cleaned.status().ToString();
+  ExpectMapsNear(expected, *cleaned, 1e-12);
 }
 
 }  // namespace

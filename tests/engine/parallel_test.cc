@@ -95,11 +95,63 @@ TEST(ParallelKdvTest, PropagatesStripeErrors) {
   const auto pts = ClusteredPoints(20000, 60.0, 4, 641);
   const KdvTask task = MakeParallelTask(pts, 200, 200);
   const Deadline expired(1e-9);
+  ExecContext exec;
+  exec.set_deadline(&expired);
   ParallelOptions options;
   options.num_threads = 2;
-  options.engine.compute.deadline = &expired;
+  options.engine.compute.exec = &exec;
   const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
   EXPECT_EQ(map.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelKdvTest, FailingStripeCancelsSiblingsAndPropagates) {
+  const auto pts = ClusteredPoints(20000, 60.0, 4, 647);
+  const KdvTask task = MakeParallelTask(pts, 64, 64);
+  // Fail stripe 3 of the N stripe entry checkpoints: the first two stripes
+  // pass their entry check, the third trips with IoError. That error (not a
+  // secondary Cancelled from a sibling) must be what the caller sees.
+  FaultInjector injector;
+  injector.Arm("parallel/stripe", 2, Status::IoError("injected stripe fault"));
+  ExecContext exec;
+  exec.set_fault_injector(&injector);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.engine.compute.exec = &exec;
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kIoError);
+  EXPECT_NE(map.status().message().find("injected stripe fault"),
+            std::string::npos);
+}
+
+TEST(ParallelKdvTest, CancelledCallerTokenStopsAllStripes) {
+  const auto pts = ClusteredPoints(5000, 60.0, 3, 653);
+  const KdvTask task = MakeParallelTask(pts, 64, 64);
+  CancellationToken token;
+  token.Cancel();
+  ExecContext exec;
+  exec.set_cancellation(&token);
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.engine.compute.exec = &exec;
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
+  EXPECT_EQ(map.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelKdvTest, StripesShareOneMemoryBudget) {
+  const auto pts = ClusteredPoints(2000, 60.0, 3, 659);
+  const KdvTask task = MakeParallelTask(pts, 32, 32);
+  MemoryBudget budget(size_t{64} << 20);
+  ExecContext exec;
+  exec.set_memory_budget(&budget);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.engine.compute.exec = &exec;
+  const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(budget.used_bytes(), 0u);  // every stripe released its charges
+  EXPECT_GT(budget.peak_bytes(), 0u);
+  ExpectMapsNear(BruteForceDensity(task), *map, 1e-9);
 }
 
 TEST(ParallelKdvTest, DefaultThreadCountWorks) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "data/generators.h"
+#include "util/exec_context.h"
 
 namespace slam {
 namespace {
@@ -140,6 +143,94 @@ TEST(SessionTest, RendersAgreeAcrossMethodsAfterExploration) {
 TEST(SessionTest, ZoomRejectsBadRatio) {
   auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
   EXPECT_FALSE(session.Zoom(-2.0).ok());
+  EXPECT_TRUE(session.Zoom(0.0).IsInvalidArgument());
+  EXPECT_TRUE(session.Zoom(std::numeric_limits<double>::quiet_NaN())
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.Zoom(std::numeric_limits<double>::infinity())
+                  .IsInvalidArgument());
+  // A failed zoom leaves the viewport untouched.
+  const BoundingBox before = session.viewport().region();
+  ASSERT_FALSE(session.Zoom(0.0).ok());
+  EXPECT_TRUE(session.viewport().region() == before);
+}
+
+TEST(SessionTest, BandwidthRejectsNonFinite) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const double b0 = session.bandwidth();
+  EXPECT_TRUE(session.SetBandwidth(std::numeric_limits<double>::infinity())
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.SetBandwidth(std::numeric_limits<double>::quiet_NaN())
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.ScaleBandwidth(std::numeric_limits<double>::infinity())
+                  .IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(session.bandwidth(), b0);
+}
+
+TEST(SessionTest, RenderAdaptiveFullResolutionByDefault) {
+  auto session = *ExplorerSession::Create(SessionData(), SmallConfig());
+  const auto outcome = session.RenderAdaptive();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->degrade_level, 0);
+  EXPECT_TRUE(outcome->full_res_status.ok());
+  EXPECT_EQ(outcome->map.width(), 40);
+  EXPECT_EQ(outcome->map.height(), 30);
+}
+
+TEST(SessionTest, RenderAdaptiveDegradesUnderMemoryPressure) {
+  // SLAM_BUCKET's auxiliary estimate grows with raster width, so a budget
+  // between the half-resolution and full-resolution estimates forces
+  // exactly one degradation step.
+  SessionConfig cfg = SmallConfig();
+  cfg.width_px = 400;
+  cfg.height_px = 300;
+  cfg.method = Method::kSlamBucket;
+  auto session = *ExplorerSession::Create(SessionData(), cfg);
+  const size_t n = session.active_data().size();
+  const size_t full = EstimateAuxiliarySpaceBytes(Method::kSlamBucket, n,
+                                                  cfg.width_px, cfg.height_px);
+  const size_t half = EstimateAuxiliarySpaceBytes(
+      Method::kSlamBucket, n, cfg.width_px / 2, cfg.height_px / 2);
+  ASSERT_LT(half, full);
+  MemoryBudget budget((half + full) / 2);
+  ExecContext exec;
+  exec.set_memory_budget(&budget);
+  cfg.engine.compute.exec = &exec;
+  session = *ExplorerSession::Create(SessionData(), cfg);
+
+  // Plain Render fails outright under the same budget...
+  EXPECT_EQ(session.Render().status().code(), StatusCode::kResourceExhausted);
+  // ...while RenderAdaptive falls back to half resolution and reports why.
+  const auto outcome = session.RenderAdaptive();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->degrade_level, 1);
+  EXPECT_EQ(outcome->full_res_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(outcome->map.width(), 200);
+  EXPECT_EQ(outcome->map.height(), 150);
+}
+
+TEST(SessionTest, RenderAdaptiveHonorsExplicitCancellation) {
+  SessionConfig cfg = SmallConfig();
+  CancellationToken token;
+  token.Cancel();
+  ExecContext exec;
+  exec.set_cancellation(&token);
+  cfg.engine.compute.exec = &exec;
+  auto session = *ExplorerSession::Create(SessionData(), cfg);
+  // The user's own token is tripped: no degraded retry, just Cancelled.
+  const auto outcome = session.RenderAdaptive();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(SessionTest, RenderAdaptiveGivesUpAfterBoundedRetries) {
+  SessionConfig cfg = SmallConfig();
+  cfg.max_degrade_retries = 1;
+  MemoryBudget budget(1);  // nothing fits, ever
+  ExecContext exec;
+  exec.set_memory_budget(&budget);
+  cfg.engine.compute.exec = &exec;
+  auto session = *ExplorerSession::Create(SessionData(), cfg);
+  const auto outcome = session.RenderAdaptive();
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -114,7 +114,7 @@ TEST(TransposedTaskTest, SwapsEverything) {
 
 TEST(ComputeOptionsTest, Defaults) {
   const ComputeOptions opts;
-  EXPECT_EQ(opts.deadline, nullptr);
+  EXPECT_EQ(opts.exec, nullptr);
   EXPECT_GT(opts.zorder_epsilon, 0.0);
   EXPECT_GE(opts.akde_epsilon, 0.0);
   EXPECT_EQ(opts.quad_epsilon, 0.0);

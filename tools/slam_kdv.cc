@@ -18,6 +18,7 @@
 #include "kdv/bandwidth.h"
 #include "kdv/engine.h"
 #include "kdv/parallel.h"
+#include "util/exec_context.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -50,8 +51,8 @@ int RunOrDie(int argc, char** argv) {
   double scale = 0.02, bandwidth = 0.0, bandwidth_scale = 1.0, gamma = 0.5;
   int width = 640, height = 480, filter_year = 0, category = -1;
   int hotspots = 0, threads = 1;
-  int64_t seed = 42;
-  bool ascii = false, compare = false;
+  int64_t seed = 42, timeout_ms = 0, memory_budget_mb = 0;
+  bool ascii = false, compare = false, sanitize = false;
 
   FlagParser parser(
       "slam_kdv: exact kernel density visualization via sweep line "
@@ -88,6 +89,16 @@ int RunOrDie(int argc, char** argv) {
   parser.AddBool("ascii", &ascii, "also print an ASCII heat map");
   parser.AddBool("compare", &compare,
                  "cross-check the result against the SCAN oracle");
+  parser.AddInt64("timeout-ms", &timeout_ms,
+                  "abort the computation after this many milliseconds "
+                  "(0 = unlimited)");
+  parser.AddInt64("memory-budget-mb", &memory_budget_mb,
+                  "cap on auxiliary (workspace + index) memory in MiB; "
+                  "methods refuse to start or stop when exceeded "
+                  "(0 = unlimited)");
+  parser.AddBool("sanitize", &sanitize,
+                 "drop input rows with NaN/Inf coordinates instead of "
+                 "failing");
 
   const auto positional = parser.Parse(argc, argv);
   positional.status().AbortIfNotOk();
@@ -104,9 +115,16 @@ int RunOrDie(int argc, char** argv) {
   // ---- Data --------------------------------------------------------
   PointDataset dataset;
   if (!input.empty()) {
-    auto loaded = LoadDatasetCsv(input);
+    CsvLoadOptions load_options;
+    load_options.sanitize = sanitize;
+    size_t dropped = 0;
+    auto loaded = LoadDatasetCsv(input, load_options, &dropped);
     loaded.status().AbortIfNotOk();
     dataset = *std::move(loaded);
+    if (dropped > 0) {
+      std::fprintf(stderr, "warning: dropped %zu row(s) with non-finite coordinates\n",
+                   dropped);
+    }
   } else {
     auto which = CityFromName(city);
     which.status().AbortIfNotOk();
@@ -153,14 +171,39 @@ int RunOrDie(int argc, char** argv) {
   const KdvTask task = MakeTask(dataset, *viewport, *kernel, bandwidth);
 
   // ---- Compute -----------------------------------------------------
+  const Deadline deadline(static_cast<double>(timeout_ms) / 1e3);
+  MemoryBudget budget(static_cast<size_t>(memory_budget_mb) << 20);
+  ExecContext exec;
+  if (timeout_ms > 0) exec.set_deadline(&deadline);
+  if (memory_budget_mb > 0) exec.set_memory_budget(&budget);
+  EngineOptions engine;
+  engine.compute.exec = &exec;
+  engine.sanitize = sanitize;
+
   Timer timer;
   Result<DensityMap> map = Status::Internal("unset");
   if (threads > 1) {
     ParallelOptions parallel;
     parallel.num_threads = threads;
+    parallel.engine = engine;
     map = ComputeKdvParallel(task, *method, parallel);
   } else {
-    map = ComputeKdv(task, *method);
+    map = ComputeKdv(task, *method, engine);
+  }
+  if (!map.ok()) {
+    const StatusCode code = map.status().code();
+    if (code == StatusCode::kCancelled) {
+      std::fprintf(stderr, "timed out after %s: %s\n",
+                   FormatDuration(timer.ElapsedSeconds()).c_str(),
+                   map.status().message().c_str());
+      return 3;
+    }
+    if (code == StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "memory budget of %lld MiB too small: %s\n",
+                   static_cast<long long>(memory_budget_mb),
+                   map.status().message().c_str());
+      return 4;
+    }
   }
   map.status().AbortIfNotOk();
   std::printf("%s (%s kernel, b=%.2f, %dx%d): %s\n",
