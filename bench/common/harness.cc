@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "kdv/bandwidth.h"
+#include "testing/oracle.h"
 #include "util/exec_context.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -33,6 +35,13 @@ BenchConfig BenchConfig::FromEnv() {
       config.height = h;
     }
   }
+  if (const char* check = std::getenv("SLAM_BENCH_CHECK")) {
+    const std::string_view value(check);
+    config.check_errors = !value.empty() && value != "0";
+  }
+  if (const char* json = std::getenv("SLAM_BENCH_JSON")) {
+    config.json_path = json;
+  }
   return config;
 }
 
@@ -46,7 +55,8 @@ std::string CellResult::ToString() const {
 
 CellResult RunCell(const KdvTask& task, Method method,
                    const BenchConfig& config,
-                   const EngineOptions& engine_options) {
+                   const EngineOptions& engine_options,
+                   const DensityMap* reference) {
   CellResult result;
   const Deadline deadline(config.budget_seconds);
   ExecContext exec;
@@ -66,8 +76,54 @@ CellResult RunCell(const KdvTask& task, Method method,
     } else {
       result.status = map.status();
     }
+    return result;
+  }
+  // The comparison runs strictly after the clock stopped: the error column
+  // must never slow down the timed region it describes.
+  if (reference != nullptr) {
+    const auto report = testing::CompareToReference(*map, *reference);
+    if (report.ok()) result.max_rel_error = report->max_rel_error;
   }
   return result;
+}
+
+std::optional<DensityMap> MaybeReference(const KdvTask& task,
+                                         const BenchConfig& config) {
+  if (!config.check_errors) return std::nullopt;
+  auto reference = testing::ReferenceScan(task);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "reference scan failed: %s\n",
+                 reference.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(*reference);
+}
+
+std::string CellJsonLine(const std::string& experiment,
+                         const std::string& dataset, Method method,
+                         const CellResult& cell) {
+  std::string error_field = "null";
+  if (!std::isnan(cell.max_rel_error)) {
+    error_field = StringPrintf("%.17g", cell.max_rel_error);
+  }
+  return StringPrintf(
+      "{\"experiment\":\"%s\",\"dataset\":\"%s\",\"method\":\"%s\","
+      "\"seconds\":%.17g,\"censored\":%s,\"ok\":%s,\"max_rel_error\":%s}",
+      experiment.c_str(), dataset.c_str(),
+      std::string(MethodName(method)).c_str(), cell.seconds,
+      cell.censored ? "true" : "false", cell.status.ok() ? "true" : "false",
+      error_field.c_str());
+}
+
+void MaybeAppendJson(const BenchConfig& config, const std::string& line) {
+  if (config.json_path.empty()) return;
+  std::FILE* file = std::fopen(config.json_path.c_str(), "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot append to %s\n", config.json_path.c_str());
+    return;
+  }
+  std::fprintf(file, "%s\n", line.c_str());
+  std::fclose(file);
 }
 
 Result<BenchDataset> LoadBenchDataset(City city, const BenchConfig& config) {

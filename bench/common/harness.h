@@ -9,8 +9,14 @@
 //   SLAM_BENCH_SCALE   fraction of the paper's dataset sizes (default 0.05)
 //   SLAM_BENCH_BUDGET  per-cell time budget in seconds      (default 10)
 //   SLAM_BENCH_RES     default resolution "WxH"             (default 240x180)
+//   SLAM_BENCH_CHECK   non-zero: measure per-cell max_rel_error against the
+//                      long-double oracle (adds an O(XYn) reference pass
+//                      per task, outside the timed region)
+//   SLAM_BENCH_JSON    path: append one JSON object per cell (JSON Lines)
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +36,10 @@ struct BenchConfig {
   int width = 240;
   int height = 180;
   uint64_t seed = 42;
+  /// Measure each cell's max relative error against testing::ReferenceScan.
+  bool check_errors = false;
+  /// When non-empty, cells are appended here as JSON Lines.
+  std::string json_path;
 
   /// Reads the SLAM_BENCH_* environment overrides.
   static BenchConfig FromEnv();
@@ -40,15 +50,37 @@ struct CellResult {
   double seconds = 0.0;
   bool censored = false;  // exceeded the budget (paper: "> 14400")
   Status status;          // non-OK and !censored = real failure
+  /// Max relative error vs the long-double reference (NaN = unmeasured).
+  /// Computed after the timer stops, so it never perturbs `seconds`.
+  double max_rel_error = std::numeric_limits<double>::quiet_NaN();
 
   /// "12.345" or ">10" (censored) or "ERR".
   std::string ToString() const;
 };
 
-/// Runs the method once under the config's budget.
+/// Runs the method once under the config's budget. When `reference` is
+/// non-null the produced map is compared against it (outside the timed
+/// region) and the result carries max_rel_error.
 CellResult RunCell(const KdvTask& task, Method method,
                    const BenchConfig& config,
-                   const EngineOptions& engine_options = {});
+                   const EngineOptions& engine_options = {},
+                   const DensityMap* reference = nullptr);
+
+/// The long-double reference map for `task` when config.check_errors is
+/// set; std::nullopt otherwise or if the reference itself fails. The
+/// reference pass is O(XYn) — priced once per task, never per cell.
+std::optional<DensityMap> MaybeReference(const KdvTask& task,
+                                         const BenchConfig& config);
+
+/// One JSON object (single line, no trailing newline) describing a cell:
+/// {"experiment":…,"dataset":…,"method":…,"seconds":…,"censored":…,
+///  "ok":…,"max_rel_error":…}. max_rel_error is null when unmeasured.
+std::string CellJsonLine(const std::string& experiment,
+                         const std::string& dataset, Method method,
+                         const CellResult& cell);
+
+/// Appends `line` + '\n' to config.json_path; no-op when the path is empty.
+void MaybeAppendJson(const BenchConfig& config, const std::string& line);
 
 /// The four paper datasets at the configured scale, with Scott-rule
 /// default bandwidths computed on the generated data (mirroring Table 5).

@@ -43,8 +43,16 @@ int Run() {
     best_competitor.censored = true;
     best_competitor.seconds = config.budget_seconds;
     CellResult slam_bucket_rao;
+    // One O(XYn) oracle pass per dataset (only under SLAM_BENCH_CHECK),
+    // shared across all ten method cells.
+    const std::optional<DensityMap> reference =
+        MaybeReference(*task, config);
     for (const Method m : AllMethods()) {
-      const CellResult cell = RunCell(*task, m, config);
+      const CellResult cell =
+          RunCell(*task, m, config, {}, reference ? &*reference : nullptr);
+      MaybeAppendJson(config, CellJsonLine("table7_default",
+                                           std::string(CityName(ds.city)), m,
+                                           cell));
       row.push_back(cell.ToString());
       if (m == Method::kSlamBucketRao) {
         slam_bucket_rao = cell;

@@ -29,10 +29,13 @@ Status ComputeQuad(const KdvTask& task, const ComputeOptions& options,
     for (int ix = 0; ix < task.grid.width(); ++ix) {
       const Point q = task.grid.PixelCenter(ix, iy);
       if (exact_via_aggregates) {
+        // The aggregates come back in the query-centered frame (every
+        // magnitude bandwidth-scaled, regardless of where the map sits
+        // globally), so the density is evaluated at the frame's origin.
         const RangeAggregates agg =
             index.RangeAggregateQuery(q, task.bandwidth);
-        row[ix] = DensityFromAggregates(task.kernel, q, agg, task.bandwidth,
-                                        task.weight);
+        row[ix] = DensityFromAggregates(task.kernel, Point{0.0, 0.0}, agg,
+                                        task.bandwidth, task.weight);
       } else {
         row[ix] = task.weight *
                   index.AccumulateKernelBounded(q, task.kernel,

@@ -10,6 +10,13 @@ namespace {
 using BaseMethod = Status (*)(const KdvTask&, const ComputeOptions&,
                               DensityMap*);
 
+// Numerical stability note: the base sweeps evaluate every pixel in a
+// row-local frame (RowLocalOrigin, sweep_state.h). Transposition swaps x
+// and y before the sweep runs, so the transposed sweep's row-local frame
+// is a column-local frame of the original problem — the conditioning
+// guarantee (aggregate magnitudes bounded by sweep-line extent plus
+// bandwidth, not by the projection offset) carries through RAO unchanged,
+// and the swap itself is exact (no arithmetic on the coordinates).
 Status ComputeWithRao(BaseMethod base, const KdvTask& task,
                       const ComputeOptions& options, DensityMap* out) {
   if (!RaoWouldTranspose(task)) {

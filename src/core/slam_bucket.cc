@@ -45,26 +45,6 @@ struct BucketWorkspace {
   }
 };
 
-/// Bucket of a lower bound: the first pixel index i with value <= x_i,
-/// i.e. ceil((value - x0) / gap), clamped to [0, X] (Eq. 19).
-inline int LowerBucket(double value, const GridAxis& xs) {
-  const double t = std::ceil((value - xs.origin) / xs.gap);
-  if (t <= 0.0) return 0;
-  if (t >= static_cast<double>(xs.count)) return xs.count;
-  return static_cast<int>(t);
-}
-
-/// Bucket of an upper bound: the first pixel index i with value < x_i,
-/// i.e. floor((value - x0) / gap) + 1, clamped to [0, X] (Eq. 20; strict
-/// so boundary points still count at the pixel they end on, see
-/// sweep_state.h).
-inline int UpperBucket(double value, const GridAxis& xs) {
-  const double t = std::floor((value - xs.origin) / xs.gap) + 1.0;
-  if (t <= 0.0) return 0;
-  if (t >= static_cast<double>(xs.count)) return xs.count;
-  return static_cast<int>(t);
-}
-
 void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs) {
   const int X = xs.count;
   ws.PrepareRow(X);
@@ -92,18 +72,24 @@ void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs) {
   }
 }
 
+/// Aggregates are accumulated in the row-local frame (see RowLocalOrigin):
+/// bucket assignment already happened on the global coordinates, so the
+/// translation only affects the accumulated values, never which bucket an
+/// endpoint lands in.
+template <typename State>
 void SweepRowBuckets(const BucketWorkspace& ws, const KdvTask& task,
                      double row_y, std::span<double> row) {
-  SweepState state;
+  State state;
   const GridAxis& xs = task.grid.x_axis();
+  const Point origin = RowLocalOrigin(xs, row_y);
   for (int ix = 0; ix < xs.count; ++ix) {
     for (int32_t i = ws.lower_offsets[ix]; i < ws.lower_offsets[ix + 1]; ++i) {
-      state.PassLowerBound(ws.lower_points[i]);
+      state.PassLowerBound(ws.lower_points[i] - origin);
     }
     for (int32_t i = ws.upper_offsets[ix]; i < ws.upper_offsets[ix + 1]; ++i) {
-      state.PassUpperBound(ws.upper_points[i]);
+      state.PassUpperBound(ws.upper_points[i] - origin);
     }
-    row[ix] = state.Density(task.kernel, {xs.Coord(ix), row_y},
+    row[ix] = state.Density(task.kernel, Point{xs.Coord(ix), row_y} - origin,
                             task.bandwidth, task.weight);
   }
 }
@@ -145,7 +131,11 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
     ComputeBoundIntervals(envelope, k, task.bandwidth, &ws.intervals);
     BucketEndpoints(ws, task.grid.x_axis());
     SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
-    SweepRowBuckets(ws, task, k, map.mutable_row(iy));
+    if (options.compensated_aggregates) {
+      SweepRowBuckets<CompensatedSweepState>(ws, task, k, map.mutable_row(iy));
+    } else {
+      SweepRowBuckets<SweepState>(ws, task, k, map.mutable_row(iy));
+    }
   }
   *out = std::move(map);
   return Status::OK();

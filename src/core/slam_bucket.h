@@ -6,11 +6,36 @@
 // (Theorem 2) — the log n of SLAM_SORT is gone.
 #pragma once
 
+#include <cmath>
+
 #include "kdv/density_map.h"
+#include "kdv/grid.h"
 #include "kdv/task.h"
 #include "util/status.h"
 
 namespace slam {
+
+/// Bucket of a lower bound: the first pixel index i with value <= x_i,
+/// i.e. ceil((value - x0) / gap), clamped to [0, X] (Eq. 19). Exposed for
+/// the boundary regression tests — the strict-inequality convention of
+/// sweep_state.h lives or dies on these two clamps.
+inline int LowerBucket(double value, const GridAxis& xs) {
+  const double t = std::ceil((value - xs.origin) / xs.gap);
+  if (t <= 0.0) return 0;
+  if (t >= static_cast<double>(xs.count)) return xs.count;
+  return static_cast<int>(t);
+}
+
+/// Bucket of an upper bound: the first pixel index i with value < x_i,
+/// i.e. floor((value - x0) / gap) + 1, clamped to [0, X] (Eq. 20; strict
+/// so boundary points still count at the pixel they end on, see
+/// sweep_state.h).
+inline int UpperBucket(double value, const GridAxis& xs) {
+  const double t = std::floor((value - xs.origin) / xs.gap) + 1.0;
+  if (t <= 0.0) return 0;
+  if (t >= static_cast<double>(xs.count)) return xs.count;
+  return static_cast<int>(t);
+}
 
 Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
                          DensityMap* out);

@@ -38,24 +38,33 @@ struct RowWorkspace {
 /// by advancing the event cursors up to each pixel — LB events fire on
 /// x <= q.x and UB events on x < q.x, so a point whose interval ends
 /// exactly on a pixel still counts there (see sweep_state.h).
+///
+/// All aggregate arithmetic happens in a row-local frame: points and query
+/// are translated by the row's center before accumulating, so aggregate
+/// magnitudes scale with the row extent and bandwidth instead of the map
+/// projection (kernels depend only on q − p, so Eq. 5 is preserved
+/// exactly). The event x-coordinates stay global — only the accumulated
+/// values shift — so the merge order is untouched.
+template <typename State>
 void SweepRow(const RowWorkspace& ws, const KdvTask& task, double row_y,
               std::span<double> row) {
-  SweepState state;
+  State state;
   size_t li = 0;
   size_t ui = 0;
   const GridAxis& xs = task.grid.x_axis();
+  const Point origin = RowLocalOrigin(xs, row_y);
   for (int ix = 0; ix < xs.count; ++ix) {
     const double px = xs.Coord(ix);
     while (li < ws.lower_events.size() && ws.lower_events[li].x <= px) {
-      state.PassLowerBound(ws.lower_events[li].p);
+      state.PassLowerBound(ws.lower_events[li].p - origin);
       ++li;
     }
     while (ui < ws.upper_events.size() && ws.upper_events[ui].x < px) {
-      state.PassUpperBound(ws.upper_events[ui].p);
+      state.PassUpperBound(ws.upper_events[ui].p - origin);
       ++ui;
     }
-    row[ix] =
-        state.Density(task.kernel, {px, row_y}, task.bandwidth, task.weight);
+    row[ix] = state.Density(task.kernel, Point{px, row_y} - origin,
+                            task.bandwidth, task.weight);
   }
 }
 
@@ -112,7 +121,11 @@ Status ComputeSlamSort(const KdvTask& task, const ComputeOptions& options,
     std::sort(ws.lower_events.begin(), ws.lower_events.end(), by_x);
     std::sort(ws.upper_events.begin(), ws.upper_events.end(), by_x);
 
-    SweepRow(ws, task, k, map.mutable_row(iy));
+    if (options.compensated_aggregates) {
+      SweepRow<CompensatedSweepState>(ws, task, k, map.mutable_row(iy));
+    } else {
+      SweepRow<SweepState>(ws, task, k, map.mutable_row(iy));
+    }
   }
   *out = std::move(map);
   return Status::OK();

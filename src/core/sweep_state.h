@@ -13,20 +13,36 @@
 #pragma once
 
 #include "geom/point.h"
+#include "kdv/grid.h"
 #include "kdv/kernel.h"
 
 namespace slam {
 
-struct SweepState {
-  RangeAggregates lower;  // aggregates of L_ell
-  RangeAggregates upper;  // aggregates of U_ell
+/// Origin of the row-local evaluation frame shared by the sweep variants:
+/// the row's x-center paired with the row's own y. Accumulating p − origin
+/// and querying at q − origin keeps every aggregate magnitude at the scale
+/// of the row extent plus bandwidth, independent of how far the map
+/// projection puts the viewport from (0, 0) — the fix for the catastrophic
+/// cancellation Langrené & Warin document for fast-sum KDE. Exact for the
+/// density: every kernel in Table 2 depends only on q − p.
+inline Point RowLocalOrigin(const GridAxis& xs, double row_y) {
+  return {0.5 * (xs.origin + xs.last()), row_y};
+}
+
+/// Templated over the aggregate accumulator so the compensated variant
+/// (CompensatedRangeAggregates, ComputeOptions::compensated_aggregates)
+/// shares the sweep logic with the plain one.
+template <typename Aggregates>
+struct SweepStateT {
+  Aggregates lower;  // aggregates of L_ell
+  Aggregates upper;  // aggregates of U_ell
 
   void PassLowerBound(const Point& p) { lower.Add(p); }
   void PassUpperBound(const Point& p) { upper.Add(p); }
 
   void Reset() {
-    lower = RangeAggregates{};
-    upper = RangeAggregates{};
+    lower = Aggregates{};
+    upper = Aggregates{};
   }
 
   /// Exact density at pixel q (Lemma 3 / Lemma 5 + Eq. 5).
@@ -36,5 +52,8 @@ struct SweepState {
                                  weight);
   }
 };
+
+using SweepState = SweepStateT<RangeAggregates>;
+using CompensatedSweepState = SweepStateT<CompensatedRangeAggregates>;
 
 }  // namespace slam

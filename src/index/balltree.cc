@@ -42,13 +42,15 @@ int32_t BallTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size,
     node.end = end;
     Point centroid{0.0, 0.0};
     for (uint32_t i = begin; i < end; ++i) {
-      node.aggregates.Add(points_[i]);
       centroid += points_[i];
     }
     centroid = centroid * (1.0 / (end - begin));
     double max_sq = 0.0;
+    // Aggregates anchored at the ball center: magnitudes scale with the
+    // node radius, not the global coordinate frame.
     for (uint32_t i = begin; i < end; ++i) {
       max_sq = std::max(max_sq, SquaredDistance(centroid, points_[i]));
+      node.aggregates.Add(points_[i] - centroid);
     }
     node.center = centroid;
     node.radius = std::sqrt(max_sq);
@@ -115,12 +117,14 @@ RangeAggregates BallTree::RangeAggregateQuery(const Point& q,
     const double center_dist = Distance(q, node.center);
     if (center_dist - node.radius > radius) continue;
     if (center_dist + node.radius <= radius) {
-      agg.Merge(node.aggregates);  // ball fully inside the disk
+      // Ball fully inside the disk: shift its center-anchored aggregates
+      // into the query frame.
+      agg.Merge(TranslatedAggregates(node.aggregates, node.center - q));
       continue;
     }
     if (node.IsLeaf()) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i] - q);
       }
     } else {
       stack.push_back(node.left);

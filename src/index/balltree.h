@@ -39,6 +39,10 @@ class BallTree {
 
   /// Exact aggregates of R(q), using whole-ball containment for O(1) node
   /// contributions.
+  /// Exact aggregates of R(q), expressed in the query-centered frame
+  /// (each member enters as p - q); node aggregates are anchored at the
+  /// ball center and shifted at merge time, keeping all magnitudes
+  /// bandwidth-scaled. Evaluate with DensityFromAggregates at q = (0, 0).
   RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
 
   size_t MemoryUsageBytes() const;

@@ -43,7 +43,12 @@ int32_t KdTree::BuildRecursive(uint32_t begin, uint32_t end, int leaf_size,
     node.end = end;
     for (uint32_t i = begin; i < end; ++i) {
       node.bounds.Extend(points_[i]);
-      node.aggregates.Add(points_[i]);
+    }
+    // Anchor the aggregates at the node center so their magnitudes scale
+    // with the node extent, not the global coordinate frame.
+    node.anchor = node.bounds.center();
+    for (uint32_t i = begin; i < end; ++i) {
+      node.aggregates.Add(points_[i] - node.anchor);
     }
   }
   if (end - begin <= static_cast<uint32_t>(leaf_size)) {
@@ -107,12 +112,14 @@ RangeAggregates KdTree::RangeAggregateQuery(const Point& q,
     stack.pop_back();
     if (node.bounds.MinSquaredDistance(q) > r2) continue;
     if (node.bounds.MaxSquaredDistance(q) <= r2) {
-      agg.Merge(node.aggregates);  // whole node inside the disk
+      // Whole node inside the disk: shift its anchored aggregates into the
+      // query frame (|anchor - q| <= radius + node extent).
+      agg.Merge(TranslatedAggregates(node.aggregates, node.anchor - q));
       continue;
     }
     if (node.IsLeaf()) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i] - q);
       }
     } else {
       stack.push_back(node.left);

@@ -47,6 +47,10 @@ class KdTree {
 
   /// Exact aggregates of the range set R(q) = {p : dist(q,p) <= radius}.
   /// Uses whole-node aggregates where the node ball test allows it.
+  /// Exact aggregates of R(q), expressed in the query-centered frame
+  /// (each member enters as p - q); node aggregates are stored anchored
+  /// at the node center and shifted at merge time, keeping all magnitudes
+  /// bandwidth-scaled. Evaluate with DensityFromAggregates at q = (0, 0).
   RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
 
   /// aKDE-style bounded evaluation of sum_p K(q, p): prunes nodes outside
@@ -63,6 +67,7 @@ class KdTree {
  private:
   struct Node {
     BoundingBox bounds;
+    Point anchor;  // bounds center; aggregates are over p - anchor
     RangeAggregates aggregates;
     int32_t left = -1;    // internal iff left >= 0
     int32_t right = -1;

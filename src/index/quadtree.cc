@@ -42,9 +42,12 @@ int32_t QuadTree::BuildRecursive(uint32_t begin, uint32_t end,
   {
     Node& node = nodes_.back();
     node.cell = cell;
+    node.anchor = cell.center();
     node.begin = begin;
     node.end = end;
-    for (uint32_t i = begin; i < end; ++i) node.aggregates.Add(points_[i]);
+    for (uint32_t i = begin; i < end; ++i) {
+      node.aggregates.Add(points_[i] - node.anchor);
+    }
   }
   if (end - begin <= static_cast<uint32_t>(options.leaf_size) ||
       depth >= options.max_depth) {
@@ -102,12 +105,12 @@ RangeAggregates QuadTree::RangeAggregateQuery(const Point& q,
     stack.pop_back();
     if (node.cell.MinSquaredDistance(q) > r2) continue;
     if (node.cell.MaxSquaredDistance(q) <= r2) {
-      agg.Merge(node.aggregates);
+      agg.Merge(TranslatedAggregates(node.aggregates, node.anchor - q));
       continue;
     }
     if (node.leaf) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i]);
+        if (SquaredDistance(q, points_[i]) <= r2) agg.Add(points_[i] - q);
       }
     } else {
       for (const int32_t child : node.children) {

@@ -35,7 +35,13 @@ class QuadTree {
   bool empty() const { return points_.empty(); }
   size_t node_count() const { return nodes_.size(); }
 
-  /// Exact aggregates of R(q) = {p : dist(q, p) <= radius}.
+  /// Exact aggregates of R(q) = {p : dist(q, p) <= radius}, expressed in
+  /// the query-centered frame (each member enters as p - q). Node
+  /// aggregates are stored anchored at the node's cell center and shifted
+  /// by the bandwidth-scaled offset anchor - q at merge time
+  /// (TranslatedAggregates), so the magnitudes never grow with the global
+  /// coordinate scale. Evaluate densities with DensityFromAggregates at
+  /// q = (0, 0).
   RangeAggregates RangeAggregateQuery(const Point& q, double radius) const;
 
   /// Bounded approximate kernel sum, mirroring QUAD's epsilon-refinement
@@ -49,6 +55,7 @@ class QuadTree {
  private:
   struct Node {
     BoundingBox cell;  // the node's quadrant (not tight over points)
+    Point anchor;      // cell center; aggregates are over p - anchor
     RangeAggregates aggregates;
     int32_t children[4] = {-1, -1, -1, -1};
     uint32_t begin = 0;

@@ -30,9 +30,21 @@ double DensityMap::MaxValue() const {
 }
 
 double DensityMap::Sum() const {
+  // Neumaier-compensated: the sum doubles as a checksum in tests and
+  // benchmarks, and naive left-to-right accumulation drifts by
+  // O(pixels · eps) on large grids — enough to flap golden pins.
   double s = 0.0;
-  for (const double v : values_) s += v;
-  return s;
+  double comp = 0.0;
+  for (const double v : values_) {
+    const double t = s + v;
+    if (std::abs(s) >= std::abs(v)) {
+      comp += (s - t) + v;
+    } else {
+      comp += (v - t) + s;
+    }
+    s = t;
+  }
+  return s + comp;
 }
 
 DensityMap DensityMap::Transposed() const {

@@ -165,7 +165,10 @@ Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
         MethodName(method)));
   }
   DensityMap map;
-  if (options.recenter_coordinates) {
+  // Recentering only pays off when the coordinates are ill-conditioned for
+  // the subtractive aggregate forms; skipping it otherwise keeps
+  // well-conditioned tasks copy-free and bitwise stable across releases.
+  if (options.recenter_coordinates && TaskFarFromOrigin(run_task)) {
     ScopedMemoryCharge recenter_charge(exec, "engine/recentered_points");
     SLAM_RETURN_NOT_OK(
         recenter_charge.Update(run_task.points.size() * sizeof(Point)));

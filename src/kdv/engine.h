@@ -45,7 +45,10 @@ struct EngineOptions {
   /// before computing. Improves conditioning of the aggregate arithmetic
   /// when coordinates are large (e.g. projected meters with a far datum);
   /// costs one O(n) copy. The result is identical up to FP rounding.
-  bool recenter_coordinates = false;
+  /// On by default since PR 3; the copy is only actually made when the
+  /// viewport center's magnitude dwarfs its extent (TaskFarFromOrigin), so
+  /// well-conditioned tasks pay nothing and stay bitwise identical.
+  bool recenter_coordinates = true;
   /// Opt-in input sanitization: drop points with NaN/Inf coordinates (one
   /// O(n) copy, warning logged with the dropped count) instead of failing
   /// validation. Off by default — silent data loss should be a choice.

@@ -64,6 +64,35 @@ double EvaluateKernel(KernelType kernel, double squared_distance,
   return 0.0;
 }
 
+RangeAggregates TranslatedAggregates(const RangeAggregates& agg,
+                                     const Point& t) {
+  const double n = agg.count;
+  const double t2 = t.x * t.x + t.y * t.y;
+  const double t_dot_sum = t.x * agg.sum.x + t.y * agg.sum.y;
+  // M t, with M = Σ u uᵀ.
+  const double mt_x = agg.m_xx * t.x + agg.m_xy * t.y;
+  const double mt_y = agg.m_xy * t.x + agg.m_yy * t.y;
+  RangeAggregates r;
+  r.count = n;
+  r.sum = {agg.sum.x + n * t.x, agg.sum.y + n * t.y};
+  // Σ ||u + t||² = S + 2 t·A + n ||t||²
+  r.sum_sq = agg.sum_sq + 2.0 * t_dot_sum + n * t2;
+  // Σ ||u + t||² (u + t) = C + S t + 2 M t + 2 (t·A) t + ||t||² A + n ||t||² t
+  r.sum_sq_p.x = agg.sum_sq_p.x + agg.sum_sq * t.x + 2.0 * mt_x +
+                 2.0 * t_dot_sum * t.x + t2 * agg.sum.x + n * t2 * t.x;
+  r.sum_sq_p.y = agg.sum_sq_p.y + agg.sum_sq * t.y + 2.0 * mt_y +
+                 2.0 * t_dot_sum * t.y + t2 * agg.sum.y + n * t2 * t.y;
+  // Σ ||u + t||⁴ = Q + 4 tᵀM t + 4 t·C + 2 ||t||² S + 4 ||t||² (t·A)
+  //               + n ||t||⁴
+  r.sum_quad = agg.sum_quad + 4.0 * (t.x * mt_x + t.y * mt_y) +
+               4.0 * (t.x * agg.sum_sq_p.x + t.y * agg.sum_sq_p.y) +
+               2.0 * t2 * agg.sum_sq + 4.0 * t2 * t_dot_sum + n * t2 * t2;
+  r.m_xx = agg.m_xx + 2.0 * t.x * agg.sum.x + n * t.x * t.x;
+  r.m_xy = agg.m_xy + t.x * agg.sum.y + t.y * agg.sum.x + n * t.x * t.y;
+  r.m_yy = agg.m_yy + 2.0 * t.y * agg.sum.y + n * t.y * t.y;
+  return r;
+}
+
 double DensityFromAggregates(KernelType kernel, const Point& q,
                              const RangeAggregates& agg, double bandwidth,
                              double weight) {

@@ -15,6 +15,7 @@
 // can reject it with a useful error.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
@@ -89,6 +90,86 @@ struct RangeAggregates {
     r.m_xx -= o.m_xx;
     r.m_xy -= o.m_xy;
     r.m_yy -= o.m_yy;
+    return r;
+  }
+};
+
+/// Aggregates of the translated set {u + t : u in R} from the aggregates
+/// of R — the binomial moment-shift identity, exact as polynomials. The
+/// spatial indexes store each node's aggregates anchored at the node
+/// center and shift them into the query-centered frame at merge time, so
+/// every magnitude the density recombination sees is O(bandwidth)-scaled
+/// no matter where the data sits globally (the tree analog of the sweep's
+/// row-local frame; well conditioned because |t| <= radius + node extent).
+RangeAggregates TranslatedAggregates(const RangeAggregates& agg,
+                                     const Point& t);
+
+/// One Neumaier (improved Kahan–Babuška) step: folds `value` into the
+/// running `sum`, pushing the rounding error of the addition into `comp`.
+/// The true total is sum + comp at any time. Unlike plain Kahan, this
+/// stays correct when |value| > |sum| (common when the sweep's aggregates
+/// swing through near-cancellation).
+inline void NeumaierAdd(double& sum, double& comp, double value) {
+  const double t = sum + value;
+  if (std::abs(sum) >= std::abs(value)) {
+    comp += (sum - t) + value;
+  } else {
+    comp += (value - t) + sum;
+  }
+  sum = t;
+}
+
+/// RangeAggregates with one Neumaier compensation term per scalar channel.
+/// The sweep's L and U accumulators see millions of endpoint passes on
+/// production rows; uncompensated, their drift is O(n·eps) of the largest
+/// intermediate, which the subtraction L − U then exposes. Compensation
+/// caps the drift at O(eps) of the true value for ~2x the adds — enabled
+/// by default via ComputeOptions::compensated_aggregates.
+struct CompensatedRangeAggregates {
+  RangeAggregates sums;
+  RangeAggregates comps;  // same channels, holding the compensation terms
+
+  void Add(const Point& p) {
+    const double s = p.SquaredNorm();
+    sums.count += 1.0;  // counts are integers: exact until 2^53, no comp
+    NeumaierAdd(sums.sum.x, comps.sum.x, p.x);
+    NeumaierAdd(sums.sum.y, comps.sum.y, p.y);
+    NeumaierAdd(sums.sum_sq, comps.sum_sq, s);
+    NeumaierAdd(sums.sum_sq_p.x, comps.sum_sq_p.x, p.x * s);
+    NeumaierAdd(sums.sum_sq_p.y, comps.sum_sq_p.y, p.y * s);
+    NeumaierAdd(sums.sum_quad, comps.sum_quad, s * s);
+    NeumaierAdd(sums.m_xx, comps.m_xx, p.x * p.x);
+    NeumaierAdd(sums.m_xy, comps.m_xy, p.x * p.y);
+    NeumaierAdd(sums.m_yy, comps.m_yy, p.y * p.y);
+  }
+
+  void Merge(const CompensatedRangeAggregates& o) {
+    sums.count += o.sums.count;
+    NeumaierAdd(sums.sum.x, comps.sum.x, o.sums.sum.x);
+    NeumaierAdd(sums.sum.y, comps.sum.y, o.sums.sum.y);
+    NeumaierAdd(sums.sum_sq, comps.sum_sq, o.sums.sum_sq);
+    NeumaierAdd(sums.sum_sq_p.x, comps.sum_sq_p.x, o.sums.sum_sq_p.x);
+    NeumaierAdd(sums.sum_sq_p.y, comps.sum_sq_p.y, o.sums.sum_sq_p.y);
+    NeumaierAdd(sums.sum_quad, comps.sum_quad, o.sums.sum_quad);
+    NeumaierAdd(sums.m_xx, comps.m_xx, o.sums.m_xx);
+    NeumaierAdd(sums.m_xy, comps.m_xy, o.sums.m_xy);
+    NeumaierAdd(sums.m_yy, comps.m_yy, o.sums.m_yy);
+    comps.Merge(o.comps);
+  }
+
+  /// L − U with the compensation folded in: the primary difference first
+  /// (benefiting from Sterbenz cancellation when L ≈ U), then the small
+  /// compensation difference as a correction.
+  RangeAggregates Minus(const CompensatedRangeAggregates& o) const {
+    RangeAggregates r = sums.Minus(o.sums);
+    const RangeAggregates c = comps.Minus(o.comps);
+    r.sum += c.sum;
+    r.sum_sq += c.sum_sq;
+    r.sum_sq_p += c.sum_sq_p;
+    r.sum_quad += c.sum_quad;
+    r.m_xx += c.m_xx;
+    r.m_xy += c.m_xy;
+    r.m_yy += c.m_yy;
     return r;
   }
 };

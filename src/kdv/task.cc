@@ -1,5 +1,6 @@
 #include "kdv/task.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/string_util.h"
@@ -42,6 +43,19 @@ size_t CopyFinitePoints(std::span<const Point> points,
     if (std::isfinite(p.x) && std::isfinite(p.y)) out->push_back(p);
   }
   return points.size() - out->size();
+}
+
+bool TaskFarFromOrigin(const KdvTask& task) {
+  const GridAxis& xs = task.grid.x_axis();
+  const GridAxis& ys = task.grid.y_axis();
+  const double cx = 0.5 * (xs.origin + xs.last());
+  const double cy = 0.5 * (ys.origin + ys.last());
+  const double span = std::max(xs.last() - xs.origin, ys.last() - ys.origin);
+  // The aggregate terms grow like ||p||^4 while the densities live at the
+  // bandwidth scale; once the offset exceeds ~16x the working extent the
+  // recentering copy is cheaper than the precision it saves.
+  const double extent = std::max(span + 2.0 * task.bandwidth, 1e-300);
+  return std::max(std::abs(cx), std::abs(cy)) > 16.0 * extent;
 }
 
 KdvTask MakeTask(const PointDataset& dataset, const Viewport& viewport,

@@ -46,6 +46,11 @@ struct ComputeOptions {
   /// binary searches instead of the paper's O(n) per-row scan. Exact either
   /// way; off by default for faithfulness to Algorithm 1/2 (DESIGN.md §4.4).
   bool incremental_envelope = false;
+  /// Sweep methods: accumulate the L/U aggregates with Neumaier-compensated
+  /// summation so long rows (millions of endpoint passes) don't drift. On
+  /// by default — roughly doubles the per-endpoint add cost, which is
+  /// dwarfed by the per-pixel closed-form evaluation (DESIGN.md §7).
+  bool compensated_aggregates = true;
 };
 
 /// Rejects empty grids, non-positive or non-finite bandwidth/weight, and
@@ -58,6 +63,13 @@ Status ValidateTask(const KdvTask& task);
 /// points of `points` into `*out` and returns how many were dropped.
 size_t CopyFinitePoints(std::span<const Point> points,
                         std::vector<Point>* out);
+
+/// True when the task's coordinates are poorly conditioned for the
+/// subtractive aggregate arithmetic: the grid center's magnitude dwarfs
+/// the working extent (viewport span plus a bandwidth margin), as with
+/// projected coordinates far from the datum (EPSG:3857 meters). Drives
+/// the engine's automatic recentering and QUAD's local-frame build.
+bool TaskFarFromOrigin(const KdvTask& task);
 
 /// Convenience: a task over a dataset rendered through a viewport, with
 /// weight defaulting to 1/n.

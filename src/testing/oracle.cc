@@ -1,0 +1,145 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace slam::testing {
+
+namespace {
+
+long double KernelLongDouble(KernelType kernel, long double squared_distance,
+                             long double bandwidth) {
+  const long double b2 = bandwidth * bandwidth;
+  switch (kernel) {
+    case KernelType::kUniform:
+      return squared_distance <= b2 ? 1.0L / bandwidth : 0.0L;
+    case KernelType::kEpanechnikov:
+      return squared_distance <= b2 ? 1.0L - squared_distance / b2 : 0.0L;
+    case KernelType::kQuartic: {
+      if (squared_distance > b2) return 0.0L;
+      const long double t = 1.0L - squared_distance / b2;
+      return t * t;
+    }
+    case KernelType::kGaussian:
+      return std::exp(-squared_distance / (2.0L * b2));
+  }
+  return 0.0L;
+}
+
+/// Ordered-integer mapping: monotone in the double ordering, with -0.0 and
+/// +0.0 collapsing to the same rank.
+int64_t OrderedRank(double v) {
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits < 0 ? std::numeric_limits<int64_t>::min() - bits : bits;
+}
+
+}  // namespace
+
+Result<DensityMap> ReferenceScan(const KdvTask& task,
+                                 const ExecContext* exec) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  const long double b = task.bandwidth;
+  const long double w = task.weight;
+  const GridAxis& xs = task.grid.x_axis();
+  const GridAxis& ys = task.grid.y_axis();
+  for (int iy = 0; iy < task.grid.height(); ++iy) {
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, "oracle/reference_row"));
+    std::span<double> row = map.mutable_row(iy);
+    // Pixel centers in long double from the axis parameters: the oracle
+    // defines the *ideal* lattice origin + i*gap. Grid::PixelCenter's
+    // double evaluation quantizes centers at ulp(origin), which at 1e7
+    // magnitudes is ~2e-9 in position — a real displacement that every
+    // method's recentered (exactly translated) frame avoids; charging it
+    // to the methods would drown the errors this oracle exists to catch.
+    const long double qy = static_cast<long double>(ys.origin) +
+                           static_cast<long double>(iy) * ys.gap;
+    for (int ix = 0; ix < task.grid.width(); ++ix) {
+      const long double qx = static_cast<long double>(xs.origin) +
+                             static_cast<long double>(ix) * xs.gap;
+      long double sum = 0.0L;
+      for (const Point& p : task.points) {
+        const long double dx = qx - p.x;
+        const long double dy = qy - p.y;
+        sum += KernelLongDouble(task.kernel, dx * dx + dy * dy, b);
+      }
+      row[ix] = static_cast<double>(w * sum);
+    }
+  }
+  return map;
+}
+
+int64_t UlpDistance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  const int64_t ra = OrderedRank(a);
+  const int64_t rb = OrderedRank(b);
+  // Subtract in unsigned space to dodge signed overflow, then saturate.
+  const uint64_t diff = ra >= rb ? static_cast<uint64_t>(ra) - rb
+                                 : static_cast<uint64_t>(rb) - ra;
+  if (diff > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(diff);
+}
+
+Result<OracleReport> CompareToReference(const DensityMap& actual,
+                                        const DensityMap& reference,
+                                        double rel_floor_fraction) {
+  if (actual.width() != reference.width() ||
+      actual.height() != reference.height()) {
+    return Status::InvalidArgument(StringPrintf(
+        "oracle shape mismatch: %dx%d vs reference %dx%d", actual.width(),
+        actual.height(), reference.width(), reference.height()));
+  }
+  OracleReport report;
+  report.reference_peak = reference.MaxValue();
+  const double floor =
+      std::max(rel_floor_fraction * report.reference_peak, DBL_MIN);
+  for (int iy = 0; iy < actual.height(); ++iy) {
+    for (int ix = 0; ix < actual.width(); ++ix) {
+      const double a = actual.at(ix, iy);
+      const double r = reference.at(ix, iy);
+      const double abs_err = std::abs(a - r);
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+      report.max_ulps = std::max(report.max_ulps, UlpDistance(a, r));
+      const double rel = abs_err / std::max(std::abs(r), floor);
+      if (rel > report.max_rel_error) {
+        report.max_rel_error = rel;
+        report.worst_ix = ix;
+        report.worst_iy = iy;
+        report.worst_value = a;
+        report.worst_reference = r;
+      }
+    }
+  }
+  return report;
+}
+
+EngineOptions ExactEngineOptions() {
+  EngineOptions options;
+  // Z-order: m = ceil(1/eps^2) clamped to n, so a tiny eps selects the
+  // whole dataset and the "approximation" degenerates to exact RQS.
+  options.compute.zorder_epsilon = 1e-9;
+  // aKDE: zero bound-gap tolerance refines every node to its points.
+  options.compute.akde_epsilon = 0.0;
+  return options;
+}
+
+Result<OracleReport> DiffAgainstReference(const KdvTask& task, Method method,
+                                          const EngineOptions& options,
+                                          const DensityMap& reference) {
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, ComputeKdv(task, method, options));
+  return CompareToReference(map, reference);
+}
+
+}  // namespace slam::testing

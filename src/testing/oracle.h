@@ -1,0 +1,73 @@
+// Differential correctness oracle (PR 3): renders a KdvTask with any of
+// the ten methods and measures its per-pixel error against an
+// extended-precision (long double) reference SCAN. This is the tool that
+// proves the numerical-stability machinery — row-local sweep frames,
+// compensated aggregates, automatic recentering — actually holds on
+// adversarial inputs (EPSG:3857-scale offsets), and the guard every later
+// performance PR runs before it ships.
+//
+// Used three ways:
+//  * tests/oracle/oracle_test.cc — parameterized property tests (ctest).
+//  * tools/slam_diff.cc — the CLI gate run in CI on offset datasets.
+//  * bench/common/harness.cc — per-cell max_rel_error in the BENCH json.
+#pragma once
+
+#include <cstdint>
+
+#include "kdv/density_map.h"
+#include "kdv/engine.h"
+#include "kdv/task.h"
+#include "util/result.h"
+
+namespace slam::testing {
+
+/// O(XYn) reference density with every distance, kernel value and
+/// accumulation carried in long double (64-bit mantissa on x86). No
+/// decomposition, no shared library fast path: this is as close to ground
+/// truth as the hardware gives us without software big-floats. Supports
+/// all four kernels. `exec` (optional) is polled once per pixel row.
+Result<DensityMap> ReferenceScan(const KdvTask& task,
+                                 const ExecContext* exec = nullptr);
+
+/// Distance in units-in-the-last-place between two doubles, via the
+/// ordered-integer mapping (negative zero == positive zero). NaN against
+/// anything, or opposite-sign infinities, saturate to INT64_MAX.
+int64_t UlpDistance(double a, double b);
+
+struct OracleReport {
+  /// max over pixels of |actual - ref| / max(|ref|, floor); the floor is
+  /// rel_floor_fraction of the reference peak, so near-empty pixels are
+  /// judged relative to a meaningful density scale instead of 0/0. The
+  /// default floor (1e-4 of peak) is far below anything a colormap can
+  /// resolve, but keeps a method's O(eps)-absolute noise at visually
+  /// empty pixels from masquerading as huge relative error.
+  double max_rel_error = 0.0;
+  double max_abs_error = 0.0;
+  int64_t max_ulps = 0;
+  // The pixel attaining max_rel_error, for diagnosis.
+  int worst_ix = -1;
+  int worst_iy = -1;
+  double worst_value = 0.0;
+  double worst_reference = 0.0;
+  double reference_peak = 0.0;
+};
+
+/// Per-pixel comparison of a rendered map against the reference; shape
+/// mismatch is an error.
+Result<OracleReport> CompareToReference(const DensityMap& actual,
+                                        const DensityMap& reference,
+                                        double rel_floor_fraction = 1e-4);
+
+/// Engine options that put every method into its *exact* configuration so
+/// the oracle measures floating-point error, not approximation error:
+/// Z-order's eps-sample is forced to the full dataset and aKDE's bound
+/// tolerance to zero. Exact methods are unaffected.
+EngineOptions ExactEngineOptions();
+
+/// Renders `task` with `method` under `options` and compares against a
+/// precomputed reference (from ReferenceScan on the same task).
+Result<OracleReport> DiffAgainstReference(const KdvTask& task, Method method,
+                                          const EngineOptions& options,
+                                          const DensityMap& reference);
+
+}  // namespace slam::testing

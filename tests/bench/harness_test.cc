@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "testing/oracle.h"
 
 namespace slam::bench {
 namespace {
@@ -51,6 +57,22 @@ TEST(BenchConfigTest, EnvOverrides) {
   unsetenv("SLAM_BENCH_RES");
 }
 
+TEST(BenchConfigTest, CheckAndJsonEnvOverrides) {
+  const BenchConfig defaults;
+  EXPECT_FALSE(defaults.check_errors);
+  EXPECT_TRUE(defaults.json_path.empty());
+  setenv("SLAM_BENCH_CHECK", "1", 1);
+  setenv("SLAM_BENCH_JSON", "/tmp/bench.jsonl", 1);
+  BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_TRUE(config.check_errors);
+  EXPECT_EQ(config.json_path, "/tmp/bench.jsonl");
+  setenv("SLAM_BENCH_CHECK", "0", 1);
+  config = BenchConfig::FromEnv();
+  EXPECT_FALSE(config.check_errors);
+  unsetenv("SLAM_BENCH_CHECK");
+  unsetenv("SLAM_BENCH_JSON");
+}
+
 TEST(BenchConfigTest, MalformedEnvFallsBackToDefaults) {
   setenv("SLAM_BENCH_SCALE", "banana", 1);
   setenv("SLAM_BENCH_RES", "64by48", 1);
@@ -77,6 +99,65 @@ TEST(RunCellTest, MeasuresAndCompletes) {
   EXPECT_TRUE(cell.status.ok());
   EXPECT_FALSE(cell.censored);
   EXPECT_GT(cell.seconds, 0.0);
+  // No reference passed: the error column is explicitly unmeasured.
+  EXPECT_TRUE(std::isnan(cell.max_rel_error));
+}
+
+TEST(RunCellTest, MeasuresMaxRelErrorAgainstReference) {
+  BenchConfig config;
+  config.dataset_scale = 0.001;
+  config.budget_seconds = 30.0;
+  config.width = 20;
+  config.height = 15;
+  config.check_errors = true;
+  const auto ds = LoadBenchDataset(City::kSeattle, config);
+  ASSERT_TRUE(ds.ok());
+  const auto task = DatasetTask(*ds, config.width, config.height,
+                                KernelType::kEpanechnikov);
+  ASSERT_TRUE(task.ok());
+  const auto reference = MaybeReference(*task, config);
+  ASSERT_TRUE(reference.has_value());
+  for (const Method m : {Method::kScan, Method::kSlamBucketRao}) {
+    const CellResult cell =
+        RunCell(*task, m, config, {}, &*reference);
+    ASSERT_TRUE(cell.status.ok());
+    EXPECT_FALSE(std::isnan(cell.max_rel_error));
+    EXPECT_LT(cell.max_rel_error, 1e-9);
+  }
+  // check_errors off: MaybeReference declines to pay for the oracle pass.
+  config.check_errors = false;
+  EXPECT_FALSE(MaybeReference(*task, config).has_value());
+}
+
+TEST(CellJsonLineTest, FormatsMeasuredAndUnmeasuredCells) {
+  CellResult cell;
+  cell.seconds = 0.25;
+  EXPECT_EQ(CellJsonLine("table7", "Seattle", Method::kScan, cell),
+            "{\"experiment\":\"table7\",\"dataset\":\"Seattle\","
+            "\"method\":\"SCAN\",\"seconds\":0.25,\"censored\":false,"
+            "\"ok\":true,\"max_rel_error\":null}");
+  cell.max_rel_error = 0.5;
+  cell.censored = true;
+  const std::string line =
+      CellJsonLine("table7", "Seattle", Method::kSlamBucket, cell);
+  EXPECT_NE(line.find("\"max_rel_error\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"censored\":true"), std::string::npos);
+}
+
+TEST(MaybeAppendJsonTest, AppendsOneLinePerCall) {
+  BenchConfig config;
+  config.json_path = ::testing::TempDir() + "/slam_bench_test.jsonl";
+  std::remove(config.json_path.c_str());
+  MaybeAppendJson(config, "{\"a\":1}");
+  MaybeAppendJson(config, "{\"b\":2}");
+  std::ifstream in(config.json_path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "{\"a\":1}\n{\"b\":2}\n");
+  std::remove(config.json_path.c_str());
+  // Empty path: silently does nothing.
+  config.json_path.clear();
+  MaybeAppendJson(config, "{\"c\":3}");
 }
 
 TEST(RunCellTest, CensorsOverBudget) {

@@ -68,9 +68,10 @@ TEST(BallTreeTest, AggregateMatchesPerPoint) {
     const Point q{rng.Uniform(0, 60), rng.Uniform(0, 60)};
     const double r = rng.Uniform(0.5, 20.0);
     const RangeAggregates agg = tree.RangeAggregateQuery(q, r);
+    // The tree reports aggregates in the query-centered frame.
     RangeAggregates expected;
     for (const Point& p : pts) {
-      if (SquaredDistance(q, p) <= r * r) expected.Add(p);
+      if (SquaredDistance(q, p) <= r * r) expected.Add(p - q);
     }
     EXPECT_DOUBLE_EQ(agg.count, expected.count);
     EXPECT_NEAR(agg.sum.y, expected.sum.y, 1e-7);

@@ -31,9 +31,10 @@ TEST(QuadTreeTest, AggregateMatchesBruteForce) {
     const Point q{rng.Uniform(-5, 85), rng.Uniform(-5, 85)};
     const double r = rng.Uniform(0.5, 25.0);
     const RangeAggregates agg = tree.RangeAggregateQuery(q, r);
+    // The tree reports aggregates in the query-centered frame.
     RangeAggregates expected;
     for (const Point& p : pts) {
-      if (SquaredDistance(q, p) <= r * r) expected.Add(p);
+      if (SquaredDistance(q, p) <= r * r) expected.Add(p - q);
     }
     EXPECT_DOUBLE_EQ(agg.count, expected.count) << "trial " << trial;
     EXPECT_NEAR(agg.sum.x, expected.sum.x, 1e-6);

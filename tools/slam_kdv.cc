@@ -18,6 +18,7 @@
 #include "kdv/bandwidth.h"
 #include "kdv/engine.h"
 #include "kdv/parallel.h"
+#include "testing/oracle.h"
 #include "util/exec_context.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -51,8 +52,9 @@ int RunOrDie(int argc, char** argv) {
   double scale = 0.02, bandwidth = 0.0, bandwidth_scale = 1.0, gamma = 0.5;
   int width = 640, height = 480, filter_year = 0, category = -1;
   int hotspots = 0, threads = 1;
+  std::string diff_reference;
   int64_t seed = 42, timeout_ms = 0, memory_budget_mb = 0;
-  bool ascii = false, compare = false, sanitize = false;
+  bool ascii = false, compare = false, sanitize = false, recenter = true;
 
   FlagParser parser(
       "slam_kdv: exact kernel density visualization via sweep line "
@@ -89,6 +91,12 @@ int RunOrDie(int argc, char** argv) {
   parser.AddBool("ascii", &ascii, "also print an ASCII heat map");
   parser.AddBool("compare", &compare,
                  "cross-check the result against the SCAN oracle");
+  parser.AddString("diff", &diff_reference,
+                   "report per-pixel error against a reference: a method "
+                   "name, or 'reference' for the long-double oracle SCAN");
+  parser.AddBool("recenter", &recenter,
+                 "shift far-from-origin tasks to a local frame before "
+                 "computing (--no-recenter exposes raw conditioning)");
   parser.AddInt64("timeout-ms", &timeout_ms,
                   "abort the computation after this many milliseconds "
                   "(0 = unlimited)");
@@ -179,6 +187,7 @@ int RunOrDie(int argc, char** argv) {
   EngineOptions engine;
   engine.compute.exec = &exec;
   engine.sanitize = sanitize;
+  engine.recenter_coordinates = recenter;
 
   Timer timer;
   Result<DensityMap> map = Status::Internal("unset");
@@ -218,6 +227,26 @@ int RunOrDie(int argc, char** argv) {
     cmp.status().AbortIfNotOk();
     std::printf("vs SCAN oracle: max abs diff %.3g, max rel diff %.3g\n",
                 cmp->max_abs_diff, cmp->max_rel_diff);
+  }
+
+  if (!diff_reference.empty()) {
+    Result<DensityMap> reference = Status::Internal("unset");
+    if (ToLower(diff_reference) == "reference") {
+      reference = testing::ReferenceScan(task, &exec);
+    } else {
+      const auto ref_method = MethodFromName(diff_reference);
+      ref_method.status().AbortIfNotOk();
+      reference = ComputeKdv(task, *ref_method, engine);
+    }
+    reference.status().AbortIfNotOk();
+    const auto report = testing::CompareToReference(*map, *reference);
+    report.status().AbortIfNotOk();
+    std::printf(
+        "vs %s: max rel err %.4g, max abs err %.4g, max ulps %lld, worst "
+        "pixel (%d, %d) value %.17g ref %.17g\n",
+        diff_reference.c_str(), report->max_rel_error, report->max_abs_error,
+        static_cast<long long>(report->max_ulps), report->worst_ix,
+        report->worst_iy, report->worst_value, report->worst_reference);
   }
 
   // ---- Outputs -----------------------------------------------------
