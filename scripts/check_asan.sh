@@ -1,21 +1,4 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs the full test suite under them. Any sanitizer report fails the run.
-set -euo pipefail
-
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$ROOT/build-asan}"
-JOBS="${JOBS:-$(nproc)}"
-
-cmake -B "$BUILD_DIR" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSLAM_SANITIZE=address,undefined \
-  -DSLAM_BUILD_BENCHMARKS=OFF \
-  -DSLAM_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$JOBS"
-
-# halt_on_error makes a UBSan finding fail the test instead of just logging.
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
-
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+# Back-compat shim: the ASan+UBSan lane moved into the generalized
+# scripts/check_sanitize.sh (which also provides the ubsan and tsan modes).
+exec "$(dirname "$0")/check_sanitize.sh" asan

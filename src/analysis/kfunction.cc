@@ -53,10 +53,12 @@ KFunctionResult MakeResult(std::span<const double> radii,
 
 Result<KFunctionResult> ComputeKFunctionNaive(std::span<const Point> points,
                                               const BoundingBox& region,
-                                              std::span<const double> radii) {
+                                              std::span<const double> radii,
+                                              const ExecContext* exec) {
   SLAM_RETURN_NOT_OK(ValidateInputs(points, region, radii));
   std::vector<int64_t> counts(radii.size(), 0);
   for (size_t i = 0; i < points.size(); ++i) {
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, "kfunction/naive_point"));
     for (size_t j = 0; j < points.size(); ++j) {
       if (i == j) continue;
       const double d = Distance(points[i], points[j]);
@@ -74,12 +76,16 @@ Result<KFunctionResult> ComputeKFunctionNaive(std::span<const Point> points,
 
 Result<KFunctionResult> ComputeKFunction(std::span<const Point> points,
                                          const BoundingBox& region,
-                                         std::span<const double> radii) {
+                                         std::span<const double> radii,
+                                         const ExecContext* exec) {
   SLAM_RETURN_NOT_OK(ValidateInputs(points, region, radii));
-  SLAM_ASSIGN_OR_RETURN(KdTree tree, KdTree::Build(points));
+  KdTreeOptions tree_options;
+  tree_options.exec = exec;
+  SLAM_ASSIGN_OR_RETURN(KdTree tree, KdTree::Build(points, tree_options));
   const double r_max = radii.back();
   std::vector<int64_t> counts(radii.size(), 0);
   for (const Point& p : points) {
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, "kfunction/point"));
     tree.RangeQuery(p, r_max, [&](const Point& q) {
       const auto it =
           std::lower_bound(radii.begin(), radii.end(), Distance(p, q));

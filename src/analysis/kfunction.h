@@ -21,6 +21,7 @@
 
 #include "geom/bounding_box.h"
 #include "geom/point.h"
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace slam {
@@ -33,13 +34,18 @@ struct KFunctionResult {
 };
 
 /// Radii must be positive and strictly ascending; needs >= 2 points and a
-/// non-degenerate region (used for |A|).
+/// non-degenerate region (used for |A|). Both variants poll `exec` once
+/// per outer point (the repo invariant: every Compute* entry point
+/// consults its ExecContext — enforced by scripts/lint_invariants.py), so
+/// a cancellation or deadline surfaces within one point's worth of work.
 Result<KFunctionResult> ComputeKFunctionNaive(std::span<const Point> points,
                                               const BoundingBox& region,
-                                              std::span<const double> radii);
+                                              std::span<const double> radii,
+                                              const ExecContext* exec = nullptr);
 
 Result<KFunctionResult> ComputeKFunction(std::span<const Point> points,
                                          const BoundingBox& region,
-                                         std::span<const double> radii);
+                                         std::span<const double> radii,
+                                         const ExecContext* exec = nullptr);
 
 }  // namespace slam

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "core/bounds.h"
 #include "core/envelope.h"
 #include "core/sweep_state.h"
+#include "util/narrow.h"
 
 namespace slam {
 
@@ -28,8 +30,11 @@ struct BucketWorkspace {
   std::vector<Point> upper_points;
 
   void PrepareRow(int num_pixels) {
-    lower_offsets.assign(num_pixels + 2, 0);
-    upper_offsets.assign(num_pixels + 2, 0);
+    // size_t arithmetic: num_pixels + 2 overflows `int` when the axis is
+    // within 2 pixels of INT_MAX (overflow regression test in
+    // tests/kdv/grid_overflow_test.cc).
+    lower_offsets.assign(CheckedSize(num_pixels) + 2, 0);
+    upper_offsets.assign(CheckedSize(num_pixels) + 2, 0);
   }
 
   /// Heap held by the bucket workspace, accounted against the memory
@@ -46,14 +51,15 @@ struct BucketWorkspace {
 };
 
 void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs) {
-  const int X = xs.count;
-  ws.PrepareRow(X);
+  ws.PrepareRow(xs.count);
   // Count per bucket (offset index shifted by one for the exclusive scan).
+  // Bucket indices go through size_t before the +1 shift: LowerBucket can
+  // legitimately return X itself, and X + 1 in `int` is UB at X = INT_MAX.
   for (const BoundInterval& iv : ws.intervals) {
-    ++ws.lower_offsets[LowerBucket(iv.lb, xs) + 1];
-    ++ws.upper_offsets[UpperBucket(iv.ub, xs) + 1];
+    ++ws.lower_offsets[CheckedSize(LowerBucket(iv.lb, xs)) + 1];
+    ++ws.upper_offsets[CheckedSize(UpperBucket(iv.ub, xs)) + 1];
   }
-  for (int i = 1; i <= X + 1; ++i) {
+  for (size_t i = 1; i < ws.lower_offsets.size(); ++i) {
     ws.lower_offsets[i] += ws.lower_offsets[i - 1];
     ws.upper_offsets[i] += ws.upper_offsets[i - 1];
   }
@@ -104,6 +110,14 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
         "SLAM has no aggregate decomposition for the " +
         std::string(KernelTypeName(task.kernel)) +
         " kernel (paper Section 3.7)");
+  }
+  if (task.points.size() >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    // The bucket offset/cursor arrays count endpoints in int32_t (sized to
+    // the space model in EstimateAuxiliarySpaceBytes); beyond 2^31 - 1
+    // points per row they would wrap.
+    return Status::InvalidArgument(
+        "SLAM_BUCKET supports at most 2^31 - 1 points");
   }
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));

@@ -136,8 +136,8 @@ Result<PointDataset> GenerateCity(const CityConfig& config) {
   PointDataset ds(config.name);
   ds.Reserve(config.n);
   const size_t n_cluster =
-      static_cast<size_t>(config.cluster_fraction * config.n);
-  const size_t n_street = static_cast<size_t>(config.street_fraction * config.n);
+      static_cast<size_t>(config.cluster_fraction * static_cast<double>(config.n));
+  const size_t n_street = static_cast<size_t>(config.street_fraction * static_cast<double>(config.n));
 
   for (size_t i = 0; i < config.n; ++i) {
     Point p;
@@ -159,13 +159,13 @@ Result<PointDataset> GenerateCity(const CityConfig& config) {
             rng.NextBelow(static_cast<uint64_t>(
                 std::max(1.0, config.height_m / config.street_spacing_m))));
         p = {rng.Uniform(0, config.width_m),
-             line * config.street_spacing_m +
+             static_cast<double>(line) * config.street_spacing_m +
                  rng.Gaussian(0.0, config.street_jitter_m)};
       } else {
         const int64_t line = static_cast<int64_t>(
             rng.NextBelow(static_cast<uint64_t>(
                 std::max(1.0, config.width_m / config.street_spacing_m))));
-        p = {line * config.street_spacing_m +
+        p = {static_cast<double>(line) * config.street_spacing_m +
                  rng.Gaussian(0.0, config.street_jitter_m),
              rng.Uniform(0, config.height_m)};
       }
@@ -225,7 +225,7 @@ CityConfig CityPresetConfig(City city, double scale, uint64_t seed) {
   CityConfig cfg;
   cfg.name = std::string(CityName(city));
   cfg.n = std::max<size_t>(
-      1, static_cast<size_t>(CityPaperSize(city) * scale + 0.5));
+      1, static_cast<size_t>(static_cast<double>(CityPaperSize(city)) * scale + 0.5));
   cfg.seed = seed + static_cast<uint64_t>(city) * 1000003ULL;
   switch (city) {
     case City::kSeattle:

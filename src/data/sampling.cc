@@ -19,7 +19,7 @@ Result<PointDataset> SampleFraction(const PointDataset& dataset,
     std::iota(all.begin(), all.end(), size_t{0});
     return dataset.Select(all);
   }
-  const size_t k = static_cast<size_t>(fraction * dataset.size() + 0.5);
+  const size_t k = static_cast<size_t>(fraction * static_cast<double>(dataset.size()) + 0.5);
   return SampleCount(dataset, k, seed);
 }
 

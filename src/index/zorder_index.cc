@@ -26,7 +26,7 @@ std::vector<Point> ZOrderIndex::StridedSample(size_t m) const {
   // even when n is not a multiple of m.
   const double stride = static_cast<double>(size()) / static_cast<double>(m);
   for (size_t i = 0; i < m; ++i) {
-    const size_t idx = static_cast<size_t>((i + 0.5) * stride);
+    const size_t idx = static_cast<size_t>((static_cast<double>(i) + 0.5) * stride);
     sample.push_back(sorted_points_[std::min(idx, size() - 1)]);
   }
   return sample;

@@ -131,7 +131,8 @@ Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
   MethodFn fn = Dispatch(method);
   if (fn == nullptr) {
     return Status::InvalidArgument(
-        StringPrintf("unknown method id %d", static_cast<int>(method)));
+        StringPrintf("unknown method id %d",
+                     static_cast<int>(method)));  // lint:allow(narrowing-cast)
   }
   // Sanitization precedes validation so that NaN/Inf points are dropped
   // rather than fatal; everything else (grid, bandwidth, weight) still

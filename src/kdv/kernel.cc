@@ -133,7 +133,8 @@ double DensityFromAggregates(KernelType kernel, const Point& q,
     case KernelType::kGaussian:
       break;
   }
-  SLAM_CHECK(false) << "unreachable: kernel " << static_cast<int>(kernel);
+  SLAM_CHECK(false) << "unreachable: kernel "
+                    << static_cast<int>(kernel);  // lint:allow(narrowing-cast)
   return 0.0;
 }
 

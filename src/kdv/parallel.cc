@@ -1,13 +1,48 @@
 #include "kdv/parallel.h"
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
 
 #include "util/exec_context.h"
+#include "util/mutex.h"
+#include "util/narrow.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace slam {
+
+namespace {
+
+/// First-failure-wins aggregation across stripe threads. Record() keeps
+/// only the first status and trips the stripe cancellation token so
+/// sibling stripes stop at their next row poll; later statuses (usually
+/// the secondary Cancelled the siblings then report) are dropped.
+class FirstErrorCollector {
+ public:
+  explicit FirstErrorCollector(CancellationToken* stripe_cancel)
+      : stripe_cancel_(stripe_cancel) {}
+
+  void Record(const Status& status) {
+    MutexLock lock(&mutex_);
+    if (first_error_.ok()) {
+      first_error_ = status;
+      stripe_cancel_->Cancel();  // stop sibling stripes
+    }
+  }
+
+  /// Safe to call only after every stripe thread has joined.
+  Status TakeStatus() {
+    MutexLock lock(&mutex_);
+    return first_error_;
+  }
+
+ private:
+  CancellationToken* const stripe_cancel_;
+  Mutex mutex_;
+  Status first_error_ SLAM_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
                                       const ParallelOptions& options) {
@@ -44,15 +79,7 @@ Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
   stripe_engine.compute.exec = &stripe_exec;
   stripe_engine.sanitize = false;  // already sanitized above, once
 
-  std::mutex status_mutex;
-  Status first_error;  // first failure wins; secondary Cancelled is dropped
-  auto record_error = [&](const Status& status) {
-    std::lock_guard<std::mutex> lock(status_mutex);
-    if (first_error.ok()) {
-      first_error = status;
-      stripe_cancel.Cancel();  // stop sibling stripes
-    }
-  };
+  FirstErrorCollector errors(&stripe_cancel);
 
   {
     // Scope: the pool joins before first_error is read or `map` returned,
@@ -66,33 +93,34 @@ Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
             // Cancellation here is a sibling's doing; its error is already
             // recorded. Anything else (deadline, injected fault) is this
             // stripe's own failure.
-            record_error(entry);
+            errors.Record(entry);
             return;
           }
           // Sub-task: same lattice restricted to rows [row_begin, row_end).
           KdvTask stripe = clean_task;
           GridAxis y = task.grid.y_axis();
-          y.origin = task.grid.y_axis().Coord(static_cast<int>(row_begin));
-          y.count = static_cast<int>(row_end - row_begin);
+          y.origin = task.grid.y_axis().Coord(PixelIndex(row_begin));
+          y.count = PixelIndex(row_end - row_begin);
           const auto stripe_grid = Grid::Create(task.grid.x_axis(), y);
           if (!stripe_grid.ok()) {
-            record_error(stripe_grid.status());
+            errors.Record(stripe_grid.status());
             return;
           }
           stripe.grid = *stripe_grid;
           const auto stripe_map = ComputeKdv(stripe, method, stripe_engine);
           if (!stripe_map.ok()) {
-            record_error(stripe_map.status());
+            errors.Record(stripe_map.status());
             return;
           }
           for (int iy = 0; iy < stripe_map->height(); ++iy) {
             const auto src = stripe_map->row(iy);
-            auto dst = map.mutable_row(static_cast<int>(row_begin) + iy);
+            auto dst = map.mutable_row(PixelIndex(row_begin) + iy);
             std::copy(src.begin(), src.end(), dst.begin());
           }
         });
   }
 
+  const Status first_error = errors.TakeStatus();
   if (!first_error.ok()) return first_error;
   return map;
 }

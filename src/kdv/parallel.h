@@ -26,6 +26,17 @@ struct ParallelOptions {
 
 /// Computes the same raster as ComputeKdv(task, method), using stripes of
 /// pixel rows across a thread pool.
+///
+/// Concurrency contract (checked by clang -Wthread-safety over the
+/// annotated primitives in util/mutex.h, and exercised under TSan by
+/// tests/engine/parallel_stress_test.cc):
+///  * stripes write disjoint row ranges of the shared raster, so raster
+///    writes need no lock;
+///  * failure aggregation is first-error-wins through a mutex-guarded
+///    collector that also trips a stripe-local CancellationToken chained
+///    to the caller's, so sibling stripes stop at their next row poll;
+///  * the pool joins before the raster or status is read, so no stripe
+///    thread outlives the call.
 Result<DensityMap> ComputeKdvParallel(const KdvTask& task, Method method,
                                       const ParallelOptions& options = {});
 

@@ -26,18 +26,18 @@ void MemoryBudget::Release(size_t bytes) {
 
 void FaultInjector::Arm(std::string_view site, int64_t after_hits,
                         Status status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   traps_[std::string(site)] = Trap{after_hits, std::move(status)};
 }
 
 void FaultInjector::Disarm(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = traps_.find(site);
   if (it != traps_.end()) traps_.erase(it);
 }
 
 Status FaultInjector::Hit(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ++hits_[std::string(site)];
   ++total_hits_;
   for (const auto key : {site, std::string_view("*")}) {
@@ -54,7 +54,7 @@ Status FaultInjector::Hit(std::string_view site) {
 }
 
 int64_t FaultInjector::HitCount(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (site == "*") return total_hits_;
   const auto it = hits_.find(site);
   return it == hits_.end() ? 0 : it->second;

@@ -21,11 +21,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace slam {
@@ -105,10 +106,10 @@ class FaultInjector {
     Status status;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Trap, std::less<>> traps_;
-  std::map<std::string, int64_t, std::less<>> hits_;
-  int64_t total_hits_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, Trap, std::less<>> traps_ SLAM_GUARDED_BY(mutex_);
+  std::map<std::string, int64_t, std::less<>> hits_ SLAM_GUARDED_BY(mutex_);
+  int64_t total_hits_ SLAM_GUARDED_BY(mutex_) = 0;
 };
 
 /// The per-computation execution context. A value type holding non-owning

@@ -1,0 +1,49 @@
+// Checked narrowing conversions for pixel-index and size arithmetic.
+//
+// The sweep kernels index pixels with `int` (matching the paper's X, Y)
+// but size workspaces with `size_t` and aggregate rows with `int64_t`.
+// Silent narrowing between those domains is where overflow bugs hide when
+// grids approach INT_MAX pixels, so the repo-invariant linter
+// (scripts/lint_invariants.py) bans raw `static_cast<int>` / C-style
+// casts in pixel-index math outside this header and sweep_state.h — use
+// these helpers instead; they assert the value round-trips.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace slam {
+
+/// Narrowing cast that DCHECKs the value is representable in `To`.
+/// Integral → integral only; the pixel-coordinate float→index conversions
+/// stay in LowerBucket/UpperBucket, which clamp explicitly.
+template <typename To, typename From>
+inline To CheckedNarrow(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "CheckedNarrow is for integral conversions");
+  SLAM_DCHECK(std::in_range<To>(value)) << "narrowing lost value";
+  return static_cast<To>(value);
+}
+
+/// Pixel-index narrowing: int64_t (or size_t) row/column arithmetic back
+/// to the `int` the Grid API speaks. Grid::Create bounds counts to
+/// positive `int`, so a checked narrow documents (and in debug builds
+/// verifies) that invariant at every conversion site.
+template <typename From>
+inline int PixelIndex(From value) {
+  return CheckedNarrow<int>(value);
+}
+
+/// `size_t` element count from any non-negative signed count.
+template <typename From>
+inline size_t CheckedSize(From value) {
+  static_assert(std::is_integral_v<From>);
+  if constexpr (std::is_signed_v<From>) {
+    SLAM_DCHECK(value >= From{0}) << "negative count";
+  }
+  return static_cast<size_t>(value);
+}
+
+}  // namespace slam

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 namespace slam {
@@ -54,34 +53,40 @@ std::string ToLower(std::string_view s) {
 }
 
 Result<double> ParseDouble(std::string_view s) {
-  const std::string_view trimmed = Trim(s);
+  // std::from_chars, not strtod: strtod reads the process-global locale,
+  // so a host with LC_NUMERIC using decimal commas silently mis-parses
+  // every CSV (banned by scripts/lint_invariants.py). from_chars is
+  // locale-independent and needs no NUL-terminated copy.
+  std::string_view trimmed = Trim(s);
   if (trimmed.empty()) {
     return Status::InvalidArgument("empty string is not a double");
   }
-  // strtod needs a NUL-terminated buffer.
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
-    return Status::InvalidArgument("cannot parse '" + buf + "' as double");
+  // from_chars rejects an explicit '+', which strtod accepted; keep it.
+  if (trimmed.front() == '+') trimmed.remove_prefix(1);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ptr != trimmed.data() + trimmed.size() || ec != std::errc()) {
+    return Status::InvalidArgument("cannot parse '" + std::string(Trim(s)) +
+                                   "' as double");
   }
   return value;
 }
 
 Result<int64_t> ParseInt64(std::string_view s) {
-  const std::string_view trimmed = Trim(s);
+  std::string_view trimmed = Trim(s);
   if (trimmed.empty()) {
     return Status::InvalidArgument("empty string is not an integer");
   }
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  const long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
-    return Status::InvalidArgument("cannot parse '" + buf + "' as int64");
+  if (trimmed.front() == '+') trimmed.remove_prefix(1);
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ptr != trimmed.data() + trimmed.size() || ec != std::errc()) {
+    return Status::InvalidArgument("cannot parse '" + std::string(Trim(s)) +
+                                   "' as int64");
   }
-  return static_cast<int64_t>(value);
+  return value;
 }
 
 std::string FormatDuration(double seconds) {

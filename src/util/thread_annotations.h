@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis attribute macros (no-ops on GCC/MSVC).
+// Annotating a field with SLAM_GUARDED_BY(mutex_) and the lock-shaped
+// methods with SLAM_ACQUIRE/SLAM_RELEASE lets `clang -Wthread-safety`
+// prove, at compile time, that every access to shared state holds the
+// right lock. The repo builds with -Werror=thread-safety under Clang
+// (see CMakeLists.txt), so a missing lock is a build break, not a TSan
+// coin flip. Macro names follow the Clang documentation's reference
+// mapping (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a
+// SLAM_ prefix.
+#pragma once
+
+#if defined(__clang__)
+#define SLAM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SLAM_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Declares a type to be a lock ("capability" in Clang's vocabulary).
+#define SLAM_CAPABILITY(x) SLAM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SLAM_SCOPED_CAPABILITY SLAM_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define SLAM_GUARDED_BY(x) SLAM_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer field's *pointee* may only be accessed holding `x`.
+#define SLAM_PT_GUARDED_BY(x) SLAM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the listed
+/// capabilities (it neither acquires nor releases them).
+#define SLAM_REQUIRES(...) \
+  SLAM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities and holds them
+/// on return.
+#define SLAM_ACQUIRE(...) \
+  SLAM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities (they must be
+/// held on entry).
+#define SLAM_RELEASE(...) \
+  SLAM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and returns
+/// `success` (true/false) when it got it.
+#define SLAM_TRY_ACQUIRE(success, ...) \
+  SLAM_THREAD_ANNOTATION(try_acquire_capability(success, __VA_ARGS__))
+
+/// The annotated function may only be called while NOT holding the listed
+/// capabilities (deadlock prevention for non-reentrant locks).
+#define SLAM_EXCLUDES(...) SLAM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis time) that the capability is held — for functions
+/// reached only from contexts the analysis cannot see through.
+#define SLAM_ASSERT_CAPABILITY(x) \
+  SLAM_THREAD_ANNOTATION(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define SLAM_RETURN_CAPABILITY(x) SLAM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only with a
+/// comment explaining why the analysis cannot follow the code.
+#define SLAM_NO_THREAD_SAFETY_ANALYSIS \
+  SLAM_THREAD_ANNOTATION(no_thread_safety_analysis)

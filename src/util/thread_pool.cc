@@ -8,9 +8,10 @@ namespace slam {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
-  workers_.reserve(num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -18,10 +19,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -30,26 +31,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   SLAM_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     SLAM_CHECK(!shutting_down_) << "Submit() after shutdown";
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) {
+    all_done_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // shutting down and drained
       }
@@ -58,9 +62,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (--in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.SignalAll();
       }
     }
   }

@@ -131,9 +131,9 @@ TEST_P(CancellationTest, AmpleBudgetSucceedsAndReleasesEverything) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, CancellationTest, ::testing::ValuesIn(AllMethods()),
-    [](const ::testing::TestParamInfo<Method>& info) {
+    [](const ::testing::TestParamInfo<Method>& param_info) {
       std::string name;
-      for (const char c : MethodName(info.param)) {
+      for (const char c : MethodName(param_info.param)) {
         if (std::isalnum(static_cast<unsigned char>(c))) name += c;
       }
       return name;

@@ -115,8 +115,8 @@ TEST_P(ApproximateMethodTest, StaysCloseToOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Approximate, ApproximateMethodTest,
                          ::testing::Values(Method::kZorder, Method::kAkde),
-                         [](const ::testing::TestParamInfo<Method>& info) {
-                           std::string n(MethodName(info.param));
+                         [](const ::testing::TestParamInfo<Method>& param_info) {
+                           std::string n(MethodName(param_info.param));
                            for (char& ch : n) {
                              if (ch == '-') ch = '_';
                            }

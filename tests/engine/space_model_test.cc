@@ -30,7 +30,8 @@ TEST(SpaceModelTest, AllMethodsWithinSmallFactorOfEachOther) {
     min_bytes = std::min(min_bytes, bytes);
     max_bytes = std::max(max_bytes, bytes);
   }
-  EXPECT_LT(static_cast<double>(max_bytes) / min_bytes, 10.0);
+  EXPECT_LT(static_cast<double>(max_bytes) / static_cast<double>(min_bytes),
+            10.0);
 }
 
 TEST(SpaceModelTest, RaoBucketUsesLongerAxis) {
