@@ -1,7 +1,9 @@
 #include "common/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
 
 #include "kdv/bandwidth.h"
@@ -58,7 +60,11 @@ CellResult RunCell(const KdvTask& task, Method method,
                    const EngineOptions& engine_options,
                    const DensityMap* reference) {
   CellResult result;
-  const Deadline deadline(config.budget_seconds);
+  // A non-positive budget means "no per-cell limit": leave the deadline
+  // unattached rather than arming an already-expired one.
+  const Deadline deadline(config.budget_seconds > 0
+                              ? config.budget_seconds
+                              : std::numeric_limits<double>::infinity());
   ExecContext exec;
   if (engine_options.compute.exec != nullptr) {
     exec = *engine_options.compute.exec;  // keep caller's budget/injector
@@ -70,7 +76,7 @@ CellResult RunCell(const KdvTask& task, Method method,
   const auto map = ComputeKdv(task, method, options);
   result.seconds = timer.ElapsedSeconds();
   if (!map.ok()) {
-    if (map.status().code() == StatusCode::kCancelled) {
+    if (map.status().IsDeadlineExceeded() || map.status().IsCancelled()) {
       result.censored = true;
       result.seconds = config.budget_seconds;
     } else {
@@ -156,6 +162,17 @@ Result<KdvTask> DatasetTask(const BenchDataset& dataset, int width,
   KdvTask task = MakeTask(dataset.data, viewport, kernel,
                           dataset.scott_bandwidth * bandwidth_scale);
   return task;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  p = std::min(100.0, std::max(0.0, p));
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

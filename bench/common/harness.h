@@ -100,6 +100,10 @@ Result<KdvTask> DatasetTask(const BenchDataset& dataset, int width,
 
 // ---- Reporting -----------------------------------------------------------
 
+/// Linear-interpolated percentile of `values` (p in [0, 100]); sorts the
+/// copy it takes. NaN when `values` is empty. p is clamped to [0, 100].
+double Percentile(std::vector<double> values, double p);
+
 /// Fixed-width table printer: header row then one row per line.
 class TablePrinter {
  public:

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory snapshot: pinned table7_default subset -> BENCH_6.json.
+
+Runs the bench_table7_default binary several times at a small, pinned
+configuration (fixed scale / resolution / seed, so successive PRs measure
+the same work) with SLAM_BENCH_JSON pointed at a scratch file, then
+aggregates per-method wall times into p50/p95/p99 and writes BENCH_6.json
+at the repo root. The file is the sixth point of the repo's performance
+trajectory (ROADMAP item 1: track method latency PR over PR).
+
+Usage:
+  scripts/bench_trajectory.py [--build-dir build] [--repetitions 5]
+                              [--output BENCH_6.json]
+
+The bench binary must already be built (cmake --build build). No deps
+beyond the Python standard library.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+# Pinned workload: identical across PRs so the trajectory is comparable.
+PINNED_ENV = {
+    "SLAM_BENCH_SCALE": "0.005",
+    "SLAM_BENCH_BUDGET": "10",
+    "SLAM_BENCH_RES": "120x90",
+    "SLAM_BENCH_CHECK": "0",
+}
+
+
+def percentile(values, p):
+    """Linear-interpolated percentile, mirroring bench::Percentile."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    if lo + 1 >= len(ordered):
+        return ordered[-1]
+    frac = rank - lo
+    return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
+
+
+def run_once(binary, json_path, env):
+    run_env = dict(os.environ)
+    run_env.update(env)
+    run_env["SLAM_BENCH_JSON"] = json_path
+    proc = subprocess.run(
+        [binary], env=run_env, stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(
+            f"{binary} exited with {proc.returncode}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_6.json")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    binary = os.path.join(repo_root, args.build_dir, "bench",
+                          "bench_table7_default")
+    if not os.path.exists(binary):
+        raise SystemExit(
+            f"{binary} not found; build first: cmake --build {args.build_dir}"
+            " (SLAM_BUILD_BENCHMARKS=ON)")
+
+    with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".jsonl", delete=False) as scratch:
+        scratch_path = scratch.name
+    try:
+        for i in range(args.repetitions):
+            print(f"[bench_trajectory] run {i + 1}/{args.repetitions}")
+            run_once(binary, scratch_path, PINNED_ENV)
+        with open(scratch_path) as f:
+            cells = [json.loads(line) for line in f if line.strip()]
+    finally:
+        os.unlink(scratch_path)
+
+    # seconds per method, over every dataset x repetition cell that
+    # completed (failed or censored cells are excluded but counted).
+    by_method = {}
+    excluded = 0
+    for cell in cells:
+        if cell.get("experiment") != "table7_default":
+            continue
+        if not cell.get("ok", False) or cell.get("censored", False):
+            excluded += 1
+            continue
+        by_method.setdefault(cell["method"], []).append(cell["seconds"])
+    if not by_method:
+        raise SystemExit("no completed cells; nothing to aggregate")
+
+    methods = {}
+    for method in sorted(by_method):
+        seconds = by_method[method]
+        methods[method] = {
+            "samples": len(seconds),
+            "p50_seconds": percentile(seconds, 50),
+            "p95_seconds": percentile(seconds, 95),
+            "p99_seconds": percentile(seconds, 99),
+            "mean_seconds": statistics.fmean(seconds),
+        }
+
+    out = {
+        "experiment": "table7_default",
+        "pinned_env": PINNED_ENV,
+        "repetitions": args.repetitions,
+        "cells": len(cells),
+        "excluded_cells": excluded,
+        "methods": methods,
+    }
+    out_path = os.path.join(repo_root, args.output)
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_trajectory] wrote {out_path} "
+          f"({len(methods)} methods, {len(cells)} cells)")
+
+
+if __name__ == "__main__":
+    main()

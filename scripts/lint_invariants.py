@@ -33,6 +33,15 @@ plus a reason in the surrounding comment):
                      ParseDouble), time(nullptr) (non-deterministic; use
                      util/timer.h clocks).
 
+  retry-backoff      A loop whose header names a retry/attempt counter must
+                     reference a backoff (Backoff/RetryPolicy/
+                     DelayBeforeRetry) or poll its budget (Deadline/
+                     ExecCheck/Check) inside the loop. A bare retry loop
+                     hot-spins on a failing dependency and ignores the
+                     request deadline — the resilience layer (util/backoff.h,
+                     serve/resilient_render.cc) exists so nobody hand-rolls
+                     one.
+
 Exit status: 0 clean, 1 violations (printed as file:line: rule: message).
 """
 
@@ -301,6 +310,46 @@ def check_banned(f: SourceFile) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: retry-backoff
+# ---------------------------------------------------------------------------
+
+RETRY_LOOP_RE = re.compile(
+    r"\b(?:for|while)\s*\([^)]*\b(?:retry|retries|attempt|attempts)\w*\b"
+)
+BACKOFF_TOKENS_RE = re.compile(
+    r"\bBackoff\b|\bRetryPolicy\b|\bDelayBeforeRetry\b|\bbackoff\b|"
+    r"\bDeadline\b|\bdeadline\b|\bExecCheck\s*\(|->\s*Check\s*\(|"
+    r"\.\s*Check\s*\("
+)
+
+
+def check_retry_backoff(f: SourceFile) -> list[Violation]:
+    out = []
+    for m in RETRY_LOOP_RE.finditer(f.code):
+        line = f.code.count("\n", 0, m.start()) + 1
+        if f.allowed(line, "retry-backoff"):
+            continue
+        span = function_body(f.code, f.code.find("(", m.start()) + 1)
+        if span is None:
+            continue
+        body = f.code[m.start() : span[1]]
+        if BACKOFF_TOKENS_RE.search(body):
+            continue
+        out.append(
+            Violation(
+                f.rel,
+                line,
+                "retry-backoff",
+                "retry/attempt loop with no backoff and no deadline/"
+                "ExecContext poll: hot-spins on failure and can outlive the "
+                "request budget; use RetryPolicy + Backoff (util/backoff.h) "
+                "or poll ExecCheck/Deadline inside the loop",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 
 
 def main() -> int:
@@ -331,6 +380,7 @@ def main() -> int:
         violations.extend(check_narrowing(f))
         violations.extend(check_aggregates(f))
         violations.extend(check_banned(f))
+        violations.extend(check_retry_backoff(f))
 
     for v in violations:
         print(v)

@@ -1,0 +1,86 @@
+#include "explore/degrade.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace slam {
+
+std::string_view FidelityName(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::kFull:
+      return "full";
+    case Fidelity::kHalfRes:
+      return "halfres";
+    case Fidelity::kSampled:
+      return "sampled";
+  }
+  return "?";
+}
+
+std::string_view DegradeModeName(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kOff:
+      return "off";
+    case DegradeMode::kHalfRes:
+      return "halfres";
+    case DegradeMode::kSample:
+      return "sample";
+  }
+  return "?";
+}
+
+Result<DegradeMode> DegradeModeFromName(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "off" || lower == "none") return DegradeMode::kOff;
+  if (lower == "halfres" || lower == "half-res" || lower == "half") {
+    return DegradeMode::kHalfRes;
+  }
+  if (lower == "sample" || lower == "sampled") return DegradeMode::kSample;
+  return Status::InvalidArgument("unknown degrade mode '" + std::string(name) +
+                                 "' (off, halfres, sample)");
+}
+
+std::optional<DegradeStep> DegradeLadderStep(DegradeMode mode, int level,
+                                             int max_halvings, int full_width,
+                                             int full_height, Method method) {
+  if (level < 0) return std::nullopt;
+  const int halvings = std::max(0, max_halvings);
+  const auto at_shift = [&](int shift) {
+    DegradeStep step;
+    step.width = std::max(1, full_width >> shift);
+    step.height = std::max(1, full_height >> shift);
+    step.method = method;
+    return step;
+  };
+  if (level == 0) return at_shift(0);  // full fidelity, any mode
+  switch (mode) {
+    case DegradeMode::kOff:
+      return std::nullopt;
+    case DegradeMode::kHalfRes: {
+      if (level > halvings) return std::nullopt;
+      DegradeStep step = at_shift(level);
+      step.fidelity = Fidelity::kHalfRes;
+      return step;
+    }
+    case DegradeMode::kSample: {
+      if (level <= halvings) {
+        DegradeStep step = at_shift(level);
+        step.fidelity = Fidelity::kHalfRes;
+        return step;
+      }
+      if (level == halvings + 1) {
+        // The last resort: Z-order sampled subset at the coarsest rung.
+        // Approximate but cheap — its cost scales with the sample, not n.
+        DegradeStep step = at_shift(halvings);
+        step.method = Method::kZorder;
+        step.fidelity = Fidelity::kSampled;
+        return step;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace slam

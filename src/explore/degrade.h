@@ -1,0 +1,64 @@
+// The graceful-degradation ladder: the one shared contract for trading
+// answer fidelity for latency under deadline or memory pressure.
+//
+// Zheng et al. ("Visualization of Big Spatial Data using Coresets for
+// KDE") establishes that bounded-error reduced-fidelity densities are an
+// acceptable serving currency; this header turns that into a mechanical
+// ladder every degrading caller (ExplorerSession::RenderAdaptive, the
+// serving core, the slam_kdv CLI) steps the same way:
+//
+//   level 0             full resolution, requested method   (kFull)
+//   level 1..H          resolution halved per level         (kHalfRes)
+//   level H+1 (kSample) Z-order sampled subset, coarsest    (kSampled)
+//
+// where H = max_halvings. Every response is tagged with the Fidelity that
+// was actually served, so a degraded answer can never masquerade as a
+// full-fidelity one.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "kdv/engine.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// What a caller actually received, attached to every degradable answer.
+enum class Fidelity : int {
+  kFull = 0,     // requested resolution, exact requested method
+  kHalfRes = 1,  // exact method at a halved (>= once) resolution
+  kSampled = 2,  // Z-order sampled subset: approximate, bounded error
+};
+
+std::string_view FidelityName(Fidelity fidelity);
+
+/// How far a caller permits the ladder to descend.
+enum class DegradeMode : int {
+  kOff = 0,      // full fidelity or failure
+  kHalfRes = 1,  // allow half-resolution rungs
+  kSample = 2,   // allow half-res rungs, then the sampled rung
+};
+
+std::string_view DegradeModeName(DegradeMode mode);
+/// Accepts "off", "halfres" (also "half-res"/"half"), "sample" (also
+/// "sampled") — the CLI --degrade vocabulary.
+Result<DegradeMode> DegradeModeFromName(std::string_view name);
+
+/// One rung of the ladder: what to compute at `level`.
+struct DegradeStep {
+  int width = 0;
+  int height = 0;
+  Method method = Method::kSlamBucketRao;
+  Fidelity fidelity = Fidelity::kFull;
+};
+
+/// The plan for ladder rung `level` (0 = full fidelity), or nullopt once
+/// the mode's ladder is exhausted. `max_halvings` bounds the half-res
+/// rungs; the sampled rung (mode kSample only) reuses the coarsest
+/// half-res resolution. Resolutions never drop below 1x1.
+std::optional<DegradeStep> DegradeLadderStep(DegradeMode mode, int level,
+                                             int max_halvings, int full_width,
+                                             int full_height, Method method);
+
+}  // namespace slam

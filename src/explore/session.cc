@@ -107,8 +107,12 @@ Result<DensityMap> ExplorerSession::Render() const {
 Result<RenderOutcome> ExplorerSession::RenderAdaptive() const {
   const ExecContext* base_exec = config_.engine.compute.exec;
   RenderOutcome outcome;
-  const int max_attempts = std::max(0, config_.max_degrade_retries) + 1;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  const int max_halvings = std::max(0, config_.max_degrade_retries);
+  for (int level = 0;; ++level) {
+    const auto step =
+        DegradeLadderStep(config_.degrade_mode, level, max_halvings,
+                          config_.width_px, config_.height_px, config_.method);
+    if (!step) break;  // ladder exhausted
     // Each attempt gets its own deadline (a Deadline cannot be re-armed);
     // cancellation, budget and fault injector pass through unchanged.
     ExecContext attempt_exec;
@@ -120,29 +124,25 @@ Result<RenderOutcome> ExplorerSession::RenderAdaptive() const {
     EngineOptions attempt_engine = config_.engine;
     attempt_engine.compute.exec = &attempt_exec;
 
-    const int shift = attempt;  // halve once per retry
-    const int width = std::max(1, config_.width_px >> shift);
-    const int height = std::max(1, config_.height_px >> shift);
     auto attempt_viewport =
-        Viewport::Create(viewport_.region(), width, height);
+        Viewport::Create(viewport_.region(), step->width, step->height);
     if (!attempt_viewport.ok()) return attempt_viewport.status();
     const KdvTask task =
         MakeTask(filtered_, *attempt_viewport, config_.kernel, bandwidth_);
-    auto map = ComputeKdv(task, config_.method, attempt_engine);
+    auto map = ComputeKdv(task, step->method, attempt_engine);
     if (map.ok()) {
       outcome.map = *std::move(map);
-      outcome.degrade_level = attempt;
+      outcome.degrade_level = level;
+      outcome.fidelity = step->fidelity;
       return outcome;
     }
-    if (attempt == 0) outcome.full_res_status = map.status();
-    const StatusCode code = map.status().code();
-    const bool degradable = code == StatusCode::kCancelled ||
-                            code == StatusCode::kResourceExhausted;
-    // A tripped user token means "stop", not "try smaller".
-    const bool user_cancelled = base_exec != nullptr &&
-                                base_exec->cancellation() != nullptr &&
-                                base_exec->cancellation()->cancelled();
-    if (!degradable || user_cancelled) return map.status();
+    if (level == 0) outcome.full_res_status = map.status();
+    // DeadlineExceeded / ResourceExhausted are pressure, answerable at a
+    // lower rung; Cancelled is the user saying "stop", and anything else
+    // (InvalidArgument, IoError, ...) would fail identically at any rung.
+    const bool degradable = map.status().IsDeadlineExceeded() ||
+                            map.status().IsResourceExhausted();
+    if (!degradable) return map.status();
   }
   return outcome.full_res_status;
 }

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "data/dataset.h"
+#include "explore/degrade.h"
 #include "explore/filter.h"
 #include "geom/viewport.h"
 #include "kdv/engine.h"
@@ -28,8 +29,12 @@ struct SessionConfig {
   /// deadline engine.compute.exec already carries (possibly none).
   double render_budget_seconds = 0.0;
   /// How many times RenderAdaptive may halve the resolution after a
-  /// Cancelled / ResourceExhausted attempt before giving up.
+  /// DeadlineExceeded / ResourceExhausted attempt before giving up.
   int max_degrade_retries = 2;
+  /// How far RenderAdaptive's ladder descends (explore/degrade.h).
+  /// kHalfRes preserves the historical behaviour; kSample adds a final
+  /// Z-order-sampled rung after the halvings are exhausted.
+  DegradeMode degrade_mode = DegradeMode::kHalfRes;
 };
 
 /// Result of an adaptive render: the raster actually produced, how many
@@ -37,8 +42,11 @@ struct SessionConfig {
 /// failed.
 struct RenderOutcome {
   DensityMap map;
-  /// 0 = full resolution; k = rendered at width/2^k x height/2^k.
+  /// 0 = full resolution; k = rendered at width/2^k x height/2^k (the
+  /// sampled rung reuses the coarsest halving's resolution).
   int degrade_level = 0;
+  /// What was actually served; never kFull when degrade_level > 0.
+  Fidelity fidelity = Fidelity::kFull;
   /// OK at degrade_level 0, else the full-resolution attempt's error.
   Status full_res_status;
 };
@@ -72,12 +80,13 @@ class ExplorerSession {
   Result<DensityMap> Render() const;
 
   /// Render with graceful degradation: when an attempt fails with
-  /// Cancelled (deadline) or ResourceExhausted (memory budget), retries at
-  /// half the resolution, up to config.max_degrade_retries times. A
-  /// render_budget_seconds > 0 arms a fresh per-attempt deadline. An
-  /// explicitly tripped cancellation token is honoured immediately — the
-  /// user asked to stop, so no degraded retry is attempted. Errors other
-  /// than Cancelled / ResourceExhausted propagate unchanged.
+  /// DeadlineExceeded (deadline) or ResourceExhausted (memory budget),
+  /// steps down the degradation ladder (explore/degrade.h) — half the
+  /// resolution per rung, then (config.degrade_mode == kSample) a Z-order
+  /// sampled rung. A render_budget_seconds > 0 arms a fresh per-attempt
+  /// deadline. Cancelled is honoured immediately — the user asked to
+  /// stop, so no degraded retry is attempted. Errors other than
+  /// DeadlineExceeded / ResourceExhausted propagate unchanged.
   Result<RenderOutcome> RenderAdaptive() const;
 
   // -- Introspection ----------------------------------------------------

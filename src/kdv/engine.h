@@ -58,9 +58,19 @@ struct EngineOptions {
 /// Computes the density raster with the chosen method. Returns
 /// InvalidArgument for unsupported kernel/method combinations (e.g. any
 /// SLAM variant with the Gaussian kernel), Cancelled if the options'
-/// ExecContext deadline expires or its token is cancelled mid-computation,
-/// and ResourceExhausted if the method's estimated or actual auxiliary
-/// space exceeds the context's memory budget.
+/// ExecContext token is cancelled mid-computation, DeadlineExceeded if its
+/// deadline expires, and ResourceExhausted if the method's estimated or
+/// actual auxiliary space exceeds the context's memory budget.
+///
+/// Thread safety: ComputeKdv is a pure function of its arguments — it
+/// mutates neither the task (points are a const span) nor the options, and
+/// keeps all working state on the stack or in locals. Concurrent calls are
+/// safe provided each call's options.compute.exec is either null or not
+/// shared mutably: ExecContext itself is internally synchronized, so even a
+/// shared context is safe; sharing one merely couples the callers'
+/// cancellation/deadline/budget, which the serving core exploits on
+/// purpose. This guarantee is what lets src/serve run one engine over many
+/// concurrent requests without a lock around the compute path.
 Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
                               const EngineOptions& options = {});
 

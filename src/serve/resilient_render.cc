@@ -1,0 +1,86 @@
+#include "serve/resilient_render.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "kdv/task.h"
+
+namespace slam {
+
+namespace {
+
+/// Rung-descent policy: which failures are worth answering at lower
+/// fidelity. Deadline/memory pressure shrinks with the task; a transient
+/// fault that survived its retry budget gets fresh attempts at a cheaper
+/// rung. Everything else (InvalidArgument, ...) would fail identically at
+/// any resolution.
+bool Degradable(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsResourceExhausted() ||
+         RetryPolicy::IsRetryable(status);
+}
+
+}  // namespace
+
+Result<ResilientRenderOutcome> RenderResilient(
+    const ResilientRenderParams& params, const Deadline* deadline) {
+  if (params.data == nullptr) {
+    return Status::InvalidArgument("RenderResilient requires a dataset");
+  }
+  SLAM_RETURN_NOT_OK(ValidateRetryOptions(params.retry));
+
+  const ExecContext* base_exec = params.engine.compute.exec;
+  ResilientRenderOutcome outcome;
+  Status last = Status::Internal("degradation ladder is empty");
+
+  for (int level = params.start_level;; ++level) {
+    const auto step = DegradeLadderStep(params.degrade_mode, level,
+                                        params.max_halvings, params.width_px,
+                                        params.height_px, params.method);
+    if (!step) break;  // ladder exhausted
+
+    auto rung_viewport =
+        Viewport::Create(params.region, step->width, step->height);
+    if (!rung_viewport.ok()) return rung_viewport.status();
+    const KdvTask task =
+        MakeTask(*params.data, *rung_viewport, params.kernel, params.bandwidth);
+
+    RetryPolicy policy(params.retry, params.retry_seed + uint64_t(level));
+    for (int attempt = 0;; ++attempt) {
+      // Layer the request deadline onto a copy of the caller's context;
+      // token, budget and fault injector pass through unchanged.
+      ExecContext attempt_exec;
+      if (base_exec != nullptr) attempt_exec = *base_exec;
+      if (deadline != nullptr) attempt_exec.set_deadline(deadline);
+      EngineOptions attempt_engine = params.engine;
+      attempt_engine.compute.exec = &attempt_exec;
+
+      ++outcome.attempts;
+      auto map = ComputeKdv(task, step->method, attempt_engine);
+      if (map.ok()) {
+        outcome.map = *std::move(map);
+        outcome.degrade_level = level;
+        outcome.fidelity = step->fidelity;
+        return outcome;
+      }
+      last = map.status();
+      if (last.IsCancelled()) return last;  // user said stop: final
+
+      const auto delay = policy.DelayBeforeRetry(last, attempt, deadline);
+      if (!delay) break;  // not retryable / budget spent / past deadline
+      ++outcome.retries;
+      std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
+    }
+
+    if (!Degradable(last)) return last;
+    if (deadline != nullptr && deadline->Expired()) {
+      // No rung, however small, can finish after the deadline.
+      return Status::DeadlineExceeded(
+          "request deadline expired during degradation (last rung: " +
+          std::string(last.message()) + ")");
+    }
+  }
+  return last;
+}
+
+}  // namespace slam

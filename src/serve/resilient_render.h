@@ -1,0 +1,76 @@
+// The resilient attempt loop: one request's journey through retry,
+// backoff, and the degradation ladder.
+//
+// Two nested loops. The inner loop retries the CURRENT ladder rung on
+// transient faults (RetryPolicy: kIoError/kInternal), sleeping a
+// decorrelated-jitter backoff between attempts and never scheduling a
+// sleep past the request deadline. The outer loop descends the
+// degradation ladder (explore/degrade.h) when a rung is out of reach —
+// its deadline expired, its memory was exhausted, or its retry budget ran
+// dry — trading fidelity for a smaller, faster computation that may still
+// fit the remaining budget. Cancellation is final at every point: the
+// user asked to stop, so neither loop continues.
+//
+// This is deliberately a free function over plain parameters (not a
+// method of ServingCore) so tests can drive it without standing up
+// admission control and a breaker around it.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "explore/degrade.h"
+#include "geom/bounding_box.h"
+#include "geom/viewport.h"
+#include "kdv/engine.h"
+#include "util/backoff.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace slam {
+
+struct ResilientRenderParams {
+  /// Not owned; must outlive the call.
+  const PointDataset* data = nullptr;
+  /// Spatial region to render; the ladder re-grids it per rung.
+  BoundingBox region;
+  /// Full-resolution raster size (ladder level 0).
+  int width_px = 512;
+  int height_px = 512;
+  KernelType kernel = KernelType::kEpanechnikov;
+  double bandwidth = 1.0;
+  Method method = Method::kSlamBucketRao;
+  /// Base engine options. compute.exec may carry a cancellation token /
+  /// fault injector / memory budget; the loop layers the request deadline
+  /// on a per-attempt copy and leaves the original untouched.
+  EngineOptions engine;
+  DegradeMode degrade_mode = DegradeMode::kHalfRes;
+  /// Ladder depth: halvings before the optional sampled rung.
+  int max_halvings = 2;
+  /// First ladder rung to try; > 0 when the circuit breaker is open and
+  /// the core serves degraded-only (ServingCore::Handle).
+  int start_level = 0;
+  RetryOptions retry;
+  /// Seed for the backoff jitter; vary per request to decorrelate clients.
+  uint64_t retry_seed = 1;
+};
+
+struct ResilientRenderOutcome {
+  DensityMap map;
+  Fidelity fidelity = Fidelity::kFull;
+  /// Ladder rung that produced the map (0 = full resolution).
+  int degrade_level = 0;
+  /// Total engine invocations, across retries and rungs.
+  int attempts = 0;
+  /// Same-rung retries (attempts minus first-tries).
+  int retries = 0;
+};
+
+/// Runs the loop described above. `deadline` is the REQUEST deadline,
+/// shared by all attempts (null = none); on failure the returned status is
+/// the last attempt's, except that an expired request deadline always
+/// surfaces as DeadlineExceeded.
+Result<ResilientRenderOutcome> RenderResilient(
+    const ResilientRenderParams& params, const Deadline* deadline);
+
+}  // namespace slam

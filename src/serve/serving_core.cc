@@ -1,0 +1,177 @@
+#include "serve/serving_core.h"
+
+#include <utility>
+
+#include "kdv/bandwidth.h"
+
+namespace slam {
+
+namespace {
+
+/// Breaker classification: what counts as the dependency failing.
+/// Infrastructure faults, deadline blowouts and memory exhaustion are all
+/// symptoms of an engine under pressure; Cancelled and InvalidArgument are
+/// the caller's doing and must not open the breaker.
+bool BreakerFailure(const Status& status) {
+  return status.IsIoError() || status.IsInternal() ||
+         status.IsDeadlineExceeded() || status.IsResourceExhausted();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServingCore>> ServingCore::Create(
+    PointDataset dataset, const ServingOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot serve an empty dataset");
+  }
+  if (options.width_px <= 0 || options.height_px <= 0) {
+    return Status::InvalidArgument("serving resolution must be positive");
+  }
+  if (options.max_halvings < 0) {
+    return Status::InvalidArgument("serving max_halvings must be >= 0");
+  }
+  SLAM_RETURN_NOT_OK(ValidateRetryOptions(options.retry));
+  double bandwidth;
+  if (options.bandwidth) {
+    if (!(*options.bandwidth > 0.0)) {
+      return Status::InvalidArgument("serving bandwidth must be positive");
+    }
+    bandwidth = *options.bandwidth;
+  } else {
+    SLAM_ASSIGN_OR_RETURN(bandwidth, ScottBandwidth(dataset.coords()));
+  }
+  SLAM_ASSIGN_OR_RETURN(
+      Viewport viewport,
+      Viewport::Create(dataset.Extent(), options.width_px, options.height_px));
+  SLAM_ASSIGN_OR_RETURN(auto admission,
+                        AdmissionController::Create(options.admission));
+  SLAM_ASSIGN_OR_RETURN(auto breaker, CircuitBreaker::Create(options.breaker));
+  return std::unique_ptr<ServingCore>(
+      new ServingCore(std::move(dataset), options, bandwidth, viewport,
+                      std::move(admission), std::move(breaker)));
+}
+
+ServingCore::ServingCore(PointDataset dataset, const ServingOptions& options,
+                         double bandwidth, Viewport viewport,
+                         std::unique_ptr<AdmissionController> admission,
+                         std::unique_ptr<CircuitBreaker> breaker)
+    : dataset_(std::move(dataset)),
+      options_(options),
+      bandwidth_(bandwidth),
+      viewport_(viewport),
+      admission_(std::move(admission)),
+      breaker_(std::move(breaker)) {}
+
+Result<RenderResponse> ServingCore::Handle(const RenderRequest& request) {
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  const Timer request_timer;
+
+  // The request deadline lives on this stack frame for the whole pipeline:
+  // admission waits against it, every render attempt polls it.
+  const Deadline deadline(request.deadline_seconds);
+  const Deadline* deadline_ptr =
+      request.deadline_seconds > 0.0 ? &deadline : nullptr;
+
+  Status admitted = admission_->Admit(deadline_ptr);
+  if (!admitted.ok()) {
+    if (admitted.IsDeadlineExceeded()) {
+      n_deadline_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
+
+  // Breaker gate. Open + degradation available => serve degraded-only
+  // (start the ladder past the full-resolution rung); open + degradation
+  // off => shed. Only an admitted probe/call reports back to the breaker.
+  int start_level = 0;
+  const Status breaker_gate = breaker_->Admit();
+  const bool breaker_admitted = breaker_gate.ok();
+  if (!breaker_admitted) {
+    if (options_.degrade_mode == DegradeMode::kOff ||
+        (options_.max_halvings == 0 &&
+         options_.degrade_mode == DegradeMode::kHalfRes)) {
+      admission_->Release(-1.0);
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
+      return breaker_gate;
+    }
+    start_level = 1;
+  }
+
+  ResilientRenderParams params;
+  params.data = &dataset_;
+  params.region = viewport_.region();
+  params.width_px = options_.width_px;
+  params.height_px = options_.height_px;
+  params.kernel = options_.kernel;
+  params.bandwidth = bandwidth_;
+  params.method = options_.method;
+  params.engine = options_.engine;
+  if (request.exec != nullptr) params.engine.compute.exec = request.exec;
+  params.degrade_mode = options_.degrade_mode;
+  params.max_halvings = options_.max_halvings;
+  params.start_level = start_level;
+  params.retry = options_.retry;
+  params.retry_seed =
+      options_.seed + request_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  auto rendered = RenderResilient(params, deadline_ptr);
+
+  const double latency = request_timer.ElapsedSeconds();
+  if (rendered.ok()) {
+    n_attempts_.fetch_add(rendered->attempts, std::memory_order_relaxed);
+    n_retries_.fetch_add(rendered->retries, std::memory_order_relaxed);
+    if (rendered->fidelity == Fidelity::kFull) {
+      n_ok_full_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      n_ok_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (breaker_admitted) breaker_->RecordSuccess();
+    admission_->Release(latency);
+    RenderResponse response;
+    response.map = std::move(rendered->map);
+    response.fidelity = rendered->fidelity;
+    response.degrade_level = rendered->degrade_level;
+    response.attempts = rendered->attempts;
+    response.retries = rendered->retries;
+    response.latency_seconds = latency;
+    return response;
+  }
+
+  const Status& failure = rendered.status();
+  if (failure.IsDeadlineExceeded()) {
+    n_deadline_.fetch_add(1, std::memory_order_relaxed);
+  } else if (failure.IsCancelled()) {
+    n_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    n_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (breaker_admitted) {
+    // Every breaker admit is balanced by exactly one outcome report;
+    // caller-attributable failures count as success so they cannot trip it.
+    if (BreakerFailure(failure)) {
+      breaker_->RecordFailure();
+    } else {
+      breaker_->RecordSuccess();
+    }
+  }
+  admission_->Release(-1.0);
+  return failure;
+}
+
+ServingStats ServingCore::stats() const {
+  ServingStats s;
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.ok_full = n_ok_full_.load(std::memory_order_relaxed);
+  s.ok_degraded = n_ok_degraded_.load(std::memory_order_relaxed);
+  s.shed = n_shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = n_deadline_.load(std::memory_order_relaxed);
+  s.cancelled = n_cancelled_.load(std::memory_order_relaxed);
+  s.failed = n_failed_.load(std::memory_order_relaxed);
+  s.retries = n_retries_.load(std::memory_order_relaxed);
+  s.attempts = n_attempts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace slam

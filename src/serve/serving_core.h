@@ -1,0 +1,144 @@
+// ServingCore: the resilient request gate in front of the KDV engine.
+//
+// One core owns one dataset and serves concurrent render requests over it.
+// Each request runs the pipeline
+//
+//   deadline check -> admission control -> circuit breaker
+//       -> resilient render (retry / backoff / degradation ladder)
+//       -> breaker + latency feedback
+//
+// Admission (util/admission.h) sheds requests that cannot be served in
+// time — infeasible deadlines, full queue — before they cost anything.
+// The breaker (util/circuit_breaker.h) watches the engine's recent
+// failure rate; while it is OPEN the core does not attempt full-fidelity
+// work: with degradation enabled it serves straight from the degraded
+// rungs (cheap, likely to succeed, keeps clients alive), and with
+// degradation off it sheds. The render loop itself is
+// serve/resilient_render.h.
+//
+// Thread safety: Handle() is safe to call from any number of threads.
+// The dataset, viewport and options are immutable after Create();
+// admission and breaker are internally locked; counters are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "data/dataset.h"
+#include "explore/degrade.h"
+#include "geom/viewport.h"
+#include "kdv/engine.h"
+#include "serve/resilient_render.h"
+#include "util/admission.h"
+#include "util/backoff.h"
+#include "util/circuit_breaker.h"
+#include "util/result.h"
+
+namespace slam {
+
+struct ServingOptions {
+  /// Full-resolution raster served at ladder level 0.
+  int width_px = 512;
+  int height_px = 512;
+  KernelType kernel = KernelType::kEpanechnikov;
+  /// Unset = Scott's rule on the dataset at Create().
+  std::optional<double> bandwidth;
+  Method method = Method::kSlamBucketRao;
+  /// Base engine options; per-request ExecContexts are layered on top of
+  /// compute.exec (see RenderRequest::exec), so leave it null here unless
+  /// every request should share a context.
+  EngineOptions engine;
+  RetryOptions retry;
+  DegradeMode degrade_mode = DegradeMode::kHalfRes;
+  /// Ladder halvings before the optional sampled rung.
+  int max_halvings = 2;
+  AdmissionOptions admission;
+  CircuitBreakerOptions breaker;
+  /// Base seed for per-request backoff jitter (request i uses seed + i).
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+struct RenderRequest {
+  /// Per-request wall-clock budget; <= 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Optional caller context (cancellation token, fault injector, memory
+  /// budget). Not owned; must outlive the Handle() call. The request
+  /// deadline is layered on internally — any deadline already present in
+  /// this context also still applies.
+  const ExecContext* exec = nullptr;
+};
+
+struct RenderResponse {
+  DensityMap map;
+  /// What was actually served; check this before trusting the resolution.
+  Fidelity fidelity = Fidelity::kFull;
+  int degrade_level = 0;
+  int attempts = 0;
+  int retries = 0;
+  double latency_seconds = 0.0;
+};
+
+/// Monotonic counters, snapshot via ServingCore::stats().
+struct ServingStats {
+  int64_t requests = 0;
+  int64_t ok_full = 0;
+  int64_t ok_degraded = 0;
+  int64_t shed = 0;               // admission or open-breaker rejections
+  int64_t deadline_exceeded = 0;  // expired before or during work
+  int64_t cancelled = 0;
+  int64_t failed = 0;  // everything else
+  int64_t retries = 0;
+  int64_t attempts = 0;
+};
+
+class ServingCore {
+ public:
+  /// Takes a copy of the dataset; validates every option group. The served
+  /// region is the dataset's bounding box.
+  static Result<std::unique_ptr<ServingCore>> Create(
+      PointDataset dataset, const ServingOptions& options);
+
+  ServingCore(const ServingCore&) = delete;
+  ServingCore& operator=(const ServingCore&) = delete;
+
+  /// Serves one request; thread-safe. Failure codes: ResourceExhausted =
+  /// shed (admission or breaker), DeadlineExceeded = deadline expired,
+  /// Cancelled = the caller's token fired; anything else is an engine
+  /// error that survived retry and degradation.
+  Result<RenderResponse> Handle(const RenderRequest& request);
+
+  ServingStats stats() const;
+  BreakerStats breaker_stats() const { return breaker_->stats(); }
+  BreakerState breaker_state() const { return breaker_->state(); }
+  AdmissionStats admission_stats() const { return admission_->stats(); }
+  double bandwidth() const { return bandwidth_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  ServingCore(PointDataset dataset, const ServingOptions& options,
+              double bandwidth, Viewport viewport,
+              std::unique_ptr<AdmissionController> admission,
+              std::unique_ptr<CircuitBreaker> breaker);
+
+  const PointDataset dataset_;
+  const ServingOptions options_;
+  const double bandwidth_;
+  const Viewport viewport_;
+  const std::unique_ptr<AdmissionController> admission_;
+  const std::unique_ptr<CircuitBreaker> breaker_;
+
+  std::atomic<uint64_t> request_counter_{0};
+  std::atomic<int64_t> n_requests_{0};
+  std::atomic<int64_t> n_ok_full_{0};
+  std::atomic<int64_t> n_ok_degraded_{0};
+  std::atomic<int64_t> n_shed_{0};
+  std::atomic<int64_t> n_deadline_{0};
+  std::atomic<int64_t> n_cancelled_{0};
+  std::atomic<int64_t> n_failed_{0};
+  std::atomic<int64_t> n_retries_{0};
+  std::atomic<int64_t> n_attempts_{0};
+};
+
+}  // namespace slam

@@ -1,0 +1,183 @@
+#include "util/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace slam {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Upper bound on a single CondVar wait slice. Signals make waits end early;
+// the slice only bounds how long a lost race to a signal can stall a waiter.
+constexpr double kMaxWaitSliceSeconds = 0.25;
+
+}  // namespace
+
+Result<std::unique_ptr<AdmissionController>> AdmissionController::Create(
+    const AdmissionOptions& options, std::function<double()> now_seconds) {
+  if (options.max_concurrent < 1) {
+    return Status::InvalidArgument(
+        "admission max_concurrent must be >= 1, got " +
+        std::to_string(options.max_concurrent));
+  }
+  if (options.max_queue_depth < 0) {
+    return Status::InvalidArgument("admission max_queue_depth must be >= 0");
+  }
+  if (options.tokens_per_second > 0.0 && !(options.burst >= 1.0)) {
+    return Status::InvalidArgument(
+        "admission burst must be >= 1 when rate limiting is enabled");
+  }
+  if (!(options.latency_ewma_alpha > 0.0 &&
+        options.latency_ewma_alpha <= 1.0)) {
+    return Status::InvalidArgument(
+        "admission latency_ewma_alpha must be in (0, 1]");
+  }
+  if (options.initial_latency_seconds < 0.0 ||
+      !std::isfinite(options.initial_latency_seconds)) {
+    return Status::InvalidArgument(
+        "admission initial_latency_seconds must be finite and >= 0");
+  }
+  if (now_seconds == nullptr) now_seconds = SteadyNowSeconds;
+  return std::unique_ptr<AdmissionController>(
+      new AdmissionController(options, std::move(now_seconds)));
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         std::function<double()> now_seconds)
+    : options_(options), now_seconds_(std::move(now_seconds)) {
+  MutexLock lock(&mutex_);
+  tokens_ = options_.burst;
+  last_refill_seconds_ = now_seconds_();
+  latency_estimate_seconds_ = options_.initial_latency_seconds;
+}
+
+Status AdmissionController::Admit(const Deadline* deadline) {
+  const bool has_deadline = deadline != nullptr &&
+                            std::isfinite(deadline->budget_seconds());
+  MutexLock lock(&mutex_);
+  const double now0 = now_seconds_();
+  RefillTokens(now0);
+
+  if (has_deadline && deadline->Expired()) {
+    ++stats_.expired_in_queue;
+    return Status::DeadlineExceeded("request deadline expired on arrival");
+  }
+  // Gate 1: feasibility at observed latency.
+  if (has_deadline && latency_estimate_seconds_ > 0.0 &&
+      deadline->RemainingSeconds() < latency_estimate_seconds_) {
+    ++stats_.shed_infeasible;
+    return Status::ResourceExhausted(
+        "shed: deadline shorter than observed service latency");
+  }
+
+  // Fast path: no waiters ahead, capacity and a token available now.
+  if (queue_.empty() && executing_ < options_.max_concurrent &&
+      !RateLimited()) {
+    Grant();
+    return Status::OK();
+  }
+
+  // Gate 3 bound: shed rather than queue beyond the depth limit.
+  if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+    ++stats_.shed_queue_full;
+    return Status::ResourceExhausted("shed: admission queue full");
+  }
+
+  const double abs_deadline =
+      has_deadline ? now0 + deadline->RemainingSeconds()
+                   : std::numeric_limits<double>::infinity();
+  const auto ticket = queue_.emplace(abs_deadline, next_seq_++).first;
+
+  while (true) {
+    const double now = now_seconds_();
+    RefillTokens(now);
+    if (*queue_.begin() == *ticket && executing_ < options_.max_concurrent &&
+        !RateLimited()) {
+      queue_.erase(ticket);
+      Grant();
+      // Our departure may unblock the new head-of-queue.
+      cv_.SignalAll();
+      return Status::OK();
+    }
+    if (now >= abs_deadline) {
+      queue_.erase(ticket);
+      ++stats_.expired_in_queue;
+      cv_.SignalAll();  // the next waiter may now be at the head
+      return Status::DeadlineExceeded("request deadline expired while queued");
+    }
+    double wait = std::min(abs_deadline - now, kMaxWaitSliceSeconds);
+    if (*queue_.begin() == *ticket && options_.tokens_per_second > 0.0 &&
+        tokens_ < 1.0) {
+      // Head-of-queue blocked only on tokens: wake when the next one lands.
+      wait = std::min(wait,
+                      (1.0 - tokens_) / options_.tokens_per_second + 1e-4);
+    }
+    cv_.WaitFor(mutex_, wait);
+  }
+}
+
+void AdmissionController::Release(double observed_latency_seconds) {
+  MutexLock lock(&mutex_);
+  if (executing_ > 0) --executing_;
+  if (observed_latency_seconds >= 0.0 &&
+      std::isfinite(observed_latency_seconds)) {
+    if (latency_estimate_seconds_ <= 0.0) {
+      latency_estimate_seconds_ = observed_latency_seconds;
+    } else {
+      latency_estimate_seconds_ =
+          options_.latency_ewma_alpha * observed_latency_seconds +
+          (1.0 - options_.latency_ewma_alpha) * latency_estimate_seconds_;
+    }
+  }
+  cv_.SignalAll();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+double AdmissionController::LatencyEstimateSeconds() const {
+  MutexLock lock(&mutex_);
+  return latency_estimate_seconds_;
+}
+
+int AdmissionController::Executing() const {
+  MutexLock lock(&mutex_);
+  return executing_;
+}
+
+int AdmissionController::Queued() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void AdmissionController::RefillTokens(double now) {
+  if (options_.tokens_per_second <= 0.0) return;
+  const double elapsed = now - last_refill_seconds_;
+  if (elapsed > 0.0) {
+    tokens_ = std::min(options_.burst,
+                       tokens_ + elapsed * options_.tokens_per_second);
+  }
+  last_refill_seconds_ = now;
+}
+
+bool AdmissionController::RateLimited() const {
+  return options_.tokens_per_second > 0.0 && tokens_ < 1.0;
+}
+
+void AdmissionController::Grant() {
+  ++executing_;
+  if (options_.tokens_per_second > 0.0) tokens_ -= 1.0;
+  ++stats_.admitted;
+}
+
+}  // namespace slam

@@ -1,0 +1,115 @@
+// Admission control for the serving core: decides, before any rendering
+// work starts, whether a request should run now, wait, or be shed.
+//
+// Three gates compose, in order:
+//
+//  1. Feasibility — a request whose deadline is shorter than the observed
+//     service latency (EWMA) cannot finish in time no matter what; admitting
+//     it only wastes capacity that a feasible request could use. Shed
+//     immediately (ResourceExhausted).
+//  2. Token bucket — a sustained-rate limit with burst capacity. Tokens
+//     refill continuously at `tokens_per_second` up to `burst`; each
+//     admitted request spends one.
+//  3. Concurrency + bounded EDF queue — at most `max_concurrent` requests
+//     execute at once. Excess requests wait in a deadline-ordered
+//     (earliest-deadline-first) queue of bounded depth; arrivals beyond
+//     the bound are shed rather than queued (a queue longer than the
+//     deadline horizon only manufactures timeouts). A queued request whose
+//     deadline passes while waiting is removed and fails with
+//     DeadlineExceeded — it never reaches the engine.
+//
+// Thread-safe; annotated Mutex + CondVar throughout. Time is injected via
+// a monotonic now() callback for deterministic tests, with the caveat that
+// blocking waits still sleep in real time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace slam {
+
+struct AdmissionOptions {
+  /// Requests executing concurrently; further admits wait in the EDF queue.
+  int max_concurrent = 4;
+  /// Waiters beyond this are shed (queue depth excludes executing requests).
+  int max_queue_depth = 16;
+  /// Sustained admission rate; <= 0 disables the token bucket entirely.
+  double tokens_per_second = 0.0;
+  /// Bucket capacity (burst size) when the token bucket is enabled.
+  double burst = 8.0;
+  /// EWMA smoothing for the observed-latency estimate, in (0, 1].
+  double latency_ewma_alpha = 0.2;
+  /// Seed for the latency estimate; 0 disables feasibility shedding until
+  /// the first completed request reports a real latency.
+  double initial_latency_seconds = 0.0;
+};
+
+struct AdmissionStats {
+  int64_t admitted = 0;
+  int64_t shed_infeasible = 0;   // deadline < observed latency at arrival
+  int64_t shed_queue_full = 0;   // EDF queue at max_queue_depth
+  int64_t expired_in_queue = 0;  // deadline passed while waiting
+};
+
+class AdmissionController {
+ public:
+  /// Validates options; clock defaults to the steady wall clock (must be
+  /// monotonic non-decreasing). Returned by pointer: owns a Mutex.
+  static Result<std::unique_ptr<AdmissionController>> Create(
+      const AdmissionOptions& options,
+      std::function<double()> now_seconds = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Runs the three gates. OK means a slot was acquired and MUST be
+  /// balanced by exactly one Release(). Blocks (deadline-bounded) while
+  /// queued; `deadline` may be null for a request with no deadline.
+  /// Failure codes: ResourceExhausted = shed (infeasible or queue full),
+  /// DeadlineExceeded = expired while queued or already expired on arrival.
+  Status Admit(const Deadline* deadline);
+
+  /// Reports completion of an admitted request. `observed_latency_seconds`
+  /// feeds the feasibility EWMA; pass a negative value to skip the update
+  /// (e.g. for requests that failed without doing representative work).
+  void Release(double observed_latency_seconds);
+
+  AdmissionStats stats() const;
+  double LatencyEstimateSeconds() const;
+  int Executing() const;
+  int Queued() const;
+
+ private:
+  AdmissionController(const AdmissionOptions& options,
+                      std::function<double()> now_seconds);
+
+  void RefillTokens(double now) SLAM_REQUIRES(mutex_);
+  bool RateLimited() const SLAM_REQUIRES(mutex_);
+  void Grant() SLAM_REQUIRES(mutex_);
+
+  const AdmissionOptions options_;
+  const std::function<double()> now_seconds_;
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  /// EDF order: (absolute deadline seconds, arrival sequence) — the
+  /// sequence breaks ties FIFO among equal deadlines.
+  std::set<std::pair<double, uint64_t>> queue_ SLAM_GUARDED_BY(mutex_);
+  uint64_t next_seq_ SLAM_GUARDED_BY(mutex_) = 0;
+  int executing_ SLAM_GUARDED_BY(mutex_) = 0;
+  double tokens_ SLAM_GUARDED_BY(mutex_);
+  double last_refill_seconds_ SLAM_GUARDED_BY(mutex_);
+  double latency_estimate_seconds_ SLAM_GUARDED_BY(mutex_);
+  AdmissionStats stats_ SLAM_GUARDED_BY(mutex_);
+};
+
+}  // namespace slam

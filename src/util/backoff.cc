@@ -1,0 +1,48 @@
+#include "util/backoff.h"
+
+#include <cmath>
+
+namespace slam {
+
+Status ValidateRetryOptions(const RetryOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1, got " +
+                                   std::to_string(options.max_attempts));
+  }
+  const BackoffOptions& b = options.backoff;
+  if (!(b.initial_seconds > 0.0) || !std::isfinite(b.initial_seconds)) {
+    return Status::InvalidArgument(
+        "backoff initial_seconds must be positive and finite");
+  }
+  if (!(b.max_seconds >= b.initial_seconds) || !std::isfinite(b.max_seconds)) {
+    return Status::InvalidArgument(
+        "backoff max_seconds must be finite and >= initial_seconds");
+  }
+  return Status::OK();
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<double> RetryPolicy::DelayBeforeRetry(const Status& failure,
+                                                    int attempt,
+                                                    const Deadline* deadline) {
+  if (!IsRetryable(failure)) return std::nullopt;
+  if (attempt + 1 >= options_.max_attempts) return std::nullopt;
+  const double delay = backoff_.NextDelaySeconds();
+  if (deadline != nullptr && delay >= deadline->RemainingSeconds()) {
+    // Sleeping `delay` would wake up at (or past) the deadline with the
+    // actual work still undone; retrying is pointless.
+    return std::nullopt;
+  }
+  return delay;
+}
+
+}  // namespace slam

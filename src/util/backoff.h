@@ -1,0 +1,101 @@
+// Retry with capped exponential backoff and decorrelated jitter, made
+// deadline-aware: a retry is never scheduled past the request's deadline.
+//
+// The jitter scheme is the "decorrelated jitter" variant (next delay drawn
+// uniformly from [base, 3 * previous]), which spreads synchronized
+// retry storms better than full jitter while still growing geometrically.
+// All randomness flows through util/random.h's Rng, so a retry schedule is
+// reproducible from its seed.
+//
+// What is retryable: transient infrastructure faults (kIoError,
+// kInternal). What is not: the caller's own decisions (kInvalidArgument,
+// kNotFound, ...), explicit cancellation (kCancelled — the user said
+// stop), deadline expiry (kDeadlineExceeded — retrying the same work
+// against the same deadline cannot succeed), and memory exhaustion
+// (kResourceExhausted — the same attempt needs the same bytes; the right
+// response is degradation, not repetition).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace slam {
+
+struct BackoffOptions {
+  /// First delay, and the lower bound of every jittered draw.
+  double initial_seconds = 0.010;
+  /// Upper cap on any single delay.
+  double max_seconds = 1.0;
+};
+
+/// Stateful decorrelated-jitter backoff sequence. Not thread-safe; one
+/// instance per request attempt chain.
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options), rng_(seed), previous_(options.initial_seconds) {}
+
+  /// The next delay: uniform in [initial, 3 * previous], capped at max.
+  double NextDelaySeconds() {
+    const double hi = previous_ * 3.0;
+    double delay = rng_.Uniform(options_.initial_seconds,
+                                hi > options_.initial_seconds
+                                    ? hi
+                                    : options_.initial_seconds * (1 + 1e-9));
+    if (delay > options_.max_seconds) delay = options_.max_seconds;
+    previous_ = delay;
+    return delay;
+  }
+
+  void Reset() { previous_ = options_.initial_seconds; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double previous_;
+};
+
+struct RetryOptions {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 3;
+  BackoffOptions backoff;
+};
+
+/// Validates max_attempts >= 1 and 0 < initial <= max, both finite.
+Status ValidateRetryOptions(const RetryOptions& options);
+
+/// Retry decision-maker: classifies failures and schedules deadline-aware
+/// backoff. Not thread-safe; one instance per request.
+class RetryPolicy {
+ public:
+  /// `options` must pass ValidateRetryOptions (callers constructing from
+  /// user input validate first; see ServingCore::Create).
+  RetryPolicy(const RetryOptions& options, uint64_t seed)
+      : options_(options), backoff_(options.backoff, seed) {}
+
+  /// True for transient faults worth repeating (kIoError, kInternal).
+  static bool IsRetryable(const Status& status);
+
+  /// Decides whether to retry after `failure`, where `attempt` is the
+  /// 0-based index of the attempt that just failed. Returns the seconds to
+  /// sleep before the next attempt, or nullopt when the failure is not
+  /// retryable, the attempt budget is spent, or — the deadline-aware
+  /// clause — the backoff delay would land past `deadline` (nullptr =
+  /// no deadline). Never returns a delay exceeding the deadline's
+  /// remaining time.
+  std::optional<double> DelayBeforeRetry(const Status& failure, int attempt,
+                                         const Deadline* deadline);
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  Backoff backoff_;
+};
+
+}  // namespace slam

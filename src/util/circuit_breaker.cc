@@ -1,0 +1,167 @@
+#include "util/circuit_breaker.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace slam {
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CircuitBreaker>> CircuitBreaker::Create(
+    const CircuitBreakerOptions& options,
+    std::function<double()> now_seconds) {
+  if (options.window_size < 1) {
+    return Status::InvalidArgument("breaker window_size must be >= 1, got " +
+                                   std::to_string(options.window_size));
+  }
+  if (options.min_samples < 1 || options.min_samples > options.window_size) {
+    return Status::InvalidArgument(
+        "breaker min_samples must be in [1, window_size], got " +
+        std::to_string(options.min_samples));
+  }
+  if (!(options.failure_threshold > 0.0 && options.failure_threshold <= 1.0)) {
+    return Status::InvalidArgument(
+        "breaker failure_threshold must be in (0, 1]");
+  }
+  if (!(options.open_cooldown_seconds >= 0.0) ||
+      !std::isfinite(options.open_cooldown_seconds)) {
+    return Status::InvalidArgument(
+        "breaker open_cooldown_seconds must be finite and >= 0");
+  }
+  if (now_seconds == nullptr) now_seconds = SteadyNowSeconds;
+  return std::unique_ptr<CircuitBreaker>(
+      new CircuitBreaker(options, std::move(now_seconds)));
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               std::function<double()> now_seconds)
+    : options_(options), now_seconds_(std::move(now_seconds)) {
+  MutexLock lock(&mutex_);
+  window_.assign(static_cast<size_t>(options_.window_size), false);
+}
+
+Status CircuitBreaker::Admit() {
+  MutexLock lock(&mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++stats_.admitted;
+      return Status::OK();
+    case BreakerState::kOpen: {
+      const double waited = now_seconds_() - opened_at_seconds_;
+      if (waited < options_.open_cooldown_seconds) {
+        ++stats_.rejected;
+        return Status::ResourceExhausted(
+            "circuit breaker open (cooling down)");
+      }
+      state_ = BreakerState::kHalfOpen;
+      ++stats_.half_opened;
+      probe_in_flight_ = true;
+      ++stats_.admitted;
+      return Status::OK();
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        ++stats_.rejected;
+        return Status::ResourceExhausted(
+            "circuit breaker half-open (probe in flight)");
+      }
+      probe_in_flight_ = true;
+      ++stats_.admitted;
+      return Status::OK();
+  }
+  return Status::Internal("circuit breaker in impossible state");
+}
+
+void CircuitBreaker::RecordSuccess() {
+  MutexLock lock(&mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe succeeded: the dependency recovered. Close with a clean window
+    // so stale failures cannot immediately re-trip.
+    state_ = BreakerState::kClosed;
+    ++stats_.closed;
+    probe_in_flight_ = false;
+    window_next_ = 0;
+    window_count_ = 0;
+    window_failures_ = 0;
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // late result after a trip
+  if (window_[static_cast<size_t>(window_next_)] &&
+      window_count_ == options_.window_size) {
+    --window_failures_;
+  }
+  window_[static_cast<size_t>(window_next_)] = false;
+  window_next_ = (window_next_ + 1) % options_.window_size;
+  if (window_count_ < options_.window_size) ++window_count_;
+}
+
+void CircuitBreaker::RecordFailure() {
+  MutexLock lock(&mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe failed: back to OPEN, restart the cooldown.
+    probe_in_flight_ = false;
+    TransitionToOpen();
+    return;
+  }
+  if (state_ != BreakerState::kClosed) return;  // late result after a trip
+  if (window_[static_cast<size_t>(window_next_)] &&
+      window_count_ == options_.window_size) {
+    --window_failures_;
+  }
+  window_[static_cast<size_t>(window_next_)] = true;
+  ++window_failures_;
+  window_next_ = (window_next_ + 1) % options_.window_size;
+  if (window_count_ < options_.window_size) ++window_count_;
+  if (window_count_ >= options_.min_samples &&
+      FailureRate() >= options_.failure_threshold) {
+    TransitionToOpen();
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  MutexLock lock(&mutex_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+void CircuitBreaker::TransitionToOpen() {
+  state_ = BreakerState::kOpen;
+  ++stats_.opened;
+  opened_at_seconds_ = now_seconds_();
+  // Drop the window: after the cooldown the half-open probe alone decides.
+  window_next_ = 0;
+  window_count_ = 0;
+  window_failures_ = 0;
+}
+
+double CircuitBreaker::FailureRate() const {
+  if (window_count_ == 0) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_count_);
+}
+
+}  // namespace slam

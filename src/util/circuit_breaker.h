@@ -1,0 +1,120 @@
+// Circuit breaker: stops hammering a failing dependency by tracking the
+// recent failure rate over a sliding window of outcomes and, once it trips,
+// rejecting calls outright until a cooldown elapses.
+//
+// Classic three-state machine:
+//
+//            failure rate over window >= threshold
+//   CLOSED ------------------------------------------> OPEN
+//     ^                                                  | cooldown elapsed
+//     |   probe succeeds                                 v
+//     +--------------------------------------------- HALF-OPEN
+//                                                        | probe fails
+//                                                        +-----> OPEN
+//
+// CLOSED admits everything and records outcomes into a fixed-size ring
+// buffer; a trip requires both a full-enough window (min_samples) and a
+// failure rate at or above failure_threshold. OPEN admits nothing until
+// open_cooldown_seconds have passed, then lets exactly one probe through
+// (HALF-OPEN). The probe's outcome decides: success closes the breaker and
+// clears the window; failure re-opens it and restarts the cooldown.
+//
+// Thread-safe; all state sits behind an annotated Mutex (util/mutex.h) so
+// `clang -Wthread-safety` checks every access. Time is injected through
+// a monotonic now() callback so tests can step a fake clock instead of
+// sleeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace slam {
+
+enum class BreakerState {
+  kClosed,
+  kOpen,
+  kHalfOpen,
+};
+
+std::string_view BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Ring-buffer capacity: how many recent outcomes the failure rate is
+  /// computed over.
+  int window_size = 32;
+  /// Minimum recorded outcomes before the breaker may trip; prevents one
+  /// early failure (rate 1/1) from opening a cold breaker.
+  int min_samples = 8;
+  /// Trip when failures / recorded >= this rate (with >= min_samples).
+  double failure_threshold = 0.5;
+  /// How long an open breaker rejects before allowing a half-open probe.
+  double open_cooldown_seconds = 1.0;
+};
+
+/// Monotonic transition/decision counters, for observability (slam_load
+/// reports these).
+struct BreakerStats {
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t opened = 0;       // CLOSED/HALF-OPEN -> OPEN transitions
+  int64_t half_opened = 0;  // OPEN -> HALF-OPEN transitions
+  int64_t closed = 0;       // HALF-OPEN -> CLOSED transitions
+};
+
+class CircuitBreaker {
+ public:
+  /// Validates options; clock defaults to the steady wall clock. The clock
+  /// must be monotonic non-decreasing. Returned by pointer because the
+  /// breaker owns a Mutex and is therefore immovable.
+  static Result<std::unique_ptr<CircuitBreaker>> Create(
+      const CircuitBreakerOptions& options,
+      std::function<double()> now_seconds = nullptr);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Gate: OK to proceed, or ResourceExhausted("circuit breaker open")
+  /// when the call must not be attempted. An admitted call MUST be
+  /// balanced by exactly one RecordSuccess/RecordFailure — in HALF-OPEN
+  /// the breaker admits a single probe and waits for its outcome.
+  Status Admit();
+
+  /// Reports the outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+ private:
+  CircuitBreaker(const CircuitBreakerOptions& options,
+                 std::function<double()> now_seconds);
+
+  void TransitionToOpen() SLAM_REQUIRES(mutex_);
+  double FailureRate() const SLAM_REQUIRES(mutex_);
+
+  const CircuitBreakerOptions options_;
+  const std::function<double()> now_seconds_;
+
+  mutable Mutex mutex_;
+  BreakerState state_ SLAM_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  /// Ring buffer of recent outcomes (true = failure).
+  std::vector<bool> window_ SLAM_GUARDED_BY(mutex_);
+  int window_next_ SLAM_GUARDED_BY(mutex_) = 0;
+  int window_count_ SLAM_GUARDED_BY(mutex_) = 0;
+  int window_failures_ SLAM_GUARDED_BY(mutex_) = 0;
+  double opened_at_seconds_ SLAM_GUARDED_BY(mutex_) = 0.0;
+  /// True while the single HALF-OPEN probe is outstanding.
+  bool probe_in_flight_ SLAM_GUARDED_BY(mutex_) = false;
+  BreakerStats stats_ SLAM_GUARDED_BY(mutex_);
+};
+
+}  // namespace slam

@@ -9,6 +9,7 @@
 // std::condition_variable_any directly.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -63,6 +64,17 @@ class CondVar {
   /// warn. Spell the condition as a `while (!pred) cv.Wait(mu);` loop —
   /// the accesses then sit visibly inside the locked scope.
   void Wait(Mutex& mu) SLAM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait: returns false on timeout, true when notified (subject to
+  /// spurious wakeups — re-check the condition either way). Non-positive
+  /// `seconds` returns false immediately without releasing the mutex for
+  /// long: it behaves as an instantly-expired wait, which is what a
+  /// deadline-aware queue wants for an already-hopeless request.
+  bool WaitFor(Mutex& mu, double seconds) SLAM_REQUIRES(mu) {
+    if (!(seconds > 0)) return false;
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
   void Signal() { cv_.notify_one(); }
   void SignalAll() { cv_.notify_all(); }

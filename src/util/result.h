@@ -42,6 +42,7 @@ class [[nodiscard]] Result {
 
   const T& operator*() const& { return ValueOrDie(); }
   T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
 

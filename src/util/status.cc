@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kCancelled = 8,
   kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a human-readable name such as "Invalid argument".
@@ -61,6 +62,9 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const noexcept { return state_ == nullptr; }
   StatusCode code() const noexcept {
@@ -75,6 +79,13 @@ class [[nodiscard]] Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace slam {
 
@@ -29,15 +30,34 @@ class Timer {
 };
 
 /// Deadline for budgeted experiment cells (reproduces the paper's
-/// ">14400 sec" censoring rule at laptop scale).
+/// ">14400 sec" censoring rule at laptop scale) and for per-request
+/// serving budgets.
+///
+/// A zero or negative budget is a deadline that has ALREADY passed: the
+/// holder fails fast instead of doing unbounded work, so a client that
+/// asks for "0 ms" gets an immediate DeadlineExceeded rather than an
+/// unlimited computation. "No deadline" is expressed by not attaching one
+/// (a null ExecContext member) or by Deadline::Unlimited().
 class Deadline {
  public:
-  /// A deadline `budget_seconds` from now. Non-positive budget = unlimited.
+  /// A deadline `budget_seconds` from now. Non-positive budget = already
+  /// expired (fail fast).
   explicit Deadline(double budget_seconds)
       : budget_seconds_(budget_seconds), timer_() {}
 
+  /// A deadline that never expires.
+  static Deadline Unlimited() {
+    return Deadline(std::numeric_limits<double>::infinity());
+  }
+
   bool Expired() const {
-    return budget_seconds_ > 0 && timer_.ElapsedSeconds() > budget_seconds_;
+    return budget_seconds_ <= 0 || timer_.ElapsedSeconds() > budget_seconds_;
+  }
+  /// Seconds until expiry: 0 when already expired, +inf when unlimited.
+  double RemainingSeconds() const {
+    if (budget_seconds_ <= 0) return 0.0;
+    const double remaining = budget_seconds_ - timer_.ElapsedSeconds();
+    return remaining > 0 ? remaining : 0.0;
   }
   double budget_seconds() const { return budget_seconds_; }
 

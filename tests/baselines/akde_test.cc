@@ -87,7 +87,8 @@ TEST(AkdeTest, HonorsDeadline) {
   ComputeOptions opts;
   opts.exec = &exec;
   DensityMap out;
-  EXPECT_EQ(ComputeAkde(task, opts, &out).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeAkde(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

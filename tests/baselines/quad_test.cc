@@ -92,7 +92,8 @@ TEST(QuadTest, HonorsDeadline) {
   ComputeOptions opts;
   opts.exec = &exec;
   DensityMap out;
-  EXPECT_EQ(ComputeQuad(task, opts, &out).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeQuad(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

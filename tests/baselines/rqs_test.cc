@@ -86,8 +86,10 @@ TEST(RqsTest, HonorsDeadline) {
   ComputeOptions opts;
   opts.exec = &exec;
   DensityMap out;
-  EXPECT_EQ(ComputeRqsKd(task, opts, &out).code(), StatusCode::kCancelled);
-  EXPECT_EQ(ComputeRqsBall(task, opts, &out).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeRqsKd(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ComputeRqsBall(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(RqsTest, RejectsInvalidTask) {

@@ -69,7 +69,8 @@ TEST(ScanTest, HonorsDeadline) {
   ComputeOptions opts;
   opts.exec = &exec;
   DensityMap out;
-  EXPECT_EQ(ComputeScan(task, opts, &out).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeScan(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

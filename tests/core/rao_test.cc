@@ -99,7 +99,7 @@ TEST(RaoTest, PropagatesDeadline) {
   opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeSlamBucketRao(task, opts, &out).code(),
-            StatusCode::kCancelled);
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(RaoTest, ExtremeAspectRatio) {

@@ -90,7 +90,7 @@ TEST(SlamBucketTest, HonorsDeadline) {
   opts.exec = &exec;
   DensityMap out;
   EXPECT_EQ(ComputeSlamBucket(task, opts, &out).code(),
-            StatusCode::kCancelled);
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(SlamBucketTest, EndpointsBeyondGridEdgesAreSafe) {

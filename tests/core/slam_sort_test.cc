@@ -117,7 +117,8 @@ TEST(SlamSortTest, HonorsDeadline) {
   ComputeOptions opts;
   opts.exec = &exec;
   DensityMap out;
-  EXPECT_EQ(ComputeSlamSort(task, opts, &out).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeSlamSort(task, opts, &out).code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(SlamSortTest, BandwidthSmallerThanPixelGap) {

@@ -49,7 +49,7 @@ TEST_P(CancellationTest, PreCancelledTokenStopsBeforeAnyWork) {
       << MethodName(GetParam());
 }
 
-TEST_P(CancellationTest, ExpiredDeadlineSurfacesAsCancelled) {
+TEST_P(CancellationTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
   const KdvTask task = MakeCancellableTask();
   const Deadline expired(1e-9);
   ExecContext exec;
@@ -57,8 +57,31 @@ TEST_P(CancellationTest, ExpiredDeadlineSurfacesAsCancelled) {
   EngineOptions opts;
   opts.compute.exec = &exec;
   const auto result = ComputeKdv(task, GetParam(), opts);
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
       << MethodName(GetParam());
+}
+
+TEST_P(CancellationTest, NonPositiveDeadlineFailsFastBeforeAnyWork) {
+  // Zero and negative budgets are deadlines that have ALREADY passed.
+  // Every method must reject them at its entry checkpoint: the fault
+  // injector's global hit count proves no per-row checkpoint was ever
+  // reached, i.e. no sweep work started.
+  const KdvTask task = MakeCancellableTask();
+  for (const double budget : {0.0, -1.0, -1e9}) {
+    const Deadline expired(budget);
+    FaultInjector injector;  // armed with nothing: pure hit counter
+    ExecContext exec;
+    exec.set_deadline(&expired);
+    exec.set_fault_injector(&injector);
+    EngineOptions opts;
+    opts.compute.exec = &exec;
+    const auto result = ComputeKdv(task, GetParam(), opts);
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << MethodName(GetParam()) << " budget=" << budget;
+    EXPECT_LE(injector.HitCount("*"), 1)
+        << MethodName(GetParam()) << " budget=" << budget
+        << " did work past the entry checkpoint";
+  }
 }
 
 TEST_P(CancellationTest, MidRunCancellationStopsWithinOneRow) {

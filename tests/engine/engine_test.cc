@@ -123,7 +123,7 @@ TEST(EngineTest, DeadlinePropagatesThroughDispatch) {
   EngineOptions opts;
   opts.compute.exec = &exec;
   const auto result = ComputeKdv(task, Method::kScan, opts);
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(EngineTest, SanitizeDropsNonFinitePoints) {

@@ -101,7 +101,7 @@ TEST(ParallelKdvTest, PropagatesStripeErrors) {
   options.num_threads = 2;
   options.engine.compute.exec = &exec;
   const auto map = ComputeKdvParallel(task, Method::kSlamBucket, options);
-  EXPECT_EQ(map.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(map.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(ParallelKdvTest, FailingStripeCancelsSiblingsAndPropagates) {

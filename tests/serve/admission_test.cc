@@ -1,0 +1,237 @@
+#include "util/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace slam {
+namespace {
+
+AdmissionOptions Unlimited() {
+  AdmissionOptions options;
+  options.max_concurrent = 1000;
+  options.max_queue_depth = 1000;
+  return options;
+}
+
+TEST(AdmissionTest, ValidatesOptions) {
+  AdmissionOptions bad;
+  bad.max_concurrent = 0;
+  EXPECT_TRUE(AdmissionController::Create(bad).status().IsInvalidArgument());
+  bad = AdmissionOptions();
+  bad.max_queue_depth = -1;
+  EXPECT_TRUE(AdmissionController::Create(bad).status().IsInvalidArgument());
+  bad = AdmissionOptions();
+  bad.tokens_per_second = 10.0;
+  bad.burst = 0.5;
+  EXPECT_TRUE(AdmissionController::Create(bad).status().IsInvalidArgument());
+  bad = AdmissionOptions();
+  bad.latency_ewma_alpha = 0.0;
+  EXPECT_TRUE(AdmissionController::Create(bad).status().IsInvalidArgument());
+  bad = AdmissionOptions();
+  bad.initial_latency_seconds = -1.0;
+  EXPECT_TRUE(AdmissionController::Create(bad).status().IsInvalidArgument());
+}
+
+TEST(AdmissionTest, FastPathAdmitsAndBalancesRelease) {
+  auto admission = *AdmissionController::Create(Unlimited());
+  EXPECT_TRUE(admission->Admit(nullptr).ok());
+  EXPECT_EQ(admission->Executing(), 1);
+  admission->Release(0.005);
+  EXPECT_EQ(admission->Executing(), 0);
+  EXPECT_EQ(admission->stats().admitted, 1);
+}
+
+TEST(AdmissionTest, ExpiredDeadlineRejectedOnArrival) {
+  auto admission = *AdmissionController::Create(Unlimited());
+  const Deadline expired(0.0);
+  EXPECT_TRUE(admission->Admit(&expired).IsDeadlineExceeded());
+  const Deadline negative(-2.0);
+  EXPECT_TRUE(admission->Admit(&negative).IsDeadlineExceeded());
+  EXPECT_EQ(admission->stats().admitted, 0);
+}
+
+TEST(AdmissionTest, ShedsInfeasibleDeadlines) {
+  AdmissionOptions options = Unlimited();
+  options.initial_latency_seconds = 0.2;  // service takes ~200ms
+  auto admission = *AdmissionController::Create(options);
+  const Deadline hopeless(0.05);  // client asks for 50ms
+  const Status shed = admission->Admit(&hopeless);
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_EQ(admission->stats().shed_infeasible, 1);
+  // A feasible deadline sails through.
+  const Deadline feasible(5.0);
+  EXPECT_TRUE(admission->Admit(&feasible).ok());
+  admission->Release(0.2);
+}
+
+TEST(AdmissionTest, LatencyEwmaLearnsFromReleases) {
+  AdmissionOptions options = Unlimited();
+  options.latency_ewma_alpha = 0.5;
+  auto admission = *AdmissionController::Create(options);
+  EXPECT_EQ(admission->LatencyEstimateSeconds(), 0.0);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+  admission->Release(0.1);
+  EXPECT_DOUBLE_EQ(admission->LatencyEstimateSeconds(), 0.1);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+  admission->Release(0.3);
+  EXPECT_DOUBLE_EQ(admission->LatencyEstimateSeconds(), 0.2);
+  // Negative latency = "not representative": no update.
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+  admission->Release(-1.0);
+  EXPECT_DOUBLE_EQ(admission->LatencyEstimateSeconds(), 0.2);
+}
+
+TEST(AdmissionTest, ShedsWhenQueueIsFull) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 0;  // no waiting room at all
+  auto admission = *AdmissionController::Create(options);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());  // occupies the only slot
+  const Deadline deadline(5.0);
+  EXPECT_TRUE(admission->Admit(&deadline).IsResourceExhausted());
+  EXPECT_EQ(admission->stats().shed_queue_full, 1);
+  admission->Release(0.001);
+}
+
+TEST(AdmissionTest, QueuedRequestTimesOutWithDeadlineExceeded) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 4;
+  auto admission = *AdmissionController::Create(options);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());  // blocks the slot, never
+                                                // released during the wait
+  const Deadline deadline(0.05);
+  const Status st = admission->Admit(&deadline);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_EQ(admission->stats().expired_in_queue, 1);
+  EXPECT_EQ(admission->Queued(), 0);  // cleaned up after itself
+  admission->Release(0.001);
+}
+
+TEST(AdmissionTest, QueuedRequestProceedsWhenSlotFrees) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 4;
+  auto admission = *AdmissionController::Create(options);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    const Deadline deadline(5.0);
+    const Status st = admission->Admit(&deadline);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    admitted.store(true);
+    admission->Release(0.001);
+  });
+  // Give the waiter time to enqueue, then free the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(admitted.load());
+  admission->Release(0.001);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(admission->stats().admitted, 2);
+}
+
+TEST(AdmissionTest, EdfOrderPrefersTighterDeadline) {
+  // One executing request, two waiters: the later-arriving but
+  // tighter-deadline waiter must win the freed slot.
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queue_depth = 4;
+  auto admission = *AdmissionController::Create(options);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+
+  std::atomic<int> winner{0};
+  std::thread loose([&] {
+    const Deadline deadline(10.0);
+    ASSERT_TRUE(admission->Admit(&deadline).ok());
+    int expected = 0;
+    winner.compare_exchange_strong(expected, 1);
+    admission->Release(0.001);
+  });
+  // Wait until `loose` is actually queued (fixed sleeps flake when the
+  // machine is loaded, e.g. a parallel sanitizer ctest run).
+  while (admission->Queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread tight([&] {
+    const Deadline deadline(2.0);  // arrives later, expires sooner
+    ASSERT_TRUE(admission->Admit(&deadline).ok());
+    int expected = 0;
+    winner.compare_exchange_strong(expected, 2);
+    admission->Release(0.001);
+  });
+  while (admission->Queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission->Release(0.001);  // free the slot: EDF picks `tight`
+  tight.join();
+  loose.join();
+  EXPECT_EQ(winner.load(), 2);
+}
+
+TEST(AdmissionTest, TokenBucketLimitsBurst) {
+  AdmissionOptions options = Unlimited();
+  options.tokens_per_second = 1.0;  // refills far too slowly to matter here
+  options.burst = 3.0;
+  auto admission = *AdmissionController::Create(options);
+  // The burst admits 3 back-to-back...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(admission->Admit(nullptr).ok()) << i;
+    admission->Release(0.001);
+  }
+  // ...and the 4th, with a deadline shorter than the ~1s token refill,
+  // times out waiting for a token.
+  const Deadline deadline(0.05);
+  EXPECT_TRUE(admission->Admit(&deadline).IsDeadlineExceeded());
+}
+
+TEST(AdmissionTest, TokenBucketRefillsOverTime) {
+  AdmissionOptions options = Unlimited();
+  options.tokens_per_second = 100.0;  // 10ms per token
+  options.burst = 1.0;
+  auto admission = *AdmissionController::Create(options);
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+  admission->Release(0.001);
+  // Bucket is now empty; a 500ms deadline easily covers the 10ms refill.
+  const Deadline deadline(0.5);
+  const Status st = admission->Admit(&deadline);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  admission->Release(0.001);
+}
+
+TEST(AdmissionTest, ConcurrentClientsNeverExceedMaxConcurrent) {
+  AdmissionOptions options;
+  options.max_concurrent = 3;
+  options.max_queue_depth = 64;
+  auto admission = *AdmissionController::Create(options);
+  std::atomic<int> inside{0}, peak{0}, served{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        const Deadline deadline(10.0);
+        if (!admission->Admit(&deadline).ok()) continue;
+        const int now = inside.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (seen < now && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        inside.fetch_sub(1);
+        served.fetch_add(1);
+        admission->Release(0.0002);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(admission->Executing(), 0);
+  EXPECT_EQ(admission->Queued(), 0);
+}
+
+}  // namespace
+}  // namespace slam

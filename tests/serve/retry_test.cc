@@ -1,0 +1,146 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace slam {
+namespace {
+
+TEST(BackoffTest, DelaysStayWithinBoundsAndCap) {
+  BackoffOptions options;
+  options.initial_seconds = 0.01;
+  options.max_seconds = 0.08;
+  Backoff backoff(options, 42);
+  double previous = options.initial_seconds;
+  for (int i = 0; i < 200; ++i) {
+    const double delay = backoff.NextDelaySeconds();
+    EXPECT_GE(delay, options.initial_seconds);
+    EXPECT_LE(delay, options.max_seconds);
+    // Decorrelated jitter: bounded by 3x the previous delay (or the cap).
+    EXPECT_LE(delay, std::min(previous * 3.0 + 1e-12, options.max_seconds));
+    previous = delay;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  BackoffOptions options;
+  Backoff a(options, 7), b(options, 7), c(options, 8);
+  std::vector<double> sa, sb, sc;
+  for (int i = 0; i < 32; ++i) {
+    sa.push_back(a.NextDelaySeconds());
+    sb.push_back(b.NextDelaySeconds());
+    sc.push_back(c.NextDelaySeconds());
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+TEST(BackoffTest, ResetRestartsTheSequenceEnvelope) {
+  BackoffOptions options;
+  options.initial_seconds = 0.01;
+  options.max_seconds = 10.0;
+  Backoff backoff(options, 3);
+  for (int i = 0; i < 20; ++i) backoff.NextDelaySeconds();
+  backoff.Reset();
+  // First post-reset draw is again bounded by 3x the initial delay.
+  EXPECT_LE(backoff.NextDelaySeconds(), options.initial_seconds * 3.0);
+}
+
+TEST(RetryPolicyTest, ClassifiesRetryableCodes) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::IoError("transient")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Internal("transient")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::InvalidArgument("caller")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Cancelled("user stop")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::ResourceExhausted("oom")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("caller")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+}
+
+TEST(RetryPolicyTest, RespectsAttemptBudget) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.backoff.initial_seconds = 0.001;
+  options.backoff.max_seconds = 0.002;
+  RetryPolicy policy(options, 1);
+  const Status failure = Status::IoError("flaky");
+  EXPECT_TRUE(policy.DelayBeforeRetry(failure, 0, nullptr).has_value());
+  EXPECT_TRUE(policy.DelayBeforeRetry(failure, 1, nullptr).has_value());
+  // Attempt 2 is the third and last allowed attempt: no further retry.
+  EXPECT_FALSE(policy.DelayBeforeRetry(failure, 2, nullptr).has_value());
+}
+
+TEST(RetryPolicyTest, SingleAttemptMeansNoRetries) {
+  RetryOptions options;
+  options.max_attempts = 1;
+  RetryPolicy policy(options, 1);
+  EXPECT_FALSE(
+      policy.DelayBeforeRetry(Status::IoError("x"), 0, nullptr).has_value());
+}
+
+TEST(RetryPolicyTest, NeverSchedulesPastTheDeadline) {
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.backoff.initial_seconds = 0.05;  // every delay is >= 50ms
+  options.backoff.max_seconds = 0.5;
+  RetryPolicy policy(options, 1);
+  const Deadline tight(0.01);  // only 10ms remain: no 50ms sleep fits
+  EXPECT_FALSE(
+      policy.DelayBeforeRetry(Status::IoError("x"), 0, &tight).has_value());
+
+  const Deadline roomy(60.0);
+  const auto delay =
+      policy.DelayBeforeRetry(Status::IoError("x"), 0, &roomy);
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_LT(*delay, roomy.RemainingSeconds());
+}
+
+TEST(RetryPolicyTest, ExpiredDeadlineStopsRetriesImmediately) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  RetryPolicy policy(options, 1);
+  const Deadline expired(0.0);
+  EXPECT_FALSE(
+      policy.DelayBeforeRetry(Status::IoError("x"), 0, &expired).has_value());
+}
+
+TEST(RetryPolicyTest, NonRetryableFailuresGetNoDelayRegardlessOfBudget) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  RetryPolicy policy(options, 1);
+  EXPECT_FALSE(policy.DelayBeforeRetry(Status::Cancelled("stop"), 0, nullptr)
+                   .has_value());
+  EXPECT_FALSE(
+      policy.DelayBeforeRetry(Status::DeadlineExceeded("late"), 0, nullptr)
+          .has_value());
+}
+
+TEST(RetryOptionsTest, Validation) {
+  RetryOptions ok;
+  EXPECT_TRUE(ValidateRetryOptions(ok).ok());
+
+  RetryOptions bad = ok;
+  bad.max_attempts = 0;
+  EXPECT_TRUE(ValidateRetryOptions(bad).IsInvalidArgument());
+
+  bad = ok;
+  bad.backoff.initial_seconds = 0.0;
+  EXPECT_TRUE(ValidateRetryOptions(bad).IsInvalidArgument());
+
+  bad = ok;
+  bad.backoff.initial_seconds = -0.5;
+  EXPECT_TRUE(ValidateRetryOptions(bad).IsInvalidArgument());
+
+  bad = ok;
+  bad.backoff.max_seconds = bad.backoff.initial_seconds / 2;
+  EXPECT_TRUE(ValidateRetryOptions(bad).IsInvalidArgument());
+
+  bad = ok;
+  bad.backoff.max_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ValidateRetryOptions(bad).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace slam

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -97,6 +99,73 @@ TEST(FaultInjectorTest, DisarmClearsTrap) {
   EXPECT_TRUE(injector.Hit("site").ok());
 }
 
+TEST(FaultInjectorTest, ProbabilisticRejectsOutOfRangeProbability) {
+  // Invalid probabilities must be a loud error, not a silent clamp: a
+  // chaos suite armed with p=1.3 by a typo would otherwise quietly test
+  // something different from what it claims.
+  FaultInjector injector;
+  Status st = injector.ArmProbabilistic("s", -0.1, Status::IoError("f"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  st = injector.ArmProbabilistic("s", 1.3, Status::IoError("f"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  st = injector.ArmProbabilistic("s", std::nan(""), Status::IoError("f"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  st = injector.ArmProbabilistic("s", 0.5, Status::OK());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Nothing got armed along the way.
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(injector.Hit("s").ok());
+}
+
+TEST(FaultInjectorTest, ProbabilisticBoundaryProbabilities) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.ArmProbabilistic("never", 0.0,
+                                        Status::IoError("f")).ok());
+  ASSERT_TRUE(injector.ArmProbabilistic("always", 1.0,
+                                        Status::IoError("f")).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.Hit("never").ok());
+    EXPECT_EQ(injector.Hit("always").code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(injector.InjectedCount(), 100);
+}
+
+TEST(FaultInjectorTest, SeededProbabilisticFaultsAreDeterministic) {
+  // Two injectors with the same seed must inject on exactly the same
+  // hits, so a chaos failure reproduces from its logged seed.
+  constexpr uint64_t kSeed = 20260808;
+  constexpr int kHits = 500;
+  std::vector<bool> first, second;
+  for (auto* run : {&first, &second}) {
+    FaultInjector injector(kSeed);
+    EXPECT_EQ(injector.seed(), kSeed);
+    ASSERT_TRUE(
+        injector.ArmProbabilistic("s", 0.2, Status::IoError("f")).ok());
+    for (int i = 0; i < kHits; ++i) run->push_back(!injector.Hit("s").ok());
+  }
+  EXPECT_EQ(first, second);
+  const int injected =
+      static_cast<int>(std::count(first.begin(), first.end(), true));
+  // ~Binomial(500, 0.2): far from both 0 and 500 with overwhelming margin.
+  EXPECT_GT(injected, 50);
+  EXPECT_LT(injected, 200);
+
+  FaultInjector other(kSeed + 1);
+  ASSERT_TRUE(other.ArmProbabilistic("s", 0.2, Status::IoError("f")).ok());
+  std::vector<bool> different;
+  for (int i = 0; i < kHits; ++i) different.push_back(!other.Hit("s").ok());
+  EXPECT_NE(first, different);  // seed actually matters
+}
+
+TEST(FaultInjectorTest, ProbabilisticDisarmAndCountInteroperate) {
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmProbabilistic("s", 1.0, Status::IoError("f")).ok());
+  EXPECT_FALSE(injector.Hit("s").ok());
+  EXPECT_EQ(injector.InjectedCount(), 1);
+  injector.Disarm("s");  // clears probabilistic traps too
+  EXPECT_TRUE(injector.Hit("s").ok());
+  EXPECT_EQ(injector.InjectedCount(), 1);
+}
+
 TEST(ExecContextTest, NullMembersMeanUnlimited) {
   ExecContext exec;
   EXPECT_TRUE(exec.Check("anywhere").ok());
@@ -117,12 +186,24 @@ TEST(ExecContextTest, CancelledTokenSurfacesAsCancelled) {
   EXPECT_NE(st.message().find("row"), std::string::npos);
 }
 
-TEST(ExecContextTest, ExpiredDeadlineSurfacesAsCancelled) {
+TEST(ExecContextTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
   const Deadline expired(1e-9);
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
   ExecContext exec;
   exec.set_deadline(&expired);
-  EXPECT_EQ(exec.Check("row").code(), StatusCode::kCancelled);
+  EXPECT_EQ(exec.Check("row").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, NonPositiveDeadlineIsExpiredOnArrival) {
+  // "0 seconds" and negative budgets mean an already-passed deadline, not
+  // "no deadline": the very first Check must fail before any work runs.
+  for (const double budget : {0.0, -0.5}) {
+    const Deadline expired(budget);
+    ExecContext exec;
+    exec.set_deadline(&expired);
+    EXPECT_EQ(exec.Check("entry").code(), StatusCode::kDeadlineExceeded)
+        << "budget=" << budget;
+  }
 }
 
 TEST(ExecContextTest, InjectorBeatsCancellationInCheckOrder) {

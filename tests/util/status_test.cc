@@ -36,6 +36,8 @@ TEST(StatusTest, AllFactoriesSetMatchingCode) {
   EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::ResourceExhausted("").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, Predicates) {
@@ -46,6 +48,13 @@ TEST(StatusTest, Predicates) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  // Deadline expiry and user cancellation are distinct conditions: one is
+  // degradable pressure, the other is final.
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsCancelled());
+  EXPECT_FALSE(Status::Cancelled("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, CopyIsCheapAndEqual) {
@@ -67,6 +76,8 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "Resource exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "Deadline exceeded");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {

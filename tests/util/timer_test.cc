@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 
 namespace slam {
@@ -40,10 +41,29 @@ TEST(TimerTest, UnitsAgree) {
 }
 
 TEST(DeadlineTest, UnlimitedNeverExpires) {
-  const Deadline d(0.0);
+  const Deadline d = Deadline::Unlimited();
   EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  // A zero or negative budget is a deadline that has already passed — the
+  // holder must fail fast, not run unbounded ("no deadline" is expressed
+  // by Unlimited() or by not attaching one).
+  const Deadline zero(0.0);
+  EXPECT_TRUE(zero.Expired());
+  EXPECT_EQ(zero.RemainingSeconds(), 0.0);
   const Deadline neg(-1.0);
-  EXPECT_FALSE(neg.Expired());
+  EXPECT_TRUE(neg.Expired());
+  EXPECT_EQ(neg.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, RemainingSecondsCountsDownAndClampsAtZero) {
+  const Deadline d(0.01);
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+  EXPECT_LE(d.RemainingSeconds(), 0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
 }
 
 TEST(DeadlineTest, ExpiresAfterBudget) {

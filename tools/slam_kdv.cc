@@ -7,14 +7,17 @@
 //   slam_kdv --input events.csv --kernel quartic --width 1280 --height 960
 //   slam_kdv --city ny --filter-year 2019 --hotspots 5 --ascii
 //   slam_kdv --city sf --method scan --compare   (oracle cross-check)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "analysis/hotspot.h"
 #include "data/csv_io.h"
 #include "data/generators.h"
+#include "explore/degrade.h"
 #include "explore/filter.h"
 #include "explore/viewport_ops.h"
+#include "serve/resilient_render.h"
 #include "kdv/bandwidth.h"
 #include "kdv/engine.h"
 #include "kdv/parallel.h"
@@ -51,8 +54,9 @@ int RunOrDie(int argc, char** argv) {
   std::string colormap_name = "heat";
   double scale = 0.02, bandwidth = 0.0, bandwidth_scale = 1.0, gamma = 0.5;
   int width = 640, height = 480, filter_year = 0, category = -1;
-  int hotspots = 0, threads = 1;
-  std::string diff_reference;
+  int hotspots = 0, threads = 1, retries = 1;
+  double retry_backoff_ms = 10.0;
+  std::string diff_reference, degrade_name = "off";
   int64_t seed = 42, timeout_ms = 0, memory_budget_mb = 0;
   bool ascii = false, compare = false, sanitize = false, recenter = true;
 
@@ -107,6 +111,15 @@ int RunOrDie(int argc, char** argv) {
   parser.AddBool("sanitize", &sanitize,
                  "drop input rows with NaN/Inf coordinates instead of "
                  "failing");
+  parser.AddInt("retries", &retries,
+                "engine attempts per fidelity level on transient errors "
+                "(1 = no retry)");
+  parser.AddDouble("retry-backoff-ms", &retry_backoff_ms,
+                   "initial backoff between retries, with decorrelated "
+                   "jitter and never past --timeout-ms");
+  parser.AddString("degrade", &degrade_name,
+                   "under deadline/memory pressure serve a reduced-fidelity "
+                   "answer: off, halfres, sample");
 
   const auto positional = parser.Parse(argc, argv);
   positional.status().AbortIfNotOk();
@@ -179,10 +192,26 @@ int RunOrDie(int argc, char** argv) {
   const KdvTask task = MakeTask(dataset, *viewport, *kernel, bandwidth);
 
   // ---- Compute -----------------------------------------------------
+  const auto degrade_mode = DegradeModeFromName(degrade_name);
+  degrade_mode.status().AbortIfNotOk();
+  if (retries < 1) {
+    std::fprintf(stderr, "--retries must be >= 1\n");
+    return 2;
+  }
+  const bool resilient = retries > 1 || *degrade_mode != DegradeMode::kOff;
+  if (resilient && threads > 1) {
+    std::fprintf(stderr,
+                 "--retries/--degrade run the serial resilient loop and are "
+                 "incompatible with --threads > 1\n");
+    return 2;
+  }
+
   const Deadline deadline(static_cast<double>(timeout_ms) / 1e3);
   MemoryBudget budget(static_cast<size_t>(memory_budget_mb) << 20);
   ExecContext exec;
-  if (timeout_ms > 0) exec.set_deadline(&deadline);
+  // The resilient loop layers the deadline itself (it needs to see the
+  // request budget to schedule backoff and descend the ladder).
+  if (timeout_ms > 0 && !resilient) exec.set_deadline(&deadline);
   if (memory_budget_mb > 0) exec.set_memory_budget(&budget);
   EngineOptions engine;
   engine.compute.exec = &exec;
@@ -191,7 +220,39 @@ int RunOrDie(int argc, char** argv) {
 
   Timer timer;
   Result<DensityMap> map = Status::Internal("unset");
-  if (threads > 1) {
+  Fidelity fidelity = Fidelity::kFull;
+  if (resilient) {
+    ResilientRenderParams params;
+    params.data = &dataset;
+    params.region = viewport->region();
+    params.width_px = width;
+    params.height_px = height;
+    params.kernel = *kernel;
+    params.bandwidth = bandwidth;
+    params.method = *method;
+    params.engine = engine;
+    params.degrade_mode = *degrade_mode;
+    params.retry.max_attempts = retries;
+    params.retry.backoff.initial_seconds = retry_backoff_ms / 1e3;
+    params.retry.backoff.max_seconds =
+        std::max(retry_backoff_ms / 1e3, 1.0);
+    params.retry_seed = static_cast<uint64_t>(seed);
+    auto outcome =
+        RenderResilient(params, timeout_ms > 0 ? &deadline : nullptr);
+    if (outcome.ok()) {
+      fidelity = outcome->fidelity;
+      if (outcome->degrade_level > 0 || outcome->retries > 0) {
+        std::printf("resilient: served %s (ladder level %d) after %d "
+                    "attempt(s), %d retr%s\n",
+                    std::string(FidelityName(outcome->fidelity)).c_str(),
+                    outcome->degrade_level, outcome->attempts,
+                    outcome->retries, outcome->retries == 1 ? "y" : "ies");
+      }
+      map = std::move(outcome->map);
+    } else {
+      map = outcome.status();
+    }
+  } else if (threads > 1) {
     ParallelOptions parallel;
     parallel.num_threads = threads;
     parallel.engine = engine;
@@ -201,7 +262,8 @@ int RunOrDie(int argc, char** argv) {
   }
   if (!map.ok()) {
     const StatusCode code = map.status().code();
-    if (code == StatusCode::kCancelled) {
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
       std::fprintf(stderr, "timed out after %s: %s\n",
                    FormatDuration(timer.ElapsedSeconds()).c_str(),
                    map.status().message().c_str());
@@ -217,8 +279,20 @@ int RunOrDie(int argc, char** argv) {
   map.status().AbortIfNotOk();
   std::printf("%s (%s kernel, b=%.2f, %dx%d): %s\n",
               std::string(MethodName(*method)).c_str(),
-              std::string(KernelTypeName(*kernel)).c_str(), bandwidth, width,
-              height, FormatDuration(timer.ElapsedSeconds()).c_str());
+              std::string(KernelTypeName(*kernel)).c_str(), bandwidth,
+              map->width(), map->height(),
+              FormatDuration(timer.ElapsedSeconds()).c_str());
+
+  // The oracle/diff/hotspot blocks below compare against the full-resolution
+  // task; a degraded map has different geometry, so they are skipped.
+  if (fidelity != Fidelity::kFull && (compare || !diff_reference.empty())) {
+    std::fprintf(stderr,
+                 "skipping --compare/--diff: the served map is degraded "
+                 "(%s)\n",
+                 std::string(FidelityName(fidelity)).c_str());
+    compare = false;
+    diff_reference.clear();
+  }
 
   if (compare) {
     const auto oracle = ComputeKdv(task, Method::kScan);
@@ -250,6 +324,12 @@ int RunOrDie(int argc, char** argv) {
   }
 
   // ---- Outputs -----------------------------------------------------
+  if (hotspots > 0 && fidelity != Fidelity::kFull) {
+    std::fprintf(stderr,
+                 "skipping --hotspots: geo coordinates assume the "
+                 "full-resolution grid and the served map is degraded\n");
+    hotspots = 0;
+  }
   if (hotspots > 0) {
     HotspotOptions hs;
     hs.relative_threshold = 0.5;

@@ -1,0 +1,295 @@
+// slam_load: closed-loop load generator for the resilient serving core.
+//
+// Spins up N client threads against one ServingCore; each client issues
+// its requests back-to-back (closed loop), with a per-request deadline
+// drawn uniformly from [--deadline-min-ms, --deadline-max-ms] and an
+// optional injected fault rate on the engine's start checkpoint. Reports
+// latency percentiles (p50/p95/p99 over answered requests), shed /
+// retried / degraded counts and breaker transitions, and can append one
+// bench-format JSON line per run for scripted sweeps.
+//
+// Examples:
+//   slam_load --clients 8 --requests 50 --deadline-min-ms 100
+//             --deadline-max-ms 500
+//   slam_load --fault-rate 0.3 --degrade sample --retries 3
+//             --json load.jsonl
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/harness.h"
+#include "data/generators.h"
+#include "explore/degrade.h"
+#include "serve/serving_core.h"
+#include "util/exec_context.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace slam {
+namespace {
+
+Result<City> CityFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "seattle") return City::kSeattle;
+  if (lower == "la" || lower == "losangeles" || lower == "los-angeles") {
+    return City::kLosAngeles;
+  }
+  if (lower == "ny" || lower == "newyork" || lower == "new-york") {
+    return City::kNewYork;
+  }
+  if (lower == "sf" || lower == "sanfrancisco" || lower == "san-francisco") {
+    return City::kSanFrancisco;
+  }
+  return Status::InvalidArgument("unknown city '" + name +
+                                 "' (seattle, la, ny, sf)");
+}
+
+int RunOrDie(int argc, char** argv) {
+  std::string city = "seattle", method_name = "slam_bucket_rao";
+  std::string kernel_name = "epanechnikov", degrade_name = "halfres";
+  std::string json_path;
+  double scale = 0.005, fault_rate = 0.0;
+  double deadline_min_ms = 0.0, deadline_max_ms = 0.0;
+  double retry_backoff_ms = 10.0, tokens_per_second = 0.0;
+  int clients = 8, requests = 25, width = 256, height = 192;
+  int retries = 3, max_halvings = 2, max_concurrent = 0, queue_depth = 64;
+  int64_t seed = 42;
+
+  FlagParser parser(
+      "slam_load: closed-loop load generator for the SLAM serving core "
+      "(admission control, circuit breaker, retry, degradation)");
+  parser.AddString("city", &city, "synthetic dataset: seattle, la, ny, sf");
+  parser.AddDouble("scale", &scale,
+                   "synthetic dataset size as a fraction of the paper's n");
+  parser.AddInt64("seed", &seed,
+                  "seed for dataset, fault injection, and client jitter");
+  parser.AddString("method", &method_name,
+                   "scan, rqs_kd, rqs_ball, z-order, akde, quad, slam_sort, "
+                   "slam_bucket, slam_sort_rao, slam_bucket_rao");
+  parser.AddString("kernel", &kernel_name,
+                   "uniform, epanechnikov, quartic (gaussian: non-SLAM only)");
+  parser.AddInt("width", &width, "full-resolution raster width");
+  parser.AddInt("height", &height, "full-resolution raster height");
+  parser.AddInt("clients", &clients, "concurrent closed-loop client threads");
+  parser.AddInt("requests", &requests, "requests issued per client");
+  parser.AddDouble("deadline-min-ms", &deadline_min_ms,
+                   "per-request deadline lower bound (0 = no deadline)");
+  parser.AddDouble("deadline-max-ms", &deadline_max_ms,
+                   "per-request deadline upper bound (0 = no deadline)");
+  parser.AddDouble("fault-rate", &fault_rate,
+                   "probability of an injected IO fault per engine attempt");
+  parser.AddInt("retries", &retries,
+                "attempts per ladder rung (1 = no retry)");
+  parser.AddDouble("retry-backoff-ms", &retry_backoff_ms,
+                   "initial backoff between retries (decorrelated jitter)");
+  parser.AddString("degrade", &degrade_name,
+                   "degradation ladder: off, halfres, sample");
+  parser.AddInt("max-halvings", &max_halvings,
+                "half-resolution rungs before the sampled rung");
+  parser.AddInt("max-concurrent", &max_concurrent,
+                "admission concurrency limit (0 = number of clients)");
+  parser.AddInt("queue-depth", &queue_depth, "admission queue bound");
+  parser.AddDouble("tokens-per-second", &tokens_per_second,
+                   "admission token-bucket rate (0 = unlimited)");
+  parser.AddString("json", &json_path,
+                   "append one bench-format JSON line to this path");
+
+  const auto positional = parser.Parse(argc, argv);
+  positional.status().AbortIfNotOk();
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Usage().c_str());
+    return 0;
+  }
+  if (!positional->empty()) {
+    std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                 (*positional)[0].c_str(), parser.Usage().c_str());
+    return 2;
+  }
+  if (clients < 1 || requests < 1) {
+    std::fprintf(stderr, "--clients and --requests must be >= 1\n");
+    return 2;
+  }
+  if (deadline_max_ms < deadline_min_ms) {
+    std::fprintf(stderr,
+                 "--deadline-max-ms must be >= --deadline-min-ms\n");
+    return 2;
+  }
+
+  // ---- Core --------------------------------------------------------
+  const auto which = CityFromName(city);
+  which.status().AbortIfNotOk();
+  auto dataset =
+      GenerateCityDataset(*which, scale, static_cast<uint64_t>(seed));
+  dataset.status().AbortIfNotOk();
+  const std::string dataset_name = dataset->name();
+  const size_t n_points = dataset->size();
+
+  ServingOptions options;
+  options.width_px = width;
+  options.height_px = height;
+  const auto kernel = KernelTypeFromName(kernel_name);
+  kernel.status().AbortIfNotOk();
+  options.kernel = *kernel;
+  const auto method = MethodFromName(method_name);
+  method.status().AbortIfNotOk();
+  options.method = *method;
+  const auto degrade = DegradeModeFromName(degrade_name);
+  degrade.status().AbortIfNotOk();
+  options.degrade_mode = *degrade;
+  options.max_halvings = max_halvings;
+  options.retry.max_attempts = retries;
+  options.retry.backoff.initial_seconds = retry_backoff_ms / 1e3;
+  options.retry.backoff.max_seconds =
+      std::max(retry_backoff_ms, 10.0 * retry_backoff_ms) / 1e3;
+  options.admission.max_concurrent =
+      max_concurrent > 0 ? max_concurrent : clients;
+  options.admission.max_queue_depth = queue_depth;
+  options.admission.tokens_per_second = tokens_per_second;
+  options.seed = static_cast<uint64_t>(seed);
+
+  auto created = ServingCore::Create(*std::move(dataset), options);
+  created.status().AbortIfNotOk();
+  auto& core = *created;
+
+  FaultInjector injector(static_cast<uint64_t>(seed));
+  if (fault_rate > 0.0) {
+    injector
+        .ArmProbabilistic("engine/start", fault_rate,
+                          Status::IoError("slam_load injected fault"))
+        .AbortIfNotOk();
+  }
+
+  std::printf(
+      "slam_load: %s (n = %s), %s/%s %dx%d, %d clients x %d requests, "
+      "fault rate %.2f, degrade %s, retries %d\n",
+      dataset_name.c_str(),
+      FormatWithCommas(static_cast<int64_t>(n_points)).c_str(),
+      method_name.c_str(), kernel_name.c_str(), width, height, clients,
+      requests, fault_rate, std::string(DegradeModeName(*degrade)).c_str(),
+      retries);
+
+  // ---- Drive -------------------------------------------------------
+  std::mutex merge_mutex;
+  std::vector<double> latencies;  // answered requests only, seconds
+  std::atomic<int64_t> answered{0}, degraded_count{0}, retried_requests{0};
+
+  const Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(seed) + 1000 + static_cast<uint64_t>(c));
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(requests));
+      for (int i = 0; i < requests; ++i) {
+        ExecContext exec;
+        if (fault_rate > 0.0) exec.set_fault_injector(&injector);
+        RenderRequest request;
+        if (deadline_max_ms > 0.0) {
+          request.deadline_seconds =
+              rng.Uniform(deadline_min_ms, deadline_max_ms) / 1e3;
+        }
+        request.exec = &exec;
+        const auto response = core->Handle(request);
+        if (!response.ok()) continue;
+        answered.fetch_add(1);
+        if (response->fidelity != Fidelity::kFull) degraded_count.fetch_add(1);
+        if (response->retries > 0) retried_requests.fetch_add(1);
+        local.push_back(response->latency_seconds);
+      }
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  // ---- Report ------------------------------------------------------
+  const ServingStats stats = core->stats();
+  const BreakerStats breaker = core->breaker_stats();
+  const AdmissionStats admission = core->admission_stats();
+  const double p50 = bench::Percentile(latencies, 50.0) * 1e3;
+  const double p95 = bench::Percentile(latencies, 95.0) * 1e3;
+  const double p99 = bench::Percentile(latencies, 99.0) * 1e3;
+  const int64_t total = static_cast<int64_t>(clients) * requests;
+
+  std::printf("\n%lld requests in %s (%.1f req/s)\n",
+              static_cast<long long>(total),
+              FormatDuration(wall_seconds).c_str(),
+              wall_seconds > 0.0 ? static_cast<double>(total) / wall_seconds
+                                 : 0.0);
+  std::printf("  answered        %lld (%.1f%%), %lld degraded, %lld with "
+              "retries\n",
+              static_cast<long long>(answered.load()),
+              total > 0 ? 100.0 * static_cast<double>(answered.load()) /
+                              static_cast<double>(total)
+                        : 0.0,
+              static_cast<long long>(degraded_count.load()),
+              static_cast<long long>(retried_requests.load()));
+  std::printf("  latency ms      p50 %.2f  p95 %.2f  p99 %.2f\n", p50, p95,
+              p99);
+  std::printf("  shed            %lld (infeasible %lld, queue full %lld)\n",
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(admission.shed_infeasible),
+              static_cast<long long>(admission.shed_queue_full));
+  std::printf("  deadline missed %lld, cancelled %lld, failed %lld\n",
+              static_cast<long long>(stats.deadline_exceeded),
+              static_cast<long long>(stats.cancelled),
+              static_cast<long long>(stats.failed));
+  std::printf("  engine attempts %lld (%lld retries), injected faults %lld\n",
+              static_cast<long long>(stats.attempts),
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(injector.InjectedCount()));
+  std::printf("  breaker         %s now; opened %lld, half-opened %lld, "
+              "closed %lld\n",
+              std::string(BreakerStateName(core->breaker_state())).c_str(),
+              static_cast<long long>(breaker.opened),
+              static_cast<long long>(breaker.half_opened),
+              static_cast<long long>(breaker.closed));
+
+  if (!json_path.empty()) {
+    const std::string line = StringPrintf(
+        "{\"experiment\":\"slam_load\",\"dataset\":\"%s\",\"method\":\"%s\","
+        "\"clients\":%d,\"requests\":%lld,\"fault_rate\":%.17g,"
+        "\"degrade\":\"%s\",\"retries\":%d,\"answered\":%lld,"
+        "\"degraded\":%lld,\"shed\":%lld,\"deadline_exceeded\":%lld,"
+        "\"failed\":%lld,\"retried_requests\":%lld,\"engine_retries\":%lld,"
+        "\"p50_ms\":%.17g,\"p95_ms\":%.17g,\"p99_ms\":%.17g,"
+        "\"wall_seconds\":%.17g,\"breaker_opened\":%lld,"
+        "\"breaker_half_opened\":%lld,\"breaker_closed\":%lld}",
+        dataset_name.c_str(), std::string(MethodName(*method)).c_str(),
+        clients, static_cast<long long>(total), fault_rate,
+        std::string(DegradeModeName(*degrade)).c_str(), retries,
+        static_cast<long long>(answered.load()),
+        static_cast<long long>(degraded_count.load()),
+        static_cast<long long>(stats.shed),
+        static_cast<long long>(stats.deadline_exceeded),
+        static_cast<long long>(stats.failed),
+        static_cast<long long>(retried_requests.load()),
+        static_cast<long long>(stats.retries), p50, p95, p99, wall_seconds,
+        static_cast<long long>(breaker.opened),
+        static_cast<long long>(breaker.half_opened),
+        static_cast<long long>(breaker.closed));
+    std::FILE* file = std::fopen(json_path.c_str(), "a");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot append to %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(file, "%s\n", line.c_str());
+    std::fclose(file);
+    std::printf("appended JSON to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slam
+
+int main(int argc, char** argv) { return slam::RunOrDie(argc, argv); }
