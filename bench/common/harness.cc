@@ -31,10 +31,18 @@ BenchConfig BenchConfig::FromEnv() {
   config.budget_seconds =
       EnvDouble("SLAM_BENCH_BUDGET", config.budget_seconds);
   if (const char* res = std::getenv("SLAM_BENCH_RES")) {
-    int w = 0, h = 0;
-    if (std::sscanf(res, "%dx%d", &w, &h) == 2 && w > 0 && h > 0) {
-      config.width = w;
-      config.height = h;
+    // "WxH", validated through the shared parse helpers — a malformed or
+    // overflowing resolution silently keeps the default.
+    const auto parts = Split(res, 'x');
+    if (parts.size() == 2) {
+      const auto w = ParseInt64(parts[0]);
+      const auto h = ParseInt64(parts[1]);
+      if (w.ok() && h.ok() && *w > 0 && *h > 0 &&
+          *w <= std::numeric_limits<int>::max() &&
+          *h <= std::numeric_limits<int>::max()) {
+        config.width = static_cast<int>(*w);
+        config.height = static_cast<int>(*h);
+      }
     }
   }
   if (const char* check = std::getenv("SLAM_BENCH_CHECK")) {
@@ -44,7 +52,31 @@ BenchConfig BenchConfig::FromEnv() {
   if (const char* json = std::getenv("SLAM_BENCH_JSON")) {
     config.json_path = json;
   }
+  if (const char* methods = std::getenv("SLAM_BENCH_METHODS")) {
+    for (const std::string_view name : Split(methods, ',')) {
+      if (name.empty()) continue;
+      const auto parsed = MethodFromName(name);
+      if (parsed.ok()) {
+        config.methods.push_back(*parsed);
+      } else {
+        std::fprintf(stderr,
+                     "SLAM_BENCH_METHODS: ignoring unknown method '%.*s'\n",
+                     static_cast<int>(name.size()), name.data());
+      }
+    }
+  }
   return config;
+}
+
+std::vector<Method> BenchConfig::EnabledMethods() const {
+  std::vector<Method> out;
+  for (const Method m : AllMethods()) {
+    if (methods.empty() ||
+        std::find(methods.begin(), methods.end(), m) != methods.end()) {
+      out.push_back(m);
+    }
+  }
+  return out;
 }
 
 std::string CellResult::ToString() const {

@@ -13,6 +13,9 @@
 //                      long-double oracle (adds an O(XYn) reference pass
 //                      per task, outside the timed region)
 //   SLAM_BENCH_JSON    path: append one JSON object per cell (JSON Lines)
+//   SLAM_BENCH_METHODS comma-separated method names (e.g. "scan,slam_sort");
+//                      restricts the roster so one method can be measured in
+//                      isolation (per-process peak-RSS attribution)
 #pragma once
 
 #include <cmath>
@@ -40,9 +43,16 @@ struct BenchConfig {
   bool check_errors = false;
   /// When non-empty, cells are appended here as JSON Lines.
   std::string json_path;
+  /// Restricts the method roster (SLAM_BENCH_METHODS, comma-separated
+  /// method names); empty = all ten methods.
+  std::vector<Method> methods;
 
   /// Reads the SLAM_BENCH_* environment overrides.
   static BenchConfig FromEnv();
+
+  /// The configured roster in AllMethods() order: `methods` when
+  /// non-empty, otherwise all ten.
+  std::vector<Method> EnabledMethods() const;
 };
 
 /// One measured cell: a (method, task) pair run under a budget.

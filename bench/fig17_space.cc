@@ -64,7 +64,7 @@ int Run() {
       headers.push_back(StringPrintf("%d%% total", static_cast<int>(f * 100)));
     }
     TablePrinter table(std::move(headers));
-    for (const Method m : AllMethods()) {
+    for (const Method m : config.EnabledMethods()) {
       std::vector<std::string> row{std::string(MethodName(m))};
       for (const double f : fractions) {
         const auto sub = SampleFraction(ds.data, f, config.seed + 5);

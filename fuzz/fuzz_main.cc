@@ -1,0 +1,68 @@
+// Per-target harness, compiled once per fuzz target with
+// -DSLAM_FUZZ_ENTRY=<FunctionName>.
+//
+// Two modes:
+//   * default: defines LLVMFuzzerTestOneInput for libFuzzer
+//     (-fsanitize=fuzzer provides main). Clang-only; this is the CI lane.
+//   * SLAM_FUZZ_STANDALONE: defines a plain main() that replays every file
+//     (or every file under every directory) given on the command line.
+//     Works with any compiler — the local smoke path on GCC-only boxes —
+//     and exits non-zero only if a replayed input crashes the process.
+#include <cstdint>
+#include <cstdio>
+
+#include "fuzz/targets.h"
+
+#ifndef SLAM_FUZZ_ENTRY
+#error "compile with -DSLAM_FUZZ_ENTRY=<target function name>"
+#endif
+
+#ifdef SLAM_FUZZ_STANDALONE
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<uint8_t> ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "skipping '%s': not a file or directory\n",
+                   argv[i]);
+    }
+  }
+  for (const auto& path : inputs) {
+    const std::vector<uint8_t> bytes = ReadFileBytes(path);
+    slam::fuzz::SLAM_FUZZ_ENTRY(bytes.data(), bytes.size());
+  }
+  std::printf("replayed %zu input(s) without crashing\n", inputs.size());
+  return 0;
+}
+
+#else  // libFuzzer mode
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return slam::fuzz::SLAM_FUZZ_ENTRY(data, size);
+}
+
+#endif

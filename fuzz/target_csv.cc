@@ -1,0 +1,53 @@
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "data/csv_io.h"
+#include "fuzz/targets.h"
+#include "util/validate.h"
+
+namespace slam::fuzz {
+
+int FuzzCsvLoader(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // Byte 0 picks the load configuration so one corpus exercises both the
+  // reject path and the sanitize/drop path.
+  const uint8_t selector = data[0];
+  CsvLoadOptions options;
+  options.sanitize = (selector & 1) != 0;
+  options.max_rows = 4096;
+  // Tight caps keep single iterations fast; the cap-enforcement code is
+  // itself under test.
+  options.csv.max_field_bytes = 4 * 1024;
+  options.csv.max_record_bytes = 64 * 1024;
+  options.csv.max_fields = 64;
+
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  std::istringstream in(payload);
+  size_t dropped = 0;
+  const auto result = LoadDatasetCsvStream(in, "fuzz", options, &dropped);
+  if (!result.ok()) return 0;  // typed rejection is a correct outcome
+
+  // Postcondition: anything the loader accepted satisfies the shared
+  // validation layer. A violation here is a validator bypass, not a crash.
+  for (size_t i = 0; i < result->size(); ++i) {
+    const Point p = result->coord(i);
+    if (!CheckCoordinatePair(p.x, p.y, "coordinate").ok()) {
+      std::fprintf(stderr,
+                   "FuzzCsvLoader: accepted row %zu has invalid coordinates "
+                   "(%g, %g)\n",
+                   i, p.x, p.y);
+      std::abort();
+    }
+  }
+  if (options.max_rows > 0 && result->size() > options.max_rows) {
+    std::fprintf(stderr, "FuzzCsvLoader: row cap %zu exceeded (%zu rows)\n",
+                 options.max_rows, result->size());
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace slam::fuzz

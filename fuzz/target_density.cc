@@ -1,0 +1,46 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "fuzz/targets.h"
+#include "kdv/density_io.h"
+
+namespace slam::fuzz {
+
+int FuzzDensityLoader(const uint8_t* data, size_t size) {
+  // Caps far below the global InputLimits: a fuzz iteration must not
+  // allocate hundreds of MiB even for a well-formed header.
+  DensityIoLimits limits;
+  limits.max_dim = 2048;
+  limits.max_cells = int64_t{1} << 20;  // 8 MiB of doubles
+
+  const std::string payload(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(payload, std::ios::binary);
+  const auto result = LoadDensityMapStream(in, "fuzz", limits);
+  if (!result.ok()) return 0;
+
+  // Postconditions of an accepted map: dimensions within the caps we
+  // passed, and (require_finite defaults to true) every cell finite.
+  if (result->width() <= 0 || result->height() <= 0 ||
+      result->width() > limits.max_dim || result->height() > limits.max_dim ||
+      static_cast<int64_t>(result->width()) * result->height() >
+          limits.max_cells) {
+    std::fprintf(stderr, "FuzzDensityLoader: accepted map is %dx%d\n",
+                 result->width(), result->height());
+    std::abort();
+  }
+  for (size_t i = 0; i < result->values().size(); ++i) {
+    if (!std::isfinite(result->values()[i])) {
+      std::fprintf(stderr,
+                   "FuzzDensityLoader: accepted map has non-finite cell %zu "
+                   "(%g)\n",
+                   i, result->values()[i]);
+      std::abort();
+    }
+  }
+  return 0;
+}
+
+}  // namespace slam::fuzz

@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/targets.h"
+#include "geom/bounding_box.h"
+#include "geom/viewport.h"
+#include "kdv/engine.h"
+#include "kdv/grid.h"
+#include "kdv/task.h"
+#include "testing/oracle.h"
+
+namespace slam::fuzz {
+
+namespace {
+
+/// Agreement bar for every method against the long-double reference. The
+/// decoded tasks are small (<= 64 points, <= 24x24 grid) and every method
+/// runs in its exact configuration, so anything past 1e-9 relative error
+/// is a numerical-stability bug, not approximation slack.
+constexpr double kMaxRelError = 1e-9;
+
+int16_t ReadInt16(const uint8_t* p) {
+  int16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+int FuzzDifferential(const uint8_t* data, size_t size) {
+  // Layout: [0] kernel, [1] width, [2] height, [3..4] bandwidth,
+  // [5] offset selector, [6..] int16 coordinate pairs (4 bytes per point).
+  if (size < 10) return 0;
+  const KernelType kernel = static_cast<KernelType>(data[0] % 3);
+  const int width = 1 + data[1] % 24;
+  const int height = 1 + data[2] % 24;
+  // Log-scaled bandwidth in [0.1, 100): hits the tiny-support, the
+  // comparable-to-extent, and the covers-everything regimes.
+  const uint16_t bw_raw = static_cast<uint16_t>(data[3] | (data[4] << 8));
+  const double bandwidth =
+      std::pow(10.0, -1.0 + 3.0 * (static_cast<double>(bw_raw) / 65535.0));
+  // Offset selector drives the recentering machinery: EPSG:3857-scale
+  // translations are where naive aggregate evaluation loses digits.
+  const double kOffsets[3] = {0.0, 1.0e7, -1.0e7};
+  const double offset = kOffsets[data[5] % 3];
+
+  std::vector<Point> points;
+  const size_t coord_bytes = size - 6;
+  const size_t n_points = std::min<size_t>(coord_bytes / 4, 64);
+  if (n_points == 0) return 0;
+  points.reserve(n_points);
+  for (size_t i = 0; i < n_points; ++i) {
+    const uint8_t* rec = data + 6 + 4 * i;
+    points.push_back({static_cast<double>(ReadInt16(rec)) / 16.0 + offset,
+                      static_cast<double>(ReadInt16(rec + 2)) / 16.0 +
+                          offset});
+  }
+
+  BoundingBox region = BoundingBox::FromPoints(points);
+  const double margin = std::max(bandwidth, 1.0);
+  region = BoundingBox({region.min().x - margin, region.min().y - margin},
+                       {region.max().x + margin, region.max().y + margin});
+  const auto viewport = Viewport::Create(region, width, height);
+  if (!viewport.ok()) return 0;
+
+  KdvTask task;
+  task.points = points;
+  task.kernel = kernel;
+  task.bandwidth = bandwidth;
+  task.weight = 1.0 / static_cast<double>(n_points);
+  task.grid = Grid::FromViewport(*viewport);
+  if (!ValidateTask(task).ok()) return 0;  // typed rejection is fine
+
+  const auto reference = testing::ReferenceScan(task);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "FuzzDifferential: reference scan failed: %s\n",
+                 reference.status().ToString().c_str());
+    std::abort();
+  }
+  const EngineOptions exact = testing::ExactEngineOptions();
+  for (const Method method : AllMethods()) {
+    const auto report =
+        testing::DiffAgainstReference(task, method, exact, *reference);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FuzzDifferential: %s failed on a valid task: %s\n",
+                   std::string(MethodName(method)).c_str(),
+                   report.status().ToString().c_str());
+      std::abort();
+    }
+    if (report->max_rel_error > kMaxRelError) {
+      std::fprintf(stderr,
+                   "FuzzDifferential: %s disagrees with the oracle: "
+                   "rel_error=%.3e at pixel (%d, %d), value=%.17g vs "
+                   "reference=%.17g (kernel=%d, %dx%d, bw=%g, offset=%g, "
+                   "n=%zu)\n",
+                   std::string(MethodName(method)).c_str(),
+                   report->max_rel_error, report->worst_ix, report->worst_iy,
+                   report->worst_value, report->worst_reference,
+                   static_cast<int>(kernel), width, height, bandwidth, offset,
+                   n_points);
+      std::abort();
+    }
+  }
+  return 0;
+}
+
+}  // namespace slam::fuzz

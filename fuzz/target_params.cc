@@ -1,0 +1,49 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz/targets.h"
+#include "serve/request_validator.h"
+#include "util/validate.h"
+
+namespace slam::fuzz {
+
+int FuzzRenderParams(const uint8_t* data, size_t size) {
+  const std::string query(reinterpret_cast<const char*>(data), size);
+  const auto decoded = DecodeRenderParams(query);
+  if (!decoded.ok()) return 0;
+
+  // Decode promises the returned set already passed ValidateRenderParams;
+  // re-check it plus the individual limits so a decoder/validator drift
+  // shows up as an abort, not as a silently hostile parameter set.
+  const Status valid = ValidateRenderParams(*decoded);
+  if (!valid.ok()) {
+    std::fprintf(stderr,
+                 "FuzzRenderParams: decoded set fails validation: %s\n",
+                 valid.ToString().c_str());
+    std::abort();
+  }
+  const RenderParamSet& p = *decoded;
+  const bool dims_ok = p.width >= 1 && p.width <= InputLimits::kMaxGridDim &&
+                       p.height >= 1 && p.height <= InputLimits::kMaxGridDim;
+  const bool bw_ok = !p.bandwidth.has_value() ||
+                     (*p.bandwidth >= InputLimits::kMinBandwidth &&
+                      *p.bandwidth <= InputLimits::kMaxBandwidth);
+  const bool deadline_ok = std::isfinite(p.deadline_seconds) &&
+                           p.deadline_seconds >= 0.0 &&
+                           p.deadline_seconds <=
+                               InputLimits::kMaxDeadlineSeconds;
+  if (!dims_ok || !bw_ok || !deadline_ok) {
+    std::fprintf(stderr,
+                 "FuzzRenderParams: accepted set outside limits "
+                 "(%dx%d, bw=%g, deadline=%g)\n",
+                 p.width, p.height,
+                 p.bandwidth.has_value() ? *p.bandwidth : -1.0,
+                 p.deadline_seconds);
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace slam::fuzz

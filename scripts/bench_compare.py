@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff the two newest BENCH_<n>.json trajectory snapshots.
+
+Finds the two highest-numbered BENCH_<n>.json files at the repo root
+(or takes two explicit paths), prints a per-method table of p95 latency
+and peak RSS deltas, and exits 1 if any method's p95 regressed by more
+than the threshold (default 10%). Methods present in only one snapshot
+are reported but never fail the gate (the roster may legitimately grow).
+
+Peak RSS deltas are informational: CI machine memory is noisy across
+runner generations, and earlier snapshots predate per-method RSS
+capture entirely (their peak_rss_bytes is absent or 0).
+
+Usage:
+  scripts/bench_compare.py [--threshold 0.10] [old.json new.json]
+
+Exit status: 0 ok, 1 regression, 2 not enough snapshots to compare.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def find_snapshots(root):
+    """The two highest-numbered BENCH_<n>.json paths, oldest first."""
+    numbered = []
+    for name in os.listdir(root):
+        m = BENCH_RE.match(name)
+        if m:
+            numbered.append((int(m.group(1)), os.path.join(root, name)))
+    numbered.sort()
+    return [path for _, path in numbered[-2:]]
+
+
+def load(path):
+    with open(path) as f:
+        snapshot = json.load(f)
+    return snapshot.get("methods", {})
+
+
+def fmt_ms(seconds):
+    return f"{seconds * 1e3:8.3f}"
+
+
+def fmt_mib(b):
+    return f"{b / (1024.0 * 1024.0):7.1f}" if b else "      -"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated p95 regression (fraction)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit old.json new.json (default: the two "
+                             "highest-numbered BENCH_<n>.json)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if len(args.files) == 2:
+        old_path, new_path = args.files
+    elif not args.files:
+        snapshots = find_snapshots(repo_root)
+        if len(snapshots) < 2:
+            print("bench_compare: fewer than two BENCH_<n>.json snapshots; "
+                  "nothing to diff (first trajectory point?)")
+            return 2
+        old_path, new_path = snapshots
+    else:
+        parser.error("pass exactly two files, or none")
+
+    old, new = load(old_path), load(new_path)
+    print(f"bench_compare: {os.path.basename(old_path)} -> "
+          f"{os.path.basename(new_path)} "
+          f"(p95 threshold +{args.threshold * 100:.0f}%)")
+    print(f"{'method':<18} {'old p95':>9} {'new p95':>9} {'delta':>8} "
+          f"{'old MiB':>8} {'new MiB':>8}")
+
+    regressions = []
+    for method in sorted(set(old) | set(new)):
+        o, n = old.get(method), new.get(method)
+        if o is None or n is None:
+            side = "new" if o is None else "old"
+            print(f"{method:<18} (only in {side} snapshot)")
+            continue
+        old_p95, new_p95 = o["p95_seconds"], n["p95_seconds"]
+        delta = (new_p95 - old_p95) / old_p95 if old_p95 > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((method, delta))
+            flag = "  << REGRESSION"
+        print(f"{method:<18} {fmt_ms(old_p95)}ms {fmt_ms(new_p95)}ms "
+              f"{delta * 100:+7.1f}% "
+              f"{fmt_mib(o.get('peak_rss_bytes', 0))} "
+              f"{fmt_mib(n.get('peak_rss_bytes', 0))}{flag}")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"\nbench_compare: {len(regressions)} method(s) regressed "
+              f"beyond +{args.threshold * 100:.0f}% p95 "
+              f"(worst: {worst[0]} {worst[1] * 100:+.1f}%)", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no p95 regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

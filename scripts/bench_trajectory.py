@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Benchmark trajectory snapshot: pinned table7_default subset -> BENCH_6.json.
+"""Benchmark trajectory snapshot: pinned table7_default subset -> BENCH_7.json.
 
-Runs the bench_table7_default binary several times at a small, pinned
-configuration (fixed scale / resolution / seed, so successive PRs measure
-the same work) with SLAM_BENCH_JSON pointed at a scratch file, then
-aggregates per-method wall times into p50/p95/p99 and writes BENCH_6.json
-at the repo root. The file is the sixth point of the repo's performance
-trajectory (ROADMAP item 1: track method latency PR over PR).
+Runs the bench_table7_default binary at a small, pinned configuration
+(fixed scale / resolution / seed, so successive PRs measure the same
+work) with SLAM_BENCH_JSON pointed at a scratch file, aggregates
+per-method wall times into p50/p95/p99, and writes BENCH_7.json at the
+repo root. The file is the newest point of the repo's performance
+trajectory (ROADMAP item 1: track method latency PR over PR); diff it
+against the previous snapshot with scripts/bench_compare.py.
+
+Unlike earlier snapshots, each method runs in its OWN subprocess (via the
+SLAM_BENCH_METHODS roster filter), so the child's ru_maxrss is that
+method's peak RSS — one process measuring all ten methods would only see
+the max over the whole roster. Each method's entry carries
+"peak_rss_bytes": the max ru_maxrss over its repetitions.
 
 Usage:
   scripts/bench_trajectory.py [--build-dir build] [--repetitions 5]
-                              [--output BENCH_6.json]
+                              [--output BENCH_7.json]
 
-The bench binary must already be built (cmake --build build). No deps
-beyond the Python standard library.
+The bench binary must already be built (cmake --build build with
+SLAM_BUILD_BENCHMARKS=ON). No deps beyond the Python standard library.
 """
 
 import argparse
@@ -32,6 +39,12 @@ PINNED_ENV = {
     "SLAM_BENCH_CHECK": "0",
 }
 
+# The full roster, one subprocess each (names as MethodFromName accepts).
+METHODS = [
+    "scan", "rqs_kd", "rqs_ball", "z-order", "akde", "quad",
+    "slam_sort", "slam_bucket", "slam_sort_rao", "slam_bucket_rao",
+]
+
 
 def percentile(values, p):
     """Linear-interpolated percentile, mirroring bench::Percentile."""
@@ -47,23 +60,29 @@ def percentile(values, p):
 
 
 def run_once(binary, json_path, env):
+    """Runs one bench subprocess; returns its peak RSS in bytes."""
     run_env = dict(os.environ)
     run_env.update(env)
     run_env["SLAM_BENCH_JSON"] = json_path
-    proc = subprocess.run(
+    proc = subprocess.Popen(
         [binary], env=run_env, stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE, text=True)
+    stderr = proc.stderr.read()
+    # wait4 gives the child's rusage; ru_maxrss is KiB on Linux.
+    _, status, rusage = os.wait4(proc.pid, 0)
+    proc.returncode = os.waitstatus_to_exitcode(status)
+    proc.stderr.close()
     if proc.returncode != 0:
-        sys.stderr.write(proc.stderr)
-        raise SystemExit(
-            f"{binary} exited with {proc.returncode}")
+        sys.stderr.write(stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode}")
+    return rusage.ru_maxrss * 1024
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--repetitions", type=int, default=5)
-    parser.add_argument("--output", default="BENCH_6.json")
+    parser.add_argument("--output", default="BENCH_7.json")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -77,10 +96,24 @@ def main():
     with tempfile.NamedTemporaryFile(
             mode="r", suffix=".jsonl", delete=False) as scratch:
         scratch_path = scratch.name
+    peak_rss = {}  # method name as reported in cells -> bytes
     try:
-        for i in range(args.repetitions):
-            print(f"[bench_trajectory] run {i + 1}/{args.repetitions}")
-            run_once(binary, scratch_path, PINNED_ENV)
+        for method in METHODS:
+            env = dict(PINNED_ENV)
+            env["SLAM_BENCH_METHODS"] = method
+            before = os.path.getsize(scratch_path)
+            rss = 0
+            for i in range(args.repetitions):
+                print(f"[bench_trajectory] {method} "
+                      f"run {i + 1}/{args.repetitions}")
+                rss = max(rss, run_once(binary, scratch_path, env))
+            # The cells this method appended name it in its canonical
+            # spelling (e.g. "SLAM_BUCKET_RAO"); map the RSS onto that.
+            with open(scratch_path) as f:
+                f.seek(before)
+                for line in f:
+                    if line.strip():
+                        peak_rss[json.loads(line)["method"]] = rss
         with open(scratch_path) as f:
             cells = [json.loads(line) for line in f if line.strip()]
     finally:
@@ -109,11 +142,13 @@ def main():
             "p95_seconds": percentile(seconds, 95),
             "p99_seconds": percentile(seconds, 99),
             "mean_seconds": statistics.fmean(seconds),
+            "peak_rss_bytes": peak_rss.get(method, 0),
         }
 
     out = {
         "experiment": "table7_default",
         "pinned_env": PINNED_ENV,
+        "per_method_process": True,
         "repetitions": args.repetitions,
         "cells": len(cells),
         "excluded_cells": excluded,

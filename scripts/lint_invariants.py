@@ -33,6 +33,14 @@ plus a reason in the surrounding comment):
                      ParseDouble), time(nullptr) (non-deterministic; use
                      util/timer.h clocks).
 
+  unvalidated-parse  No direct std::sto* / from_chars / sscanf outside the
+                     sanctioned parse layer (util/string_util.cc). Those
+                     entry points throw, ignore trailing garbage, or skip
+                     range checks; every number that enters the system must
+                     come through ParseDouble/ParseInt64 and then the
+                     validation layer (util/validate.h) so hostile input is
+                     rejected exactly once, with a typed Status.
+
   retry-backoff      A loop whose header names a retry/attempt counter must
                      reference a backoff (Backoff/RetryPolicy/
                      DelayBeforeRetry) or poll its budget (Deadline/
@@ -310,6 +318,46 @@ def check_banned(f: SourceFile) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: unvalidated-parse
+# ---------------------------------------------------------------------------
+
+# The one place raw text is allowed to become a number: the shared parse
+# helpers, which reject trailing garbage and feed the validation layer.
+PARSE_EXEMPT = ("src/util/string_util.cc",)
+UNVALIDATED_PARSE = [
+    (re.compile(r"(?<![\w:])std::sto(?:i|l|ll|ul|ull|f|d|ld)\s*\("),
+     "std::sto*",
+     "throws on garbage and accepts trailing junk ('12abc' -> 12)"),
+    (re.compile(r"(?<![\w:])(?:std::)?from_chars\s*\("), "from_chars",
+     "skips the trailing-garbage and range checks ParseDouble/ParseInt64 do"),
+    (re.compile(r"(?<![\w:])(?:std::)?s?scanf\s*\("), "sscanf/scanf",
+     "no overflow detection and UB on out-of-range %d"),
+]
+
+
+def check_unvalidated_parse(f: SourceFile) -> list[Violation]:
+    if f.rel in PARSE_EXEMPT:
+        return []
+    out = []
+    for i, line in enumerate(f.code_lines, start=1):
+        if f.allowed(i, "unvalidated-parse"):
+            continue
+        for pattern, what, why in UNVALIDATED_PARSE:
+            if pattern.search(line):
+                out.append(
+                    Violation(
+                        f.rel,
+                        i,
+                        "unvalidated-parse",
+                        f"{what}: {why}; parse via ParseDouble/ParseInt64 "
+                        "(util/string_util.h) and validate with the "
+                        "Check* helpers (util/validate.h)",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Rule: retry-backoff
 # ---------------------------------------------------------------------------
 
@@ -380,6 +428,7 @@ def main() -> int:
         violations.extend(check_narrowing(f))
         violations.extend(check_aggregates(f))
         violations.extend(check_banned(f))
+        violations.extend(check_unvalidated_parse(f))
         violations.extend(check_retry_backoff(f))
 
     for v in violations:

@@ -1,11 +1,14 @@
 #include "data/csv_io.h"
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <sstream>
 
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace slam {
 
@@ -29,22 +32,29 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
+  return LoadDatasetCsvStream(in, path, options, dropped_rows);
+}
+
+Result<PointDataset> LoadDatasetCsvStream(std::istream& in,
+                                          std::string_view name,
+                                          const CsvLoadOptions& options,
+                                          size_t* dropped_rows) {
   ColumnMap columns;
-  PointDataset ds(path);
+  PointDataset ds{std::string(name)};
   size_t dropped = 0;
   const Status st = ReadCsvStream(
-      in, CsvOptions{},
+      in, options.csv,
       [&columns](const std::vector<std::string>& header) -> Status {
         for (size_t i = 0; i < header.size(); ++i) {
-          const std::string name = ToLower(Trim(header[i]));
+          const std::string col = ToLower(Trim(header[i]));
           const int idx = static_cast<int>(i);
-          if (name == "x" || name == "lon" || name == "longitude") {
+          if (col == "x" || col == "lon" || col == "longitude") {
             columns.x = idx;
-          } else if (name == "y" || name == "lat" || name == "latitude") {
+          } else if (col == "y" || col == "lat" || col == "latitude") {
             columns.y = idx;
-          } else if (name == "time" || name == "timestamp") {
+          } else if (col == "time" || col == "timestamp") {
             columns.time = idx;
-          } else if (name == "category" || name == "type") {
+          } else if (col == "category" || col == "type") {
             columns.category = idx;
           }
         }
@@ -55,13 +65,12 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
         return Status::OK();
       },
       [&columns, &ds, &options, &dropped](
-          int64_t row, const std::vector<std::string>& fields) -> Status {
-        // 1-based file line: data row 0 follows the header on line 1.
-        const long long line = static_cast<long long>(row) + 2;
+          int64_t line, const std::vector<std::string>& fields) -> Status {
+        const long long lline = static_cast<long long>(line);
         const auto need = [&](int idx) -> Result<std::string_view> {
           if (idx < 0 || static_cast<size_t>(idx) >= fields.size()) {
             return Status::InvalidArgument(
-                StringPrintf("line %lld: missing column %d", line, idx));
+                StringPrintf("line %lld: missing column %d", lline, idx));
           }
           return std::string_view(fields[idx]);
         };
@@ -70,7 +79,7 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
           const auto value = ParseDouble(field);
           if (!value.ok()) {
             return Status::InvalidArgument(
-                StringPrintf("line %lld: bad %s value: ", line, what) +
+                StringPrintf("line %lld: bad %s value: ", lline, what) +
                 value.status().message());
           }
           return value;
@@ -79,15 +88,22 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
         SLAM_ASSIGN_OR_RETURN(std::string_view ys, need(columns.y));
         SLAM_ASSIGN_OR_RETURN(double x, parse(xs, "x coordinate"));
         SLAM_ASSIGN_OR_RETURN(double y, parse(ys, "y coordinate"));
-        if (!std::isfinite(x) || !std::isfinite(y)) {
+        x = CanonicalizeCoordinate(x);
+        y = CanonicalizeCoordinate(y);
+        const Status coord = CheckCoordinatePair(x, y, "coordinate");
+        if (!coord.ok()) {
           if (options.sanitize) {
             ++dropped;
             return Status::OK();
           }
-          return Status::InvalidArgument(StringPrintf(
-              "line %lld: non-finite coordinates (%g, %g); pass "
-              "CsvLoadOptions::sanitize to drop such rows",
-              line, x, y));
+          return Status::InvalidArgument(
+              StringPrintf("line %lld: ", lline) + coord.message() +
+              "; pass CsvLoadOptions::sanitize to drop such rows");
+        }
+        if (options.max_rows > 0 && ds.size() >= options.max_rows) {
+          return Status::ResourceExhausted(StringPrintf(
+              "line %lld: dataset exceeds the %zu-row cap", lline,
+              options.max_rows));
         }
         int64_t t = 0;
         int32_t category = 0;
@@ -96,7 +112,7 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
           const auto parsed_t = ParseInt64(fields[columns.time]);
           if (!parsed_t.ok()) {
             return Status::InvalidArgument(
-                StringPrintf("line %lld: bad time value: ", line) +
+                StringPrintf("line %lld: bad time value: ", lline) +
                 parsed_t.status().message());
           }
           t = *parsed_t;
@@ -104,10 +120,11 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
         if (columns.category >= 0 &&
             static_cast<size_t>(columns.category) < fields.size()) {
           const auto parsed_c = ParseInt64(fields[columns.category]);
-          if (!parsed_c.ok()) {
+          if (!parsed_c.ok() || *parsed_c < INT32_MIN || *parsed_c > INT32_MAX) {
             return Status::InvalidArgument(
-                StringPrintf("line %lld: bad category value: ", line) +
-                parsed_c.status().message());
+                StringPrintf("line %lld: bad category value", lline) +
+                (parsed_c.ok() ? std::string(" (outside int32 range)")
+                               : ": " + parsed_c.status().message()));
           }
           category = static_cast<int32_t>(*parsed_c);
         }
@@ -117,8 +134,8 @@ Result<PointDataset> LoadDatasetCsv(const std::string& path,
   if (!st.ok()) return st;
   if (dropped > 0) {
     SLAM_LOG(Warning) << "LoadDatasetCsv: dropped " << dropped
-                      << " row(s) with non-finite coordinates from '" << path
-                      << "'";
+                      << " row(s) with invalid coordinates from '"
+                      << std::string(name) << "'";
   }
   if (dropped_rows != nullptr) *dropped_rows = dropped;
   return ds;

@@ -1,8 +1,9 @@
 #include "kdv/density_io.h"
 
-#include <cstdint>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <istream>
 
 #include "util/string_util.h"
 
@@ -11,6 +12,10 @@ namespace slam {
 namespace {
 constexpr char kMagic[4] = {'S', 'L', 'D', 'M'};
 constexpr uint32_t kVersion = 1;
+
+std::string Label(std::string_view name) {
+  return "'" + std::string(name) + "'";
+}
 }  // namespace
 
 Status SaveDensityMap(const DensityMap& map, const std::string& path) {
@@ -33,8 +38,19 @@ Status SaveDensityMap(const DensityMap& map, const std::string& path) {
 }
 
 Result<DensityMap> LoadDensityMap(const std::string& path) {
+  return LoadDensityMap(path, DensityIoLimits{});
+}
+
+Result<DensityMap> LoadDensityMap(const std::string& path,
+                                  const DensityIoLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return LoadDensityMapStream(in, path, limits);
+}
+
+Result<DensityMap> LoadDensityMapStream(std::istream& in,
+                                        std::string_view name,
+                                        const DensityIoLimits& limits) {
   char magic[4];
   uint32_t version = 0;
   int32_t width = 0, height = 0;
@@ -43,23 +59,60 @@ Result<DensityMap> LoadDensityMap(const std::string& path) {
   in.read(reinterpret_cast<char*>(&width), sizeof(width));
   in.read(reinterpret_cast<char*>(&height), sizeof(height));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path + "' is not a SLDM file");
+    return Status::InvalidArgument(Label(name) + " is not a SLDM file");
   }
   if (version != kVersion) {
     return Status::InvalidArgument(
-        StringPrintf("unsupported SLDM version %u", version));
+        StringPrintf("unsupported SLDM version %u in ", version) +
+        Label(name));
   }
-  if (width <= 0 || height <= 0 || width > (1 << 20) || height > (1 << 20)) {
-    return Status::InvalidArgument(
-        StringPrintf("implausible SLDM dimensions %dx%d", width, height));
+  // All header validation happens BEFORE the raster allocation. The
+  // product cap is the load-bearing one: per-axis caps alone admit
+  // 2^20 x 2^20 = 8 TiB of doubles from a 16-byte header.
+  SLAM_RETURN_NOT_OK(CheckGridDims(width, height));
+  if (width > limits.max_dim || height > limits.max_dim) {
+    return Status::InvalidArgument(StringPrintf(
+        "SLDM dimensions %dx%d exceed the caller's %d per-axis cap", width,
+        height, limits.max_dim));
+  }
+  const int64_t cells = static_cast<int64_t>(width) * height;
+  if (cells > limits.max_cells) {
+    return Status::InvalidArgument(StringPrintf(
+        "SLDM raster of %lld cells exceeds the caller's %lld-cell cap",
+        static_cast<long long>(cells),
+        static_cast<long long>(limits.max_cells)));
   }
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(width, height));
-  in.read(reinterpret_cast<char*>(map.mutable_values().data()),
-          static_cast<std::streamsize>(map.mutable_values().size() *
-                                       sizeof(double)));
-  if (!in || in.gcount() != static_cast<std::streamsize>(
-                                map.mutable_values().size() * sizeof(double))) {
-    return Status::IoError("'" + path + "' truncated");
+  // Row-sized reads: a truncated file fails on its first short row with
+  // the row index in the message instead of a single opaque "truncated".
+  const size_t row_bytes = static_cast<size_t>(width) * sizeof(double);
+  for (int32_t y = 0; y < height; ++y) {
+    char* row = reinterpret_cast<char*>(map.mutable_values().data()) +
+                static_cast<size_t>(y) * row_bytes;
+    in.read(row, static_cast<std::streamsize>(row_bytes));
+    if (!in || in.gcount() != static_cast<std::streamsize>(row_bytes)) {
+      return Status::IoError(
+          StringPrintf("%s truncated: row %d of %d incomplete",
+                       Label(name).c_str(), y, height));
+    }
+  }
+  // Trailing garbage after the payload is rejected too: a correct writer
+  // never produces it, so its presence means the header lies about the
+  // dimensions (the classic length-confusion smuggle).
+  char extra;
+  if (in.read(&extra, 1) && in.gcount() == 1) {
+    return Status::InvalidArgument(
+        Label(name) + " has trailing bytes after the declared raster");
+  }
+  if (limits.require_finite) {
+    const auto& values = map.values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!std::isfinite(values[i])) {
+        return Status::InvalidArgument(StringPrintf(
+            "%s contains a non-finite density (%g) at cell %zu",
+            Label(name).c_str(), values[i], i));
+      }
+    }
   }
   return map;
 }

@@ -1,18 +1,48 @@
 // DensityMap persistence: a small binary format ("SLDM") for exact
 // round-trips between runs, and CSV export for plotting pipelines.
+//
+// The load path is hardened for untrusted files: the header's dimensions
+// go through the shared validation layer (util/validate.h), the
+// width*height product is capped BEFORE any allocation (per-axis caps
+// alone would let a 16-byte header demand an 8 TiB raster), the payload
+// length must match the header exactly, and non-finite density values are
+// rejected so a crafted map cannot smuggle NaN into downstream sums.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "kdv/density_map.h"
 #include "util/result.h"
+#include "util/validate.h"
 
 namespace slam {
+
+/// Caps for loading an untrusted SLDM stream. Defaults come from the
+/// shared InputLimits; surfaces with tighter budgets (fuzzers, request
+/// handlers) pass smaller ones.
+struct DensityIoLimits {
+  int max_dim = InputLimits::kMaxGridDim;
+  int64_t max_cells = InputLimits::kMaxGridCells;
+  /// Reject NaN/Inf payload values. On by default: a density is a finite
+  /// sum of finite kernel values, so a non-finite cell is corruption.
+  bool require_finite = true;
+};
 
 /// Binary format: magic "SLDM", uint32 version, int32 width, int32 height,
 /// then width*height little-endian doubles, row-major. Exact round-trip.
 Status SaveDensityMap(const DensityMap& map, const std::string& path);
 Result<DensityMap> LoadDensityMap(const std::string& path);
+Result<DensityMap> LoadDensityMap(const std::string& path,
+                                  const DensityIoLimits& limits);
+
+/// Stream-based core of the loader — the entry point the fuzz target
+/// drives and what a network tile path would call. `name` labels errors.
+Result<DensityMap> LoadDensityMapStream(std::istream& in,
+                                        std::string_view name,
+                                        const DensityIoLimits& limits = {});
 
 /// CSV with a "x,y,density" header and one row per pixel (raster
 /// coordinates). Lossy at %.17g only by textual round-trip, i.e. exact for

@@ -4,32 +4,43 @@
 #include <cmath>
 
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace slam {
 
+namespace {
+
+/// The per-point acceptance test shared by ValidateTask (reject) and
+/// CopyFinitePoints (drop): finite AND within the shared magnitude cap.
+/// The cap closes the finite-but-huge hole — a 1e300 coordinate passes
+/// std::isfinite yet overflows the fourth-power aggregate moments, turning
+/// the closed-form sweep into NaN with no error anywhere.
+bool PointAcceptable(const Point& p) {
+  return CheckCoordinate(p.x, "x").ok() && CheckCoordinate(p.y, "y").ok();
+}
+
+}  // namespace
+
 Status ValidateTask(const KdvTask& task) {
-  if (task.grid.width() <= 0 || task.grid.height() <= 0) {
-    return Status::InvalidArgument("task grid is empty");
-  }
+  SLAM_RETURN_NOT_OK(CheckGridDims(task.grid.width(), task.grid.height()));
   if (!(task.grid.x_axis().gap > 0.0) || !(task.grid.y_axis().gap > 0.0)) {
     return Status::InvalidArgument("task grid gaps must be positive");
   }
-  if (!(task.bandwidth > 0.0) || !std::isfinite(task.bandwidth)) {
-    return Status::InvalidArgument(StringPrintf(
-        "bandwidth must be positive and finite, got %g", task.bandwidth));
-  }
-  if (!(task.weight > 0.0) || !std::isfinite(task.weight)) {
-    return Status::InvalidArgument(StringPrintf(
-        "normalization weight must be positive and finite, got %g",
-        task.weight));
-  }
+  SLAM_RETURN_NOT_OK(CheckCoordinate(task.grid.x_axis().origin,
+                                     "grid x origin"));
+  SLAM_RETURN_NOT_OK(CheckCoordinate(task.grid.y_axis().origin,
+                                     "grid y origin"));
+  SLAM_RETURN_NOT_OK(CheckPositiveNormal(task.bandwidth, "bandwidth"));
+  SLAM_RETURN_NOT_OK(
+      CheckPositiveNormal(task.weight, "normalization weight"));
   for (size_t i = 0; i < task.points.size(); ++i) {
     const Point& p = task.points[i];
-    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    if (!PointAcceptable(p)) {
       return Status::InvalidArgument(StringPrintf(
-          "point %zu has non-finite coordinates (%g, %g); enable "
-          "EngineOptions::sanitize to drop such points",
-          i, p.x, p.y));
+          "point %zu has non-finite or out-of-range coordinates (%g, %g); "
+          "the magnitude cap is %g; enable EngineOptions::sanitize to drop "
+          "such points",
+          i, p.x, p.y, InputLimits::kMaxCoordinateMagnitude));
     }
   }
   return Status::OK();
@@ -40,7 +51,7 @@ size_t CopyFinitePoints(std::span<const Point> points,
   out->clear();
   out->reserve(points.size());
   for (const Point& p : points) {
-    if (std::isfinite(p.x) && std::isfinite(p.y)) out->push_back(p);
+    if (PointAcceptable(p)) out->push_back(p);
   }
   return points.size() - out->size();
 }

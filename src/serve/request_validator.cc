@@ -1,0 +1,184 @@
+#include "serve/request_validator.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "serve/resilient_render.h"
+#include "util/string_util.h"
+#include "util/validate.h"
+
+namespace slam {
+
+namespace {
+
+bool MethodRequiresSlamKernel(Method method) {
+  switch (method) {
+    case Method::kSlamSort:
+    case Method::kSlamBucket:
+    case Method::kSlamSortRao:
+    case Method::kSlamBucketRao:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status CheckKernelMethodPair(KernelType kernel, Method method) {
+  if (MethodRequiresSlamKernel(method) && !KernelSupportedBySlam(kernel)) {
+    return Status::InvalidArgument(StringPrintf(
+        "method %s has no sweep-line decomposition for kernel %s",
+        std::string(MethodName(method)).c_str(),
+        std::string(KernelTypeName(kernel)).c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckDeadlineSeconds(double deadline_seconds) {
+  // NaN is the dangerous case: `NaN > 0` is false, so an unvalidated NaN
+  // deadline would silently disable the deadline instead of erroring.
+  SLAM_RETURN_NOT_OK(CheckFinite(deadline_seconds, "deadline"));
+  if (deadline_seconds > InputLimits::kMaxDeadlineSeconds) {
+    return Status::InvalidArgument(StringPrintf(
+        "deadline %g s exceeds the %g s cap", deadline_seconds,
+        InputLimits::kMaxDeadlineSeconds));
+  }
+  return Status::OK();
+}
+
+Result<double> ParseParamDouble(std::string_view key, std::string_view value) {
+  const auto parsed = ParseDouble(value);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StringPrintf("parameter '%.*s': ", static_cast<int>(key.size()),
+                     key.data()) +
+        parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<int> ParseParamDim(std::string_view key, std::string_view value) {
+  const auto parsed = ParseInt64(value);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StringPrintf("parameter '%.*s': ", static_cast<int>(key.size()),
+                     key.data()) +
+        parsed.status().message());
+  }
+  if (*parsed < 1 || *parsed > InputLimits::kMaxGridDim) {
+    return Status::InvalidArgument(StringPrintf(
+        "parameter '%.*s': %lld outside [1, %d]",
+        static_cast<int>(key.size()), key.data(),
+        static_cast<long long>(*parsed), InputLimits::kMaxGridDim));
+  }
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace
+
+Result<RenderParamSet> DecodeRenderParams(std::string_view query) {
+  RenderParamSet params;
+  if (query.empty()) return params;
+  std::set<std::string, std::less<>> seen;
+  for (const std::string_view pair : Split(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "malformed parameter '" + std::string(pair) +
+          "': expected key=value");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key.empty()) {
+      return Status::InvalidArgument("empty parameter key");
+    }
+    if (value.empty()) {
+      return Status::InvalidArgument("parameter '" + std::string(key) +
+                                     "' has an empty value");
+    }
+    if (!seen.insert(std::string(key)).second) {
+      return Status::InvalidArgument("duplicate parameter '" +
+                                     std::string(key) + "'");
+    }
+    if (key == "width") {
+      SLAM_ASSIGN_OR_RETURN(params.width, ParseParamDim(key, value));
+    } else if (key == "height") {
+      SLAM_ASSIGN_OR_RETURN(params.height, ParseParamDim(key, value));
+    } else if (key == "bandwidth") {
+      SLAM_ASSIGN_OR_RETURN(const double b, ParseParamDouble(key, value));
+      params.bandwidth = b;
+    } else if (key == "kernel") {
+      SLAM_ASSIGN_OR_RETURN(params.kernel, KernelTypeFromName(value));
+    } else if (key == "method") {
+      SLAM_ASSIGN_OR_RETURN(params.method, MethodFromName(value));
+    } else if (key == "deadline_ms") {
+      SLAM_ASSIGN_OR_RETURN(const double ms, ParseParamDouble(key, value));
+      params.deadline_seconds = ms / 1000.0;
+    } else if (key == "xmin") {
+      SLAM_ASSIGN_OR_RETURN(const double v, ParseParamDouble(key, value));
+      params.min_x = v;
+    } else if (key == "xmax") {
+      SLAM_ASSIGN_OR_RETURN(const double v, ParseParamDouble(key, value));
+      params.max_x = v;
+    } else if (key == "ymin") {
+      SLAM_ASSIGN_OR_RETURN(const double v, ParseParamDouble(key, value));
+      params.min_y = v;
+    } else if (key == "ymax") {
+      SLAM_ASSIGN_OR_RETURN(const double v, ParseParamDouble(key, value));
+      params.max_y = v;
+    } else {
+      return Status::InvalidArgument("unknown parameter '" +
+                                     std::string(key) + "'");
+    }
+  }
+  SLAM_RETURN_NOT_OK(ValidateRenderParams(params));
+  return params;
+}
+
+Status ValidateRenderParams(const RenderParamSet& params) {
+  SLAM_RETURN_NOT_OK(CheckGridDims(params.width, params.height));
+  if (params.bandwidth.has_value()) {
+    SLAM_RETURN_NOT_OK(CheckBandwidth(*params.bandwidth));
+  }
+  if (params.deadline_seconds < 0.0) {
+    return Status::InvalidArgument(StringPrintf(
+        "deadline %g s must be non-negative", params.deadline_seconds));
+  }
+  SLAM_RETURN_NOT_OK(CheckDeadlineSeconds(params.deadline_seconds));
+  const int region_fields =
+      static_cast<int>(params.min_x.has_value()) +
+      static_cast<int>(params.max_x.has_value()) +
+      static_cast<int>(params.min_y.has_value()) +
+      static_cast<int>(params.max_y.has_value());
+  if (region_fields != 0 && region_fields != 4) {
+    return Status::InvalidArgument(
+        "viewport requires all four of xmin, xmax, ymin, ymax");
+  }
+  if (params.has_region()) {
+    SLAM_RETURN_NOT_OK(CheckRegion(*params.min_x, *params.min_y,
+                                   *params.max_x, *params.max_y));
+  }
+  return CheckKernelMethodPair(params.kernel, params.method);
+}
+
+Status ValidateServingOptions(const ServingOptions& options) {
+  SLAM_RETURN_NOT_OK(CheckGridDims(options.width_px, options.height_px));
+  if (options.bandwidth.has_value()) {
+    SLAM_RETURN_NOT_OK(CheckBandwidth(*options.bandwidth));
+  }
+  if (options.max_halvings < 0) {
+    return Status::InvalidArgument("serving max_halvings must be >= 0");
+  }
+  SLAM_RETURN_NOT_OK(ValidateRetryOptions(options.retry));
+  return CheckKernelMethodPair(options.kernel, options.method);
+}
+
+Status ValidateRenderRequest(const RenderRequest& request) {
+  // Finite non-positive budgets are legal (they mean "no deadline",
+  // matching the RenderRequest contract); NaN/Inf are not — see
+  // CheckDeadlineSeconds.
+  SLAM_RETURN_NOT_OK(CheckDeadlineSeconds(request.deadline_seconds));
+  return Status::OK();
+}
+
+}  // namespace slam

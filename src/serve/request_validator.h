@@ -1,0 +1,76 @@
+// Request-side validation for the serving path: the single place where
+// untrusted render parameters — whether they arrive as a query string, CLI
+// flags, or a programmatic struct — are decoded and checked before they
+// reach ServingCore.
+//
+// Two layers:
+//   * DecodeRenderParams: a strict "key=value&key=value" decoder. Unknown
+//     keys, duplicate keys, empty keys/values and malformed numbers are
+//     all typed InvalidArgument errors — nothing is silently ignored, so a
+//     typo'd "bandwith=0.5" cannot fall back to a default the caller did
+//     not choose.
+//   * ValidateRenderParams / ValidateServingOptions / ValidateRenderRequest:
+//     semantic checks through the shared validation layer (util/validate.h)
+//     so the serving path rejects exactly the same hostile values as the
+//     loaders and the CLI.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "kdv/engine.h"
+#include "kdv/kernel.h"
+#include "serve/serving_core.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// Decoded render parameters. Defaults mirror ServingOptions so an empty
+/// query renders the core's configured view.
+struct RenderParamSet {
+  int width = 512;
+  int height = 512;
+  /// Unset = the core's bandwidth (Scott's rule at Create()).
+  std::optional<double> bandwidth;
+  KernelType kernel = KernelType::kEpanechnikov;
+  Method method = Method::kSlamBucketRao;
+  /// 0 = no deadline. Decoded from "deadline_ms".
+  double deadline_seconds = 0.0;
+  /// Optional explicit viewport; all four present or all four absent.
+  std::optional<double> min_x;
+  std::optional<double> max_x;
+  std::optional<double> min_y;
+  std::optional<double> max_y;
+
+  bool has_region() const {
+    return min_x.has_value() && max_x.has_value() && min_y.has_value() &&
+           max_y.has_value();
+  }
+};
+
+/// Parses "key=value&key=value" with keys: width, height, bandwidth,
+/// kernel, method, deadline_ms, xmin, xmax, ymin, ymax. Strict: unknown or
+/// duplicate keys, empty keys/values, malformed numbers, and values that
+/// fail ValidateRenderParams all return InvalidArgument. An empty query
+/// yields the defaults. The returned set has already passed
+/// ValidateRenderParams.
+Result<RenderParamSet> DecodeRenderParams(std::string_view query);
+
+/// Semantic validation of an already-decoded parameter set: grid dims
+/// through CheckGridDims, bandwidth through CheckBandwidth, deadline
+/// finite and within InputLimits::kMaxDeadlineSeconds, region (if any)
+/// complete and ordered, and the kernel/method pairing renderable (SLAM
+/// methods reject the Gaussian kernel at validation time, not deep inside
+/// the engine).
+Status ValidateRenderParams(const RenderParamSet& params);
+
+/// Validation of the operator-supplied serving configuration; called by
+/// ServingCore::Create before any allocation.
+Status ValidateServingOptions(const ServingOptions& options);
+
+/// Per-request validation; called by ServingCore::Handle before admission.
+/// Rejects NaN/Inf deadlines (NaN would silently disable the deadline via
+/// a failed `> 0` comparison) and deadlines beyond the shared cap.
+Status ValidateRenderRequest(const RenderRequest& request);
+
+}  // namespace slam

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "kdv/bandwidth.h"
+#include "serve/request_validator.h"
 
 namespace slam {
 
@@ -24,18 +25,11 @@ Result<std::unique_ptr<ServingCore>> ServingCore::Create(
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot serve an empty dataset");
   }
-  if (options.width_px <= 0 || options.height_px <= 0) {
-    return Status::InvalidArgument("serving resolution must be positive");
-  }
-  if (options.max_halvings < 0) {
-    return Status::InvalidArgument("serving max_halvings must be >= 0");
-  }
-  SLAM_RETURN_NOT_OK(ValidateRetryOptions(options.retry));
+  // All option-group checks live in the shared request validator so the
+  // serving configuration is held to the same standard as a decoded query.
+  SLAM_RETURN_NOT_OK(ValidateServingOptions(options));
   double bandwidth;
   if (options.bandwidth) {
-    if (!(*options.bandwidth > 0.0)) {
-      return Status::InvalidArgument("serving bandwidth must be positive");
-    }
     bandwidth = *options.bandwidth;
   } else {
     SLAM_ASSIGN_OR_RETURN(bandwidth, ScottBandwidth(dataset.coords()));
@@ -64,6 +58,13 @@ ServingCore::ServingCore(PointDataset dataset, const ServingOptions& options,
 
 Result<RenderResponse> ServingCore::Handle(const RenderRequest& request) {
   n_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Reject hostile requests before they touch admission: a NaN deadline
+  // would otherwise fail the `> 0` test below and silently run unbounded.
+  const Status request_valid = ValidateRenderRequest(request);
+  if (!request_valid.ok()) {
+    n_failed_.fetch_add(1, std::memory_order_relaxed);
+    return request_valid;
+  }
   const Timer request_timer;
 
   // The request deadline lives on this stack frame for the whole pipeline:

@@ -3,15 +3,54 @@
 #include <istream>
 #include <ostream>
 
+#include "util/string_util.h"
+
 namespace slam {
 
+namespace {
+
+/// Prefixes a status message with the record's 1-based line number so a
+/// rejected upload points at the offending line, not just "bad CSV".
+Status AtLine(int64_t line, const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                StringPrintf("line %lld: ", static_cast<long long>(line)) +
+                    status.message());
+}
+
+}  // namespace
+
 Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
-                                                char delimiter) {
+                                                const CsvOptions& options) {
+  if (line.size() > options.max_record_bytes) {
+    return Status::InvalidArgument(
+        StringPrintf("record of %zu bytes exceeds the %zu-byte cap",
+                     line.size(), options.max_record_bytes));
+  }
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  const auto check_field = [&]() -> Status {
+    if (current.size() > options.max_field_bytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "field %zu of %zu bytes exceeds the %zu-byte cap",
+          fields.size() + 1, current.size(), options.max_field_bytes));
+    }
+    if (fields.size() + 1 > options.max_fields) {
+      return Status::InvalidArgument(
+          StringPrintf("record exceeds the %zu-field cap",
+                       options.max_fields));
+    }
+    return Status::OK();
+  };
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
+    if (c == '\0') {
+      // Never data in a text export; truncates any downstream C-string
+      // handling, so reject instead of passing it through.
+      return Status::InvalidArgument(
+          StringPrintf("embedded NUL byte at offset %zu", i));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -30,21 +69,36 @@ Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
               "quote in the middle of an unquoted CSV field");
         }
         in_quotes = true;
-      } else if (c == delimiter) {
+      } else if (c == options.delimiter) {
+        SLAM_RETURN_NOT_OK(check_field());
         fields.push_back(std::move(current));
         current.clear();
       } else if (c == '\r' && i + 1 == line.size()) {
-        // Tolerate CRLF endings.
+        // Tolerate CRLF endings (getline strips only the '\n').
       } else {
         current.push_back(c);
       }
     }
+    if (current.size() > options.max_field_bytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "field %zu exceeds the %zu-byte cap", fields.size() + 1,
+          options.max_field_bytes));
+    }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted CSV field");
+    return Status::InvalidArgument(
+        "unterminated quoted CSV field (truncated record?)");
   }
+  SLAM_RETURN_NOT_OK(check_field());
   fields.push_back(std::move(current));
   return fields;
+}
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                char delimiter) {
+  CsvOptions options;
+  options.delimiter = delimiter;
+  return ParseCsvRecord(line, options);
 }
 
 Status ReadCsvStream(
@@ -53,19 +107,44 @@ Status ReadCsvStream(
     const std::function<Status(int64_t, const std::vector<std::string>&)>&
         row_fn) {
   std::string line;
-  int64_t row_index = 0;
+  int64_t line_number = 0;
+  bool first_record = true;
   bool saw_header = !options.has_header;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    SLAM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                          ParseCsvRecord(line, options.delimiter));
+    ++line_number;
+    // A record longer than the cap is rejected before parsing: getline has
+    // already buffered it, but refusing here keeps the per-record work (and
+    // the field vector) bounded.
+    if (line.size() > options.max_record_bytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %lld: record of %zu bytes exceeds the %zu-byte cap",
+          static_cast<long long>(line_number), line.size(),
+          options.max_record_bytes));
+    }
+    std::string_view record = line;
+    if (first_record) {
+      first_record = false;
+      // Strip a UTF-8 byte-order mark: spreadsheet exports routinely lead
+      // with one, and without stripping it the first header name is
+      // "\xEF\xBB\xBFx", which silently fails the x/y column match.
+      if (record.size() >= 3 && record.substr(0, 3) == "\xEF\xBB\xBF") {
+        record.remove_prefix(3);
+      }
+    }
+    if (record.empty() || record == "\r") continue;
+    auto parsed = ParseCsvRecord(record, options);
+    if (!parsed.ok()) return AtLine(line_number, parsed.status());
     if (!saw_header) {
       saw_header = true;
-      if (header_fn) SLAM_RETURN_NOT_OK(header_fn(fields));
+      if (header_fn) {
+        SLAM_RETURN_NOT_OK(AtLine(line_number, header_fn(*parsed)));
+      }
       continue;
     }
-    SLAM_RETURN_NOT_OK(row_fn(row_index, fields));
-    ++row_index;
+    SLAM_RETURN_NOT_OK(row_fn(line_number, *parsed));
+  }
+  if (in.bad()) {
+    return Status::IoError("read error while streaming CSV");
   }
   return Status::OK();
 }

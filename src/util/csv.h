@@ -1,6 +1,10 @@
-// Minimal streaming CSV reader/writer. Supports quoted fields with embedded
-// delimiters and escaped quotes ("" inside a quoted field), which is enough
-// for the municipal open-data exports the paper's datasets come from.
+// Minimal streaming CSV reader/writer, hardened for untrusted input.
+// Supports quoted fields with embedded delimiters and escaped quotes
+// ("" inside a quoted field), which is enough for the municipal open-data
+// exports the paper's datasets come from — plus the hostile variants a
+// public upload endpoint sees: UTF-8 BOMs, CRLF endings, embedded NUL
+// bytes, and overlong fields/records crafted to exhaust memory. Every
+// rejection carries the 1-based line number of the offending record.
 #pragma once
 
 #include <functional>
@@ -9,22 +13,40 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/validate.h"
 
 namespace slam {
 
 struct CsvOptions {
   char delimiter = ',';
   bool has_header = true;
+  /// Hard caps on untrusted input; exceeding one is an InvalidArgument
+  /// (never a silent truncation). Defaults come from the shared
+  /// InputLimits so every CSV surface agrees.
+  size_t max_field_bytes = InputLimits::kMaxCsvFieldBytes;
+  size_t max_record_bytes = InputLimits::kMaxCsvRecordBytes;
+  size_t max_fields = InputLimits::kMaxCsvFieldsPerRecord;
 };
 
 /// Parses one CSV record (already split from the stream on record
-/// boundaries) into fields, honoring quotes. Exposed for testing.
+/// boundaries) into fields, honoring quotes and enforcing the options'
+/// field/record caps. Embedded NUL bytes are rejected — they are never
+/// data in a text export, and letting them through truncates downstream
+/// C-string handling. Exposed for testing and fuzzing.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
+                                                const CsvOptions& options);
+/// Back-compat overload with default limits.
 Result<std::vector<std::string>> ParseCsvRecord(std::string_view line,
                                                 char delimiter);
 
-/// Reads `in` record by record, calling `row_fn(row_index, fields)` for each
-/// data row. If options.has_header, the first record is delivered through
-/// `header_fn` instead (may be nullptr to ignore).
+/// Reads `in` record by record, calling `row_fn(line, fields)` for each
+/// data row, where `line` is the record's 1-based physical line number in
+/// the stream (blank lines are skipped but still counted, so the number
+/// matches what an editor shows). If options.has_header, the first
+/// non-blank record is delivered through `header_fn` instead (may be
+/// nullptr to ignore). A UTF-8 byte-order mark at the start of the stream
+/// is stripped. Parse failures are returned with the line number
+/// prepended.
 Status ReadCsvStream(
     std::istream& in, const CsvOptions& options,
     const std::function<Status(const std::vector<std::string>&)>& header_fn,

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace slam {
 namespace {
@@ -121,6 +123,57 @@ TEST_F(CsvIoTest, SanitizeStillRejectsUnparsableRows) {
   options.sanitize = true;
   // Sanitize drops non-finite values, not syntax errors.
   EXPECT_FALSE(LoadDatasetCsv(path, options).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, FiniteButHugeCoordinateRejected) {
+  // 1e300 passes std::isfinite but overflows fourth-power aggregate
+  // moments; the shared magnitude cap rejects it with the line number.
+  const std::string path = TempPath("huge.csv");
+  WriteFile(path, "x,y\n1,2\n1e300,0\n");
+  const auto result = LoadDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, MaxRowsCapReturnsResourceExhausted) {
+  const std::string path = TempPath("rows.csv");
+  WriteFile(path, "x,y\n1,1\n2,2\n3,3\n");
+  CsvLoadOptions options;
+  options.max_rows = 2;
+  const auto result = LoadDatasetCsv(path, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvIoTest, StreamLoaderMatchesFileLoader) {
+  std::istringstream in("x,y,time,category\n1.5,2.5,7,3\n");
+  const auto ds = LoadDatasetCsvStream(in, "inline", CsvLoadOptions{});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->size(), 1u);
+  EXPECT_EQ(ds->coord(0), (Point{1.5, 2.5}));
+  EXPECT_EQ(ds->event_time(0), 7);
+  EXPECT_EQ(ds->category(0), 3);
+  EXPECT_EQ(ds->name(), "inline");
+}
+
+TEST_F(CsvIoTest, NegativeZeroCanonicalizedOnLoad) {
+  std::istringstream in("x,y\n-0.0,1\n");
+  const auto ds = LoadDatasetCsvStream(in, "negzero", CsvLoadOptions{});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(std::signbit(ds->coord(0).x));
+}
+
+TEST_F(CsvIoTest, CategoryOutsideInt32Rejected) {
+  const std::string path = TempPath("cat.csv");
+  WriteFile(path, "x,y,category\n1,2,99999999999\n");
+  const auto result = LoadDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
   std::remove(path.c_str());
 }
 

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 namespace slam {
 namespace {
@@ -63,6 +67,82 @@ TEST(DensityIoTest, RejectsTruncatedPayload) {
   std::ofstream(path, std::ios::binary) << data;
   EXPECT_FALSE(LoadDensityMap(path).ok());
   std::remove(path.c_str());
+}
+
+// Builds an SLDM byte image with an arbitrary (possibly hostile) header.
+std::string SldmBytes(int32_t width, int32_t height,
+                      const std::vector<double>& values) {
+  std::string bytes = "SLDM";
+  const uint32_t version = 1;
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&width), sizeof(width));
+  bytes.append(reinterpret_cast<const char*>(&height), sizeof(height));
+  bytes.append(reinterpret_cast<const char*>(values.data()),
+               values.size() * sizeof(double));
+  return bytes;
+}
+
+TEST(DensityIoTest, HostileHugeDimsRejectedBeforeAllocation) {
+  // 2^20 x 2^20 passes both per-axis caps but would be an 8 TiB raster;
+  // the product cap must fire before any allocation happens.
+  std::istringstream in(SldmBytes(1 << 20, 1 << 20, {}));
+  const auto result = LoadDensityMapStream(in, "hostile");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("cell"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(DensityIoTest, NegativeDimsRejected) {
+  std::istringstream in(SldmBytes(-3, 5, {}));
+  const auto result = LoadDensityMapStream(in, "neg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DensityIoTest, TruncationErrorNamesTheRow) {
+  // Header says 4x4 but only one full row follows.
+  std::istringstream in(SldmBytes(4, 4, {1.0, 2.0, 3.0, 4.0, 5.0}));
+  const auto result = LoadDensityMapStream(in, "trunc");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+  EXPECT_NE(result.status().message().find("row 1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(DensityIoTest, TrailingBytesRejected) {
+  std::istringstream in(SldmBytes(2, 1, {1.0, 2.0}) + "XX");
+  const auto result = LoadDensityMapStream(in, "trailing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(DensityIoTest, NanCellRejectedByDefaultButLoadableIfAsked) {
+  const std::string bytes =
+      SldmBytes(2, 2, {1.0, std::nan(""), 2.0, 3.0});
+  {
+    std::istringstream in(bytes);
+    const auto result = LoadDensityMapStream(in, "nan");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("non-finite"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in(bytes);
+    DensityIoLimits limits;
+    limits.require_finite = false;
+    EXPECT_TRUE(LoadDensityMapStream(in, "nan", limits).ok());
+  }
+}
+
+TEST(DensityIoTest, CallerCapsTighterThanGlobalApply) {
+  std::istringstream in(SldmBytes(64, 1, std::vector<double>(64, 1.0)));
+  DensityIoLimits limits;
+  limits.max_dim = 32;
+  const auto result = LoadDensityMapStream(in, "capped", limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
 TEST(DensityIoTest, CsvExportHasHeaderAndAllPixels) {

@@ -1,0 +1,122 @@
+// Edge cases at the deadline/admission boundary: exactly-expired deadlines
+// on arrival, Deadline::Unlimited flowing through feasibility shedding,
+// zero-capacity token buckets, and hostile deadlines through the full
+// ServingCore pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serve/serving_core.h"
+#include "util/admission.h"
+#include "util/timer.h"
+
+namespace slam {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(DeadlineEdgeTest, ZeroBudgetExpiresOnArrival) {
+  auto admission = *AdmissionController::Create(AdmissionOptions{});
+  const Deadline expired(0.0);
+  const Status st = admission->Admit(&expired);
+  ASSERT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_NE(st.message().find("on arrival"), std::string::npos);
+  EXPECT_EQ(admission->stats().expired_in_queue, 1);
+  EXPECT_EQ(admission->Executing(), 0);  // no slot leaked
+}
+
+TEST(DeadlineEdgeTest, NegativeBudgetExpiresOnArrival) {
+  auto admission = *AdmissionController::Create(AdmissionOptions{});
+  const Deadline expired(-3.0);
+  EXPECT_TRUE(admission->Admit(&expired).IsDeadlineExceeded());
+}
+
+TEST(DeadlineEdgeTest, UnlimitedDeadlineIsNeverInfeasiblyShed) {
+  // Seed the latency EWMA sky-high: any finite deadline shorter than an
+  // hour would be shed as infeasible...
+  AdmissionOptions options;
+  options.initial_latency_seconds = 3600.0;
+  auto admission = *AdmissionController::Create(options);
+  const Deadline tight(1.0);
+  EXPECT_TRUE(admission->Admit(&tight).IsResourceExhausted());
+  // ...but Unlimited (infinite budget) means "no deadline", and a request
+  // without a deadline is always feasible.
+  const Deadline unlimited = Deadline::Unlimited();
+  const Status st = admission->Admit(&unlimited);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  admission->Release(-1.0);
+  // A null deadline behaves identically.
+  ASSERT_TRUE(admission->Admit(nullptr).ok());
+  admission->Release(-1.0);
+  EXPECT_EQ(admission->stats().shed_infeasible, 1);
+}
+
+TEST(DeadlineEdgeTest, ZeroBurstTokenBucketRejectedAtCreate) {
+  // burst = 0 with rate limiting on would deadlock every request: the
+  // bucket can never hold the 1 token an admit spends. Must be a Create
+  // error, not a hang.
+  AdmissionOptions options;
+  options.tokens_per_second = 10.0;
+  options.burst = 0.0;
+  const auto result = AdmissionController::Create(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // burst = 0 with the bucket DISABLED is fine (the field is unused).
+  options.tokens_per_second = 0.0;
+  EXPECT_TRUE(AdmissionController::Create(options).ok());
+}
+
+class ServingDeadlineEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PointDataset dataset("edge");
+    for (int i = 0; i < 32; ++i) {
+      dataset.Add({static_cast<double>(i % 8), static_cast<double>(i / 8)});
+    }
+    ServingOptions options;
+    options.width_px = 16;
+    options.height_px = 16;
+    core_ = *ServingCore::Create(std::move(dataset), options);
+  }
+
+  std::unique_ptr<ServingCore> core_;
+};
+
+TEST_F(ServingDeadlineEdgeTest, NanDeadlineRejectedBeforeAdmission) {
+  RenderRequest request;
+  request.deadline_seconds = kNan;
+  const auto result = core_->Handle(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // The request was never admitted: no slot leaked, nothing shed.
+  EXPECT_EQ(core_->admission_stats().admitted, 0);
+  const ServingStats stats = core_->stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.shed, 0);
+}
+
+TEST_F(ServingDeadlineEdgeTest, ZeroDeadlineMeansNoDeadlineInServing) {
+  // Per the RenderRequest contract <= 0 means "no deadline" at the serving
+  // layer (unlike a raw Deadline object, where 0 = already expired).
+  RenderRequest request;
+  request.deadline_seconds = 0.0;
+  const auto result = core_->Handle(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fidelity, Fidelity::kFull);
+}
+
+TEST_F(ServingDeadlineEdgeTest, ExpiredDeadlineCountedAsDeadlineExceeded) {
+  RenderRequest request;
+  request.deadline_seconds = 1e-9;  // expires before admission can win
+  const auto result = core_->Handle(request);
+  if (!result.ok()) {
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << result.status().ToString();
+    EXPECT_EQ(core_->stats().deadline_exceeded, 1);
+  }
+}
+
+}  // namespace
+}  // namespace slam

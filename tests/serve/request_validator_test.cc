@@ -1,0 +1,186 @@
+#include "serve/request_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/validate.h"
+
+namespace slam {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---- DecodeRenderParams: the strict query decoder ----
+
+TEST(DecodeRenderParamsTest, EmptyQueryYieldsDefaults) {
+  const auto params = DecodeRenderParams("");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->width, 512);
+  EXPECT_EQ(params->height, 512);
+  EXPECT_FALSE(params->bandwidth.has_value());
+  EXPECT_EQ(params->deadline_seconds, 0.0);
+  EXPECT_FALSE(params->has_region());
+}
+
+TEST(DecodeRenderParamsTest, FullQueryDecodes) {
+  const auto params = DecodeRenderParams(
+      "width=640&height=480&bandwidth=2.5&kernel=epanechnikov"
+      "&method=SLAM_BUCKET_RAO&deadline_ms=250"
+      "&xmin=-10&xmax=10&ymin=0&ymax=5");
+  ASSERT_TRUE(params.ok()) << params.status().ToString();
+  EXPECT_EQ(params->width, 640);
+  EXPECT_EQ(params->height, 480);
+  ASSERT_TRUE(params->bandwidth.has_value());
+  EXPECT_EQ(*params->bandwidth, 2.5);
+  EXPECT_EQ(params->kernel, KernelType::kEpanechnikov);
+  EXPECT_EQ(params->method, Method::kSlamBucketRao);
+  EXPECT_DOUBLE_EQ(params->deadline_seconds, 0.25);
+  ASSERT_TRUE(params->has_region());
+  EXPECT_EQ(*params->min_x, -10.0);
+  EXPECT_EQ(*params->max_y, 5.0);
+}
+
+TEST(DecodeRenderParamsTest, UnknownKeyRejected) {
+  const auto result = DecodeRenderParams("bandwith=0.5");  // typo
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("bandwith"), std::string::npos);
+}
+
+TEST(DecodeRenderParamsTest, DuplicateKeyRejected) {
+  EXPECT_FALSE(DecodeRenderParams("width=10&width=20").ok());
+}
+
+TEST(DecodeRenderParamsTest, MalformedPairsRejected) {
+  EXPECT_FALSE(DecodeRenderParams("width").ok());       // no '='
+  EXPECT_FALSE(DecodeRenderParams("=5").ok());          // empty key
+  EXPECT_FALSE(DecodeRenderParams("width=").ok());      // empty value
+  EXPECT_FALSE(DecodeRenderParams("width=abc").ok());   // not a number
+}
+
+TEST(DecodeRenderParamsTest, OverflowDimensionsRejected) {
+  EXPECT_FALSE(DecodeRenderParams("width=99999999999").ok());
+  EXPECT_FALSE(DecodeRenderParams("width=2147483647").ok());  // 2^31-1
+  EXPECT_FALSE(DecodeRenderParams("width=0").ok());
+  EXPECT_FALSE(DecodeRenderParams("width=-64").ok());
+}
+
+TEST(DecodeRenderParamsTest, ProductOverflowRejected) {
+  // Each axis under the per-axis cap; the product exceeds kMaxGridCells.
+  EXPECT_FALSE(DecodeRenderParams("width=1048576&height=1048576").ok());
+}
+
+TEST(DecodeRenderParamsTest, HostileBandwidthRejected) {
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=0").ok());
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=-1").ok());
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=nan").ok());
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=inf").ok());
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=1e-310").ok());  // subnormal
+  EXPECT_FALSE(DecodeRenderParams("bandwidth=1e30").ok());    // above cap
+}
+
+TEST(DecodeRenderParamsTest, HostileDeadlineRejected) {
+  EXPECT_FALSE(DecodeRenderParams("deadline_ms=nan").ok());
+  EXPECT_FALSE(DecodeRenderParams("deadline_ms=inf").ok());
+  EXPECT_FALSE(DecodeRenderParams("deadline_ms=-5").ok());
+  // Above the 3600 s shared cap.
+  EXPECT_FALSE(DecodeRenderParams("deadline_ms=99999999").ok());
+  EXPECT_TRUE(DecodeRenderParams("deadline_ms=1000").ok());
+}
+
+TEST(DecodeRenderParamsTest, PartialRegionRejected) {
+  EXPECT_FALSE(DecodeRenderParams("xmin=0").ok());
+  EXPECT_FALSE(DecodeRenderParams("xmin=0&xmax=1&ymin=0").ok());
+}
+
+TEST(DecodeRenderParamsTest, InvertedRegionRejected) {
+  EXPECT_FALSE(
+      DecodeRenderParams("xmin=10&xmax=0&ymin=0&ymax=5").ok());
+  EXPECT_FALSE(
+      DecodeRenderParams("xmin=0&xmax=0&ymin=0&ymax=5").ok());  // empty
+}
+
+TEST(DecodeRenderParamsTest, GaussianWithSlamMethodRejected) {
+  const auto result =
+      DecodeRenderParams("kernel=gaussian&method=SLAM_SORT");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // Gaussian with a non-SLAM method is fine.
+  EXPECT_TRUE(DecodeRenderParams("kernel=gaussian&method=SCAN").ok());
+}
+
+// ---- ValidateServingOptions: operator-side configuration ----
+
+TEST(ValidateServingOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateServingOptions(ServingOptions{}).ok());
+}
+
+TEST(ValidateServingOptionsTest, RejectsHostileConfigurations) {
+  {
+    ServingOptions o;
+    o.width_px = 0;
+    EXPECT_TRUE(ValidateServingOptions(o).IsInvalidArgument());
+  }
+  {
+    // Per-axis legal, product is an 8 TiB raster.
+    ServingOptions o;
+    o.width_px = 1 << 20;
+    o.height_px = 1 << 20;
+    EXPECT_TRUE(ValidateServingOptions(o).IsInvalidArgument());
+  }
+  {
+    ServingOptions o;
+    o.bandwidth = 1e-310;  // subnormal
+    EXPECT_TRUE(ValidateServingOptions(o).IsInvalidArgument());
+  }
+  {
+    ServingOptions o;
+    o.max_halvings = -1;
+    EXPECT_TRUE(ValidateServingOptions(o).IsInvalidArgument());
+  }
+  {
+    ServingOptions o;
+    o.kernel = KernelType::kGaussian;
+    o.method = Method::kSlamBucketRao;
+    EXPECT_TRUE(ValidateServingOptions(o).IsInvalidArgument());
+  }
+}
+
+// ---- ValidateRenderRequest: per-request gate ----
+
+TEST(ValidateRenderRequestTest, OrdinaryDeadlinesAccepted) {
+  RenderRequest r;
+  r.deadline_seconds = 0.0;  // no deadline
+  EXPECT_TRUE(ValidateRenderRequest(r).ok());
+  r.deadline_seconds = -1.0;  // also "no deadline" per the contract
+  EXPECT_TRUE(ValidateRenderRequest(r).ok());
+  r.deadline_seconds = 1.5;
+  EXPECT_TRUE(ValidateRenderRequest(r).ok());
+  r.deadline_seconds = InputLimits::kMaxDeadlineSeconds;
+  EXPECT_TRUE(ValidateRenderRequest(r).ok());
+}
+
+TEST(ValidateRenderRequestTest, NanDeadlineRejected) {
+  // The load-bearing case: NaN fails `> 0`, so without validation it
+  // silently means "no deadline" — an unbounded request the client
+  // believed was budgeted.
+  RenderRequest r;
+  r.deadline_seconds = kNan;
+  const Status st = ValidateRenderRequest(r);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("deadline"), std::string::npos);
+}
+
+TEST(ValidateRenderRequestTest, InfAndOverlongDeadlinesRejected) {
+  RenderRequest r;
+  r.deadline_seconds = kInf;
+  EXPECT_TRUE(ValidateRenderRequest(r).IsInvalidArgument());
+  r.deadline_seconds = InputLimits::kMaxDeadlineSeconds * 2;
+  EXPECT_TRUE(ValidateRenderRequest(r).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace slam

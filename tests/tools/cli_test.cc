@@ -1,9 +1,11 @@
-// End-to-end tests of the slam_kdv CLI binary, run as a subprocess.
-// The binary path is injected by CMake via SLAM_CLI_PATH.
+// End-to-end tests of the slam_kdv and slam_load CLI binaries, run as
+// subprocesses. The binary paths are injected by CMake via SLAM_CLI_PATH
+// and SLAM_LOAD_PATH.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace slam {
@@ -12,14 +14,17 @@ namespace {
 #ifndef SLAM_CLI_PATH
 #error "SLAM_CLI_PATH must be defined by the build"
 #endif
+#ifndef SLAM_LOAD_PATH
+#error "SLAM_LOAD_PATH must be defined by the build"
+#endif
 
 struct CommandResult {
   int exit_code = -1;
   std::string output;
 };
 
-CommandResult RunCli(const std::string& args) {
-  const std::string command = std::string(SLAM_CLI_PATH) + " " + args + " 2>&1";
+CommandResult RunBinary(const std::string& binary, const std::string& args) {
+  const std::string command = binary + " " + args + " 2>&1";
   CommandResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -31,6 +36,22 @@ CommandResult RunCli(const std::string& args) {
   const int status = pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+CommandResult RunCli(const std::string& args) {
+  return RunBinary(SLAM_CLI_PATH, args);
+}
+
+CommandResult RunLoad(const std::string& args) {
+  return RunBinary(SLAM_LOAD_PATH, args);
+}
+
+// Writes a CSV whose final quoted field is truncated mid-record.
+std::string WriteTruncatedCsv(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out << "x,y\n1.0,2.0\n\"3.0,4.0";  // unterminated quote, then EOF
+  return path;
 }
 
 bool FileExists(const std::string& path) {
@@ -93,6 +114,66 @@ TEST(CliTest, GaussianWithSlamFailsWithExplanation) {
       "--height 10 --output ''");
   EXPECT_NE(result.exit_code, 0);
   EXPECT_NE(result.output.find("gaussian"), std::string::npos);
+}
+
+// ---- Hostile-input exit codes: clear message + exit 2, never an
+// ---- unhandled-Status abort (which would exit with a signal).
+
+TEST(CliTest, MissingInputFileExitsTwoWithMessage) {
+  const auto result =
+      RunCli("--input /nonexistent/no_such_file.csv --output ''");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot load"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("no_such_file.csv"), std::string::npos);
+}
+
+TEST(CliTest, TruncatedCsvExitsTwoWithMessage) {
+  const std::string path = WriteTruncatedCsv("cli_truncated.csv");
+  const auto result = RunCli("--input " + path + " --output ''");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot load"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, TooFewPointsForScottBandwidthExitsTwo) {
+  // After --sanitize drops the NaN row only one point remains; the Scott
+  // bandwidth estimate needs >= 2 and must fail cleanly, not abort.
+  const std::string path = ::testing::TempDir() + "/cli_one_point.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x,y\n10,20\n30,nan\n";
+  }
+  const auto result = RunCli("--input " + path + " --sanitize --output ''");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("--bandwidth"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(LoadCliTest, MissingInputFileExitsTwoWithMessage) {
+  const auto result =
+      RunLoad("--input /nonexistent/no_such_file.csv --clients 1 --requests 1");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot load"), std::string::npos)
+      << result.output;
+}
+
+TEST(LoadCliTest, TruncatedCsvExitsTwoWithMessage) {
+  const std::string path = WriteTruncatedCsv("load_truncated.csv");
+  const auto result =
+      RunLoad("--input " + path + " --clients 1 --requests 1");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("cannot load"), std::string::npos)
+      << result.output;
+  std::remove(path.c_str());
+}
+
+TEST(LoadCliTest, UnknownCityExitsTwoNotAbort) {
+  const auto result = RunLoad("--city atlantis --clients 1 --requests 1");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("unknown city"), std::string::npos);
 }
 
 TEST(CliTest, GaussianWithScanSucceeds) {

@@ -78,8 +78,9 @@ TEST(ReadCsvStreamTest, NoHeaderMode) {
   int rows = 0;
   const Status st = ReadCsvStream(
       in, CsvOptions{.delimiter = ',', .has_header = false}, nullptr,
-      [&](int64_t index, const std::vector<std::string>&) {
-        EXPECT_EQ(index, rows);
+      [&](int64_t line, const std::vector<std::string>&) {
+        // The callback receives the 1-based physical line number.
+        EXPECT_EQ(line, rows + 1);
         ++rows;
         return Status::OK();
       });
@@ -110,6 +111,93 @@ TEST(ReadCsvStreamTest, RowCallbackErrorStops) {
       });
   EXPECT_EQ(st.code(), StatusCode::kCancelled);
   EXPECT_EQ(rows, 2);
+}
+
+// --- Hostile-input hardening (the fuzz targets hunt for gaps here) ---
+
+TEST(ParseCsvRecordTest, RejectsEmbeddedNul) {
+  const std::string_view line("a,b\0c,d", 7);
+  const auto result = ParseCsvRecord(line, CsvOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(ParseCsvRecordTest, RejectsOverlongField) {
+  CsvOptions options;
+  options.max_field_bytes = 8;
+  const auto result =
+      ParseCsvRecord("short,waytoolongforthecap", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ParseCsvRecordTest, RejectsTooManyFields) {
+  CsvOptions options;
+  options.max_fields = 3;
+  EXPECT_TRUE(ParseCsvRecord("a,b,c", options).ok());
+  EXPECT_FALSE(ParseCsvRecord("a,b,c,d", options).ok());
+}
+
+TEST(ParseCsvRecordTest, RejectsOverlongRecord) {
+  CsvOptions options;
+  options.max_record_bytes = 16;
+  const auto result = ParseCsvRecord("aaaa,bbbb,cccc,dddd,eeee", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ParseCsvRecordTest, UnterminatedQuoteMentionsTruncation) {
+  const auto result = ParseCsvRecord("\"open", CsvOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(ReadCsvStreamTest, StripsUtf8Bom) {
+  std::istringstream in("\xEF\xBB\xBFx,y\n1,2\n");
+  std::vector<std::string> header;
+  const Status st = ReadCsvStream(
+      in, CsvOptions{},
+      [&](const std::vector<std::string>& h) {
+        header = h;
+        return Status::OK();
+      },
+      [](int64_t, const std::vector<std::string>&) { return Status::OK(); });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(header.size(), 2u);
+  // Without BOM stripping the first header field would be "\xEF\xBB\xBFx"
+  // and the column match would silently fail.
+  EXPECT_EQ(header[0], "x");
+}
+
+TEST(ReadCsvStreamTest, CrlfLineEndings) {
+  std::istringstream in("x,y\r\n1,2\r\n3,4\r\n");
+  int rows = 0;
+  std::vector<std::string> last;
+  const Status st = ReadCsvStream(
+      in, CsvOptions{}, nullptr,
+      [&](int64_t, const std::vector<std::string>& r) {
+        ++rows;
+        last = r;
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(rows, 2);
+  ASSERT_EQ(last.size(), 2u);
+  EXPECT_EQ(last[1], "4");  // no trailing \r in the field
+}
+
+TEST(ReadCsvStreamTest, ErrorsCarryPhysicalLineNumbers) {
+  // Record with an embedded NUL on file line 3.
+  std::string data = "x,y\n1,2\nbad";
+  data.push_back('\0');
+  data += ",9\n";
+  std::istringstream in(data);
+  const Status st = ReadCsvStream(
+      in, CsvOptions{}, nullptr,
+      [](int64_t, const std::vector<std::string>&) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
 }
 
 TEST(WriteCsvRecordTest, PlainAndQuoted) {

@@ -134,21 +134,37 @@ int RunOrDie(int argc, char** argv) {
   }
 
   // ---- Data --------------------------------------------------------
+  // Exit code 2 = bad input or usage (distinct from 3 = timeout and
+  // 4 = memory budget): an unreadable or malformed file is the caller's
+  // problem and gets a clear message, never an unhandled-Status abort.
   PointDataset dataset;
   if (!input.empty()) {
     CsvLoadOptions load_options;
     load_options.sanitize = sanitize;
     size_t dropped = 0;
     auto loaded = LoadDatasetCsv(input, load_options, &dropped);
-    loaded.status().AbortIfNotOk();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "slam_kdv: cannot load '%s': %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
     dataset = *std::move(loaded);
     if (dropped > 0) {
       std::fprintf(stderr, "warning: dropped %zu row(s) with non-finite coordinates\n",
                    dropped);
     }
+    if (dataset.empty()) {
+      std::fprintf(stderr, "slam_kdv: '%s' contains no usable rows\n",
+                   input.c_str());
+      return 2;
+    }
   } else {
     auto which = CityFromName(city);
-    which.status().AbortIfNotOk();
+    if (!which.ok()) {
+      std::fprintf(stderr, "slam_kdv: %s\n",
+                   which.status().message().c_str());
+      return 2;
+    }
     auto generated =
         GenerateCityDataset(*which, scale, static_cast<uint64_t>(seed));
     generated.status().AbortIfNotOk();
@@ -177,23 +193,43 @@ int RunOrDie(int argc, char** argv) {
 
   // ---- Task --------------------------------------------------------
   const auto method = MethodFromName(method_name);
-  method.status().AbortIfNotOk();
+  if (!method.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n", method.status().message().c_str());
+    return 2;
+  }
   const auto kernel = KernelTypeFromName(kernel_name);
-  kernel.status().AbortIfNotOk();
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n", kernel.status().message().c_str());
+    return 2;
+  }
   if (bandwidth <= 0.0) {
     const auto scott = ScottBandwidth(dataset.coords());
-    scott.status().AbortIfNotOk();
+    if (!scott.ok()) {
+      std::fprintf(stderr,
+                   "slam_kdv: cannot estimate a bandwidth for this input "
+                   "(%s); pass --bandwidth explicitly\n",
+                   scott.status().message().c_str());
+      return 2;
+    }
     bandwidth = *scott;
     std::printf("Scott bandwidth: %.2f\n", bandwidth);
   }
   bandwidth *= bandwidth_scale;
   const auto viewport = DatasetViewport(dataset, width, height);
-  viewport.status().AbortIfNotOk();
+  if (!viewport.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n",
+                 viewport.status().message().c_str());
+    return 2;
+  }
   const KdvTask task = MakeTask(dataset, *viewport, *kernel, bandwidth);
 
   // ---- Compute -----------------------------------------------------
   const auto degrade_mode = DegradeModeFromName(degrade_name);
-  degrade_mode.status().AbortIfNotOk();
+  if (!degrade_mode.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n",
+                 degrade_mode.status().message().c_str());
+    return 2;
+  }
   if (retries < 1) {
     std::fprintf(stderr, "--retries must be >= 1\n");
     return 2;

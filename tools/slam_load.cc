@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/harness.h"
+#include "data/csv_io.h"
 #include "data/generators.h"
 #include "explore/degrade.h"
 #include "serve/serving_core.h"
@@ -54,7 +55,7 @@ Result<City> CityFromName(const std::string& name) {
 int RunOrDie(int argc, char** argv) {
   std::string city = "seattle", method_name = "slam_bucket_rao";
   std::string kernel_name = "epanechnikov", degrade_name = "halfres";
-  std::string json_path;
+  std::string json_path, input;
   double scale = 0.005, fault_rate = 0.0;
   double deadline_min_ms = 0.0, deadline_max_ms = 0.0;
   double retry_backoff_ms = 10.0, tokens_per_second = 0.0;
@@ -66,6 +67,8 @@ int RunOrDie(int argc, char** argv) {
       "slam_load: closed-loop load generator for the SLAM serving core "
       "(admission control, circuit breaker, retry, degradation)");
   parser.AddString("city", &city, "synthetic dataset: seattle, la, ny, sf");
+  parser.AddString("input", &input,
+                   "CSV dataset to serve instead of a synthetic city");
   parser.AddDouble("scale", &scale,
                    "synthetic dataset size as a fraction of the paper's n");
   parser.AddInt64("seed", &seed,
@@ -123,25 +126,56 @@ int RunOrDie(int argc, char** argv) {
   }
 
   // ---- Core --------------------------------------------------------
-  const auto which = CityFromName(city);
-  which.status().AbortIfNotOk();
-  auto dataset =
-      GenerateCityDataset(*which, scale, static_cast<uint64_t>(seed));
-  dataset.status().AbortIfNotOk();
-  const std::string dataset_name = dataset->name();
-  const size_t n_points = dataset->size();
+  // Exit code 2 = bad input or usage: an unreadable or malformed file
+  // gets a clear message, never an unhandled-Status abort.
+  PointDataset dataset;
+  if (!input.empty()) {
+    auto loaded = LoadDatasetCsv(input, CsvLoadOptions{});
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "slam_load: cannot load '%s': %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    dataset = *std::move(loaded);
+    if (dataset.empty()) {
+      std::fprintf(stderr, "slam_load: '%s' contains no usable rows\n",
+                   input.c_str());
+      return 2;
+    }
+  } else {
+    const auto which = CityFromName(city);
+    if (!which.ok()) {
+      std::fprintf(stderr, "slam_load: %s\n", which.status().message().c_str());
+      return 2;
+    }
+    auto generated =
+        GenerateCityDataset(*which, scale, static_cast<uint64_t>(seed));
+    generated.status().AbortIfNotOk();
+    dataset = *std::move(generated);
+  }
+  const std::string dataset_name = dataset.name();
+  const size_t n_points = dataset.size();
 
   ServingOptions options;
   options.width_px = width;
   options.height_px = height;
   const auto kernel = KernelTypeFromName(kernel_name);
-  kernel.status().AbortIfNotOk();
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "slam_load: %s\n", kernel.status().message().c_str());
+    return 2;
+  }
   options.kernel = *kernel;
   const auto method = MethodFromName(method_name);
-  method.status().AbortIfNotOk();
+  if (!method.ok()) {
+    std::fprintf(stderr, "slam_load: %s\n", method.status().message().c_str());
+    return 2;
+  }
   options.method = *method;
   const auto degrade = DegradeModeFromName(degrade_name);
-  degrade.status().AbortIfNotOk();
+  if (!degrade.ok()) {
+    std::fprintf(stderr, "slam_load: %s\n", degrade.status().message().c_str());
+    return 2;
+  }
   options.degrade_mode = *degrade;
   options.max_halvings = max_halvings;
   options.retry.max_attempts = retries;
@@ -154,8 +188,11 @@ int RunOrDie(int argc, char** argv) {
   options.admission.tokens_per_second = tokens_per_second;
   options.seed = static_cast<uint64_t>(seed);
 
-  auto created = ServingCore::Create(*std::move(dataset), options);
-  created.status().AbortIfNotOk();
+  auto created = ServingCore::Create(std::move(dataset), options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "slam_load: %s\n", created.status().message().c_str());
+    return 2;
+  }
   auto& core = *created;
 
   FaultInjector injector(static_cast<uint64_t>(seed));
