@@ -12,6 +12,7 @@
 #include "kdv/engine.h"
 #include "kdv/grid.h"
 #include "kdv/task.h"
+#include "simd/dispatch.h"
 #include "testing/oracle.h"
 
 namespace slam::fuzz {
@@ -82,28 +83,40 @@ int FuzzDifferential(const uint8_t* data, size_t size) {
                  reference.status().ToString().c_str());
     std::abort();
   }
-  const EngineOptions exact = testing::ExactEngineOptions();
-  for (const Method method : AllMethods()) {
-    const auto report =
-        testing::DiffAgainstReference(task, method, exact, *reference);
-    if (!report.ok()) {
-      std::fprintf(stderr, "FuzzDifferential: %s failed on a valid task: %s\n",
-                   std::string(MethodName(method)).c_str(),
-                   report.status().ToString().c_str());
-      std::abort();
-    }
-    if (report->max_rel_error > kMaxRelError) {
-      std::fprintf(stderr,
-                   "FuzzDifferential: %s disagrees with the oracle: "
-                   "rel_error=%.3e at pixel (%d, %d), value=%.17g vs "
-                   "reference=%.17g (kernel=%d, %dx%d, bw=%g, offset=%g, "
-                   "n=%zu)\n",
-                   std::string(MethodName(method)).c_str(),
-                   report->max_rel_error, report->worst_ix, report->worst_iy,
-                   report->worst_value, report->worst_reference,
-                   static_cast<int>(kernel), width, height, bandwidth, offset,
-                   n_points);
-      std::abort();
+  // Every method runs on both the scalar reference backend and the best
+  // vector backend this machine detects (identical when no vector unit is
+  // available); non-sweep methods ignore the knob. Each run is held to
+  // the oracle independently, so a vector-lane bug needs no scalar twin
+  // to be caught.
+  const SimdLevel levels[2] = {SimdLevel::kScalar, DetectSimdLevel()};
+  const int num_levels = levels[0] == levels[1] ? 1 : 2;
+  for (int li = 0; li < num_levels; ++li) {
+    EngineOptions exact = testing::ExactEngineOptions();
+    exact.compute.simd = levels[li];
+    for (const Method method : AllMethods()) {
+      const auto report =
+          testing::DiffAgainstReference(task, method, exact, *reference);
+      if (!report.ok()) {
+        std::fprintf(stderr,
+                     "FuzzDifferential: %s failed on a valid task: %s\n",
+                     std::string(MethodName(method)).c_str(),
+                     report.status().ToString().c_str());
+        std::abort();
+      }
+      if (report->max_rel_error > kMaxRelError) {
+        std::fprintf(stderr,
+                     "FuzzDifferential: %s disagrees with the oracle: "
+                     "rel_error=%.3e at pixel (%d, %d), value=%.17g vs "
+                     "reference=%.17g (kernel=%d, %dx%d, bw=%g, offset=%g, "
+                     "n=%zu, simd=%s)\n",
+                     std::string(MethodName(method)).c_str(),
+                     report->max_rel_error, report->worst_ix,
+                     report->worst_iy, report->worst_value,
+                     report->worst_reference, static_cast<int>(kernel), width,
+                     height, bandwidth, offset, n_points,
+                     std::string(SimdLevelName(levels[li])).c_str());
+        std::abort();
+      }
     }
   }
   return 0;

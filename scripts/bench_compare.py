@@ -25,6 +25,14 @@ import sys
 
 BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
+# Baselines at or below this are treated as "effectively zero": a
+# malformed or truncated snapshot can carry p95 = 0.0, and dividing by it
+# either crashes (ZeroDivisionError) or — with the old `if old > 0 else
+# 0.0` fallback — silently reported a 0% delta no matter how slow the new
+# build was, masking real regressions. 1 microsecond is far below any
+# measurable method latency in this suite.
+NEGLIGIBLE_P95_SECONDS = 1e-6
+
 
 def find_snapshots(root):
     """The two highest-numbered BENCH_<n>.json paths, oldest first."""
@@ -88,13 +96,25 @@ def main():
             print(f"{method:<18} (only in {side} snapshot)")
             continue
         old_p95, new_p95 = o["p95_seconds"], n["p95_seconds"]
-        delta = (new_p95 - old_p95) / old_p95 if old_p95 > 0 else 0.0
+        if old_p95 > NEGLIGIBLE_P95_SECONDS:
+            delta = (new_p95 - old_p95) / old_p95
+            delta_str = f"{delta * 100:+7.1f}%"
+        elif new_p95 > NEGLIGIBLE_P95_SECONDS:
+            # A zero/garbage baseline against a measurable new p95 cannot
+            # be scored as a ratio, but letting it pass would hide an
+            # arbitrarily bad regression; fail it explicitly.
+            delta = float("inf")
+            delta_str = f"{'n/a':>8}"
+        else:
+            # Both immeasurably small: no signal either way.
+            delta = 0.0
+            delta_str = f"{'n/a':>8}"
         flag = ""
         if delta > args.threshold:
             regressions.append((method, delta))
             flag = "  << REGRESSION"
         print(f"{method:<18} {fmt_ms(old_p95)}ms {fmt_ms(new_p95)}ms "
-              f"{delta * 100:+7.1f}% "
+              f"{delta_str} "
               f"{fmt_mib(o.get('peak_rss_bytes', 0))} "
               f"{fmt_mib(n.get('peak_rss_bytes', 0))}{flag}")
 

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Benchmark trajectory snapshot: pinned table7_default subset -> BENCH_7.json.
+"""Benchmark trajectory snapshot: pinned table7_default subset -> BENCH_8.json.
 
 Runs the bench_table7_default binary at a small, pinned configuration
 (fixed scale / resolution / seed, so successive PRs measure the same
 work) with SLAM_BENCH_JSON pointed at a scratch file, aggregates
-per-method wall times into p50/p95/p99, and writes BENCH_7.json at the
+per-method wall times into p50/p95/p99, and writes BENCH_8.json at the
 repo root. The file is the newest point of the repo's performance
 trajectory (ROADMAP item 1: track method latency PR over PR); diff it
 against the previous snapshot with scripts/bench_compare.py.
@@ -17,7 +17,7 @@ the max over the whole roster. Each method's entry carries
 
 Usage:
   scripts/bench_trajectory.py [--build-dir build] [--repetitions 5]
-                              [--output BENCH_7.json]
+                              [--output BENCH_8.json]
 
 The bench binary must already be built (cmake --build build with
 SLAM_BUILD_BENCHMARKS=ON). No deps beyond the Python standard library.
@@ -59,6 +59,12 @@ def percentile(values, p):
     return ordered[lo] + frac * (ordered[lo + 1] - ordered[lo])
 
 
+# getrusage(2) reports ru_maxrss in kilobytes on Linux (and most BSDs)
+# but in plain BYTES on macOS; multiplying unconditionally by 1024
+# inflated Darwin RSS figures 1024x.
+RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+
 def run_once(binary, json_path, env):
     """Runs one bench subprocess; returns its peak RSS in bytes."""
     run_env = dict(os.environ)
@@ -68,21 +74,21 @@ def run_once(binary, json_path, env):
         [binary], env=run_env, stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE, text=True)
     stderr = proc.stderr.read()
-    # wait4 gives the child's rusage; ru_maxrss is KiB on Linux.
+    # wait4 gives the child's rusage.
     _, status, rusage = os.wait4(proc.pid, 0)
     proc.returncode = os.waitstatus_to_exitcode(status)
     proc.stderr.close()
     if proc.returncode != 0:
         sys.stderr.write(stderr)
         raise SystemExit(f"{binary} exited with {proc.returncode}")
-    return rusage.ru_maxrss * 1024
+    return rusage.ru_maxrss * RU_MAXRSS_SCALE
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--repetitions", type=int, default=5)
-    parser.add_argument("--output", default="BENCH_7.json")
+    parser.add_argument("--output", default="BENCH_8.json")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

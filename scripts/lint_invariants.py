@@ -41,6 +41,13 @@ plus a reason in the surrounding comment):
                      validation layer (util/validate.h) so hostile input is
                      rejected exactly once, with a typed Status.
 
+  raw-intrinsics     No SIMD intrinsics (_mm*/__m128/__m256, vld1q_*/
+                     float64x2_t, or the <immintrin.h>/<arm_neon.h>
+                     headers) outside src/simd/. Vector code anywhere else
+                     escapes the dispatch layer's CPU checks, the
+                     contraction-free compile flags, and the scalar-vs-
+                     vector equivalence gates (DESIGN.md §11).
+
   retry-backoff      A loop whose header names a retry/attempt counter must
                      reference a backoff (Backoff/RetryPolicy/
                      DelayBeforeRetry) or poll its budget (Deadline/
@@ -358,6 +365,42 @@ def check_unvalidated_parse(f: SourceFile) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: raw-intrinsics
+# ---------------------------------------------------------------------------
+
+INTRINSICS_SCOPE_PREFIX = "src/simd/"
+INTRINSICS_RE = re.compile(
+    r"(?<![\w:])_mm(?:256|512)?_\w+\s*\(|"       # x86 intrinsic calls
+    r"\b__m(?:128|256|512)[di]?\b|"              # x86 vector types
+    r"(?<![\w:])v(?:ld|st)[1-4]q?_\w+\s*\(|"     # NEON load/store calls
+    r"\b(?:float|int|uint)(?:32|64)x[24]_t\b|"   # NEON vector types
+    r"#\s*include\s*[<\"](?:immintrin|x86intrin|arm_neon)\.h[>\"]"
+)
+
+
+def check_raw_intrinsics(f: SourceFile) -> list[Violation]:
+    if f.rel.startswith(INTRINSICS_SCOPE_PREFIX):
+        return []
+    out = []
+    for i, line in enumerate(f.code_lines, start=1):
+        if f.allowed(i, "raw-intrinsics"):
+            continue
+        if INTRINSICS_RE.search(line):
+            out.append(
+                Violation(
+                    f.rel,
+                    i,
+                    "raw-intrinsics",
+                    "SIMD intrinsic outside src/simd/: vector code must live "
+                    "behind the dispatched backend tables (simd/sweep_ops.h) "
+                    "so it inherits the cpuid gating, contraction-free "
+                    "flags, and scalar-equivalence tests",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Rule: retry-backoff
 # ---------------------------------------------------------------------------
 
@@ -429,6 +472,7 @@ def main() -> int:
         violations.extend(check_aggregates(f))
         violations.extend(check_banned(f))
         violations.extend(check_unvalidated_parse(f))
+        violations.extend(check_raw_intrinsics(f))
         violations.extend(check_retry_backoff(f))
 
     for v in violations:

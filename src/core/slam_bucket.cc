@@ -6,9 +6,9 @@
 #include <memory>
 #include <vector>
 
-#include "core/bounds.h"
 #include "core/envelope.h"
 #include "core/sweep_state.h"
+#include "simd/sweep_ops.h"
 #include "util/narrow.h"
 
 namespace slam {
@@ -20,14 +20,21 @@ namespace {
 /// when the sweep line reaches pixel i; bucket X holds endpoints beyond the
 /// last pixel, which the sweep never applies.
 struct BucketWorkspace {
-  std::vector<Point> envelope;
-  std::vector<BoundInterval> intervals;
-  // Per-bucket counts -> exclusive prefix offsets; points scattered into
-  // contiguous arrays.
-  std::vector<int32_t> lower_offsets;  // size X + 2
-  std::vector<int32_t> upper_offsets;
-  std::vector<Point> lower_points;
-  std::vector<Point> upper_points;
+  // SoA envelope (global coordinates), interval endpoints, and the bucket
+  // index of every endpoint (computed once per row by the dispatched
+  // bucket_indices pass — the pre-SoA code evaluated Eqs. 19-20 twice per
+  // endpoint, once counting and once scattering).
+  std::vector<double> ex, ey;
+  std::vector<double> lb, ub;
+  std::vector<int32_t> lower_idx, upper_idx;
+  // Per-bucket counts -> exclusive prefix offsets (size X + 2); endpoints
+  // scattered into contiguous row-local SoA lanes.
+  std::vector<int32_t> lower_offsets, upper_offsets;
+  std::vector<int32_t> lower_cursor, upper_cursor;
+  std::vector<double> lower_px, lower_py, upper_px, upper_py;
+  // Row-local pixel x-coordinates; identical for every row, filled once.
+  std::vector<double> qx;
+  RowSweepScratch scratch;
 
   void PrepareRow(int num_pixels) {
     // size_t arithmetic: num_pixels + 2 overflows `int` when the axis is
@@ -38,66 +45,64 @@ struct BucketWorkspace {
   }
 
   /// Heap held by the bucket workspace, accounted against the memory
-  /// budget (the scatter cursors inside BucketEndpoints are transient and
-  /// bounded by the offset arrays, so they are folded in here).
+  /// budget.
   size_t HeapBytes() const {
-    return envelope.capacity() * sizeof(Point) +
-           intervals.capacity() * sizeof(BoundInterval) +
-           (lower_offsets.capacity() + upper_offsets.capacity()) * 2 *
+    return (ex.capacity() + ey.capacity() + lb.capacity() + ub.capacity() +
+            lower_px.capacity() + lower_py.capacity() + upper_px.capacity() +
+            upper_py.capacity() + qx.capacity()) *
+               sizeof(double) +
+           (lower_idx.capacity() + upper_idx.capacity() +
+            lower_offsets.capacity() + upper_offsets.capacity() +
+            lower_cursor.capacity() + upper_cursor.capacity()) *
                sizeof(int32_t) +
-           (lower_points.capacity() + upper_points.capacity()) *
-               sizeof(Point);
+           scratch.HeapBytes();
   }
 };
 
-void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs) {
+/// Counting sort of the endpoints by their precomputed bucket indices,
+/// scattering row-local coordinates into the SoA lanes. Input order within
+/// a bucket is preserved (stable), matching the pre-SoA scatter.
+void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs,
+                     const Point& origin) {
   ws.PrepareRow(xs.count);
-  // Count per bucket (offset index shifted by one for the exclusive scan).
-  // Bucket indices go through size_t before the +1 shift: LowerBucket can
-  // legitimately return X itself, and X + 1 in `int` is UB at X = INT_MAX.
-  for (const BoundInterval& iv : ws.intervals) {
-    ++ws.lower_offsets[CheckedSize(LowerBucket(iv.lb, xs)) + 1];
-    ++ws.upper_offsets[CheckedSize(UpperBucket(iv.ub, xs)) + 1];
+  const size_t m = ws.lower_idx.size();
+  for (size_t i = 0; i < m; ++i) {
+    // Offset index shifted by one for the exclusive scan; through size_t
+    // because the bucket can legitimately be X itself and X + 1 in `int`
+    // is UB at X = INT_MAX.
+    ++ws.lower_offsets[CheckedSize(ws.lower_idx[i]) + 1];
+    ++ws.upper_offsets[CheckedSize(ws.upper_idx[i]) + 1];
   }
   for (size_t i = 1; i < ws.lower_offsets.size(); ++i) {
     ws.lower_offsets[i] += ws.lower_offsets[i - 1];
     ws.upper_offsets[i] += ws.upper_offsets[i - 1];
   }
-  ws.lower_points.resize(ws.intervals.size());
-  ws.upper_points.resize(ws.intervals.size());
-  // Scatter, advancing a cursor per bucket (the offsets are restored by
-  // shifting: after scattering, offsets[i] holds the start of bucket i+1,
-  // so we keep a scratch copy instead).
-  std::vector<int32_t> lower_cursor(ws.lower_offsets.begin(),
-                                    ws.lower_offsets.end() - 1);
-  std::vector<int32_t> upper_cursor(ws.upper_offsets.begin(),
-                                    ws.upper_offsets.end() - 1);
-  for (const BoundInterval& iv : ws.intervals) {
-    ws.lower_points[lower_cursor[LowerBucket(iv.lb, xs)]++] = iv.p;
-    ws.upper_points[upper_cursor[UpperBucket(iv.ub, xs)]++] = iv.p;
+  ws.lower_px.resize(m);
+  ws.lower_py.resize(m);
+  ws.upper_px.resize(m);
+  ws.upper_py.resize(m);
+  ws.lower_cursor.assign(ws.lower_offsets.begin(),
+                         ws.lower_offsets.end() - 1);
+  ws.upper_cursor.assign(ws.upper_offsets.begin(),
+                         ws.upper_offsets.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    const int32_t lo = ws.lower_cursor[CheckedSize(ws.lower_idx[i])]++;
+    const int32_t up = ws.upper_cursor[CheckedSize(ws.upper_idx[i])]++;
+    ws.lower_px[CheckedSize(lo)] = ws.ex[i] - origin.x;
+    ws.lower_py[CheckedSize(lo)] = ws.ey[i] - origin.y;
+    ws.upper_px[CheckedSize(up)] = ws.ex[i] - origin.x;
+    ws.upper_py[CheckedSize(up)] = ws.ey[i] - origin.y;
   }
 }
 
-/// Aggregates are accumulated in the row-local frame (see RowLocalOrigin):
-/// bucket assignment already happened on the global coordinates, so the
-/// translation only affects the accumulated values, never which bucket an
-/// endpoint lands in.
-template <typename State>
-void SweepRowBuckets(const BucketWorkspace& ws, const KdvTask& task,
-                     double row_y, std::span<double> row) {
-  State state;
-  const GridAxis& xs = task.grid.x_axis();
-  const Point origin = RowLocalOrigin(xs, row_y);
-  for (int ix = 0; ix < xs.count; ++ix) {
-    for (int32_t i = ws.lower_offsets[ix]; i < ws.lower_offsets[ix + 1]; ++i) {
-      state.PassLowerBound(ws.lower_points[i] - origin);
-    }
-    for (int32_t i = ws.upper_offsets[ix]; i < ws.upper_offsets[ix + 1]; ++i) {
-      state.PassUpperBound(ws.upper_points[i] - origin);
-    }
-    row[ix] = state.Density(task.kernel, Point{xs.Coord(ix), row_y} - origin,
-                            task.bandwidth, task.weight);
+/// Copies an AoS envelope span (from the y-sorted scanner) into the SoA
+/// lanes (caller-sized to the full point count) and returns its size.
+size_t SoaFromSpan(std::span<const Point> envelope, double* ex, double* ey) {
+  for (size_t i = 0; i < envelope.size(); ++i) {
+    ex[i] = envelope[i].x;
+    ey[i] = envelope[i].y;
   }
+  return envelope.size();
 }
 
 }  // namespace
@@ -119,6 +124,7 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
     return Status::InvalidArgument(
         "SLAM_BUCKET supports at most 2^31 - 1 points");
   }
+  SLAM_ASSIGN_OR_RETURN(const SimdOps* ops, GetSimdOps(options.simd));
   SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
                                                            task.grid.height()));
   const ExecContext* exec = options.exec;
@@ -131,25 +137,52 @@ Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
   const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
 
   BucketWorkspace ws;
+  // The envelope lanes are sized to n once: the dispatched filter writes
+  // survivors through a raw cursor (vector backends store whole registers
+  // at it), so no per-survivor capacity check runs in the hot scan.
+  ws.ex.resize(task.points.size());
+  ws.ey.resize(task.points.size());
+  const GridAxis& xs = task.grid.x_axis();
   const GridAxis& ys = task.grid.y_axis();
+  const double origin_x = RowLocalOrigin(xs, 0.0).x;
+  ws.qx.resize(CheckedSize(xs.count));
+  for (int ix = 0; ix < xs.count; ++ix) {
+    ws.qx[CheckedSize(ix)] = xs.Coord(ix) - origin_x;
+  }
   for (int iy = 0; iy < ys.count; ++iy) {
     SLAM_RETURN_NOT_OK(ExecCheck(exec, "slam_bucket/row"));
     const double k = ys.Coord(iy);
-    std::span<const Point> envelope;
-    if (scanner) {
-      envelope = scanner->Envelope(k, task.bandwidth);
-    } else {
-      FindEnvelope(task.points, k, task.bandwidth, &ws.envelope);
-      envelope = ws.envelope;
-    }
-    ComputeBoundIntervals(envelope, k, task.bandwidth, &ws.intervals);
-    BucketEndpoints(ws, task.grid.x_axis());
+    const Point origin = RowLocalOrigin(xs, k);
+    const size_t m =
+        scanner ? SoaFromSpan(scanner->Envelope(k, task.bandwidth),
+                              ws.ex.data(), ws.ey.data())
+                : ops->envelope_filter(task.points, k, task.bandwidth,
+                                       ws.ex.data(), ws.ey.data());
+    ws.lb.resize(m);
+    ws.ub.resize(m);
+    ops->bound_intervals(ws.ex.data(), ws.ey.data(), m, k, task.bandwidth,
+                         ws.lb.data(), ws.ub.data());
+    ws.lower_idx.resize(m);
+    ws.upper_idx.resize(m);
+    ops->bucket_indices(ws.lb.data(), ws.ub.data(), m, xs,
+                        ws.lower_idx.data(), ws.upper_idx.data());
+    BucketEndpoints(ws, xs, origin);
     SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
-    if (options.compensated_aggregates) {
-      SweepRowBuckets<CompensatedSweepState>(ws, task, k, map.mutable_row(iy));
-    } else {
-      SweepRowBuckets<SweepState>(ws, task, k, map.mutable_row(iy));
-    }
+
+    RowSweepArgs args;
+    args.kernel = task.kernel;
+    args.compensated = options.compensated_aggregates;
+    args.width = xs.count;
+    args.bandwidth = task.bandwidth;
+    args.weight = task.weight;
+    args.qy = 0.0;  // the row-local frame pins the query y to the row
+    args.qx = ws.qx.data();
+    args.lower = {ws.lower_offsets.data(), ws.lower_px.data(),
+                  ws.lower_py.data()};
+    args.upper = {ws.upper_offsets.data(), ws.upper_px.data(),
+                  ws.upper_py.data()};
+    args.out = map.mutable_row(iy).data();
+    ops->row_sweep(args, &ws.scratch);
   }
   *out = std::move(map);
   return Status::OK();

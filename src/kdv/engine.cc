@@ -138,6 +138,12 @@ Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
   // rather than fatal; everything else (grid, bandwidth, weight) still
   // fails fast.
   KdvTask run_task = task;
+  // Resolve the SIMD backend once per engine call: kAuto becomes a concrete
+  // level here, so every row of every method in this computation runs the
+  // same backend, and a pinned-but-unavailable level fails fast.
+  EngineOptions run_options = options;
+  SLAM_ASSIGN_OR_RETURN(run_options.compute.simd,
+                        ResolveSimdLevel(options.compute.simd));
   std::vector<Point> finite_points;
   if (options.sanitize) {
     const size_t dropped = CopyFinitePoints(task.points, &finite_points);
@@ -176,9 +182,9 @@ Result<DensityMap> ComputeKdv(const KdvTask& task, Method method,
     const Point c = {run_task.grid.x_axis().Coord(run_task.grid.width() / 2),
                      run_task.grid.y_axis().Coord(run_task.grid.height() / 2)};
     const TranslatedTask translated(run_task, c.x, c.y);
-    SLAM_RETURN_NOT_OK(fn(translated.task(), options.compute, &map));
+    SLAM_RETURN_NOT_OK(fn(translated.task(), run_options.compute, &map));
   } else {
-    SLAM_RETURN_NOT_OK(fn(run_task, options.compute, &map));
+    SLAM_RETURN_NOT_OK(fn(run_task, run_options.compute, &map));
   }
   return map;
 }
@@ -201,19 +207,31 @@ size_t EstimateAuxiliarySpaceBytes(Method method, size_t n, int width,
     case Method::kQuad:
       return n * point_bytes + tree_nodes * 176;  // QuadTree::Node
     case Method::kSlamSort:
-    case Method::kSlamSortRao:
-      // Envelope + intervals + two event arrays, each at most n entries.
-      return n * (point_bytes + sizeof(double) * 4 + point_bytes * 3);
+    case Method::kSlamSortRao: {
+      // SoA envelope + interval lanes (8 doubles/point across ex/ey/lb/ub
+      // and the scattered row-local endpoint lanes) + two 24-byte event
+      // arrays; plus per-pixel run offsets, pixel coordinates, and the
+      // vector backends' snapshot lanes (<= 12 channels + qx, 13 doubles
+      // per pixel), which scale with the swept axis — the longer one under
+      // RAO, which sweeps the transposed grid.
+      const size_t x = static_cast<size_t>(method == Method::kSlamSortRao
+                                               ? std::max(width, height)
+                                               : width);
+      return n * (point_bytes + sizeof(double) * 8 + sizeof(double) * 6) +
+             (x + 1) * sizeof(int32_t) * 2 + x * sizeof(double) * 13;
+    }
     case Method::kSlamBucket:
     case Method::kSlamBucketRao: {
-      // Envelope + intervals + scattered endpoint arrays + bucket offsets.
-      // RAO sweeps min(X, Y) lines of max(X, Y) pixels, so its bucket
-      // arrays span the longer axis.
+      // SoA envelope + interval + scattered endpoint lanes (8 doubles per
+      // point) + per-endpoint bucket indices (2 int32), plus bucket
+      // offset/cursor arrays and the per-pixel lanes (as above) spanning
+      // the swept axis. RAO sweeps min(X, Y) lines of max(X, Y) pixels,
+      // so its bucket arrays span the longer axis.
       const size_t x = static_cast<size_t>(method == Method::kSlamBucketRao
                                                ? std::max(width, height)
                                                : width);
-      return n * (point_bytes * 3 + sizeof(double) * 4) +
-             (x + 2) * sizeof(int32_t) * 4;
+      return n * (point_bytes + sizeof(double) * 8 + sizeof(int32_t) * 2) +
+             (x + 2) * sizeof(int32_t) * 4 + x * sizeof(double) * 13;
     }
   }
   return 0;

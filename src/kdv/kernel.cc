@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -45,12 +46,25 @@ bool KernelSupportedBySlam(KernelType kernel) {
   return false;
 }
 
+KernelEvalProfile MakeKernelEvalProfile(double bandwidth) {
+  constexpr double kMinNormal = std::numeric_limits<double>::min();
+  KernelEvalProfile prof;
+  // `!(x >= min)` (rather than `x < min`) also catches NaN.
+  prof.bandwidth = !(bandwidth >= kMinNormal) ? kMinNormal : bandwidth;
+  const double b2 = prof.bandwidth * prof.bandwidth;
+  // The square underflows for bandwidth < ~1.5e-154 even when the
+  // bandwidth itself is normal.
+  prof.b2 = !(b2 >= kMinNormal) ? kMinNormal : b2;
+  return prof;
+}
+
 double EvaluateKernel(KernelType kernel, double squared_distance,
                       double bandwidth) {
-  const double b2 = bandwidth * bandwidth;
+  const KernelEvalProfile prof = MakeKernelEvalProfile(bandwidth);
+  const double b2 = prof.b2;
   switch (kernel) {
     case KernelType::kUniform:
-      return squared_distance <= b2 ? 1.0 / bandwidth : 0.0;
+      return squared_distance <= b2 ? 1.0 / prof.bandwidth : 0.0;
     case KernelType::kEpanechnikov:
       return squared_distance <= b2 ? 1.0 - squared_distance / b2 : 0.0;
     case KernelType::kQuartic: {
@@ -99,14 +113,15 @@ double DensityFromAggregates(KernelType kernel, const Point& q,
   SLAM_DCHECK(KernelSupportedBySlam(kernel))
       << "no aggregate decomposition for kernel "
       << KernelTypeName(kernel);
-  const double b2 = bandwidth * bandwidth;
+  const KernelEvalProfile prof = MakeKernelEvalProfile(bandwidth);
+  const double b2 = prof.b2;
   // The true density is a sum of non-negative kernel values; the
   // subtractive closed forms below can round to tiny negatives (~1e-14 of
   // the aggregate scale), so clamp at zero.
   switch (kernel) {
     case KernelType::kUniform:
       // F = (w / b) |R|
-      return weight / bandwidth * agg.count;
+      return weight / prof.bandwidth * agg.count;
     case KernelType::kEpanechnikov: {
       // F = w|R| - (w/b²)(|R| ||q||² - 2 qᵀA + S)     (paper Eq. 5)
       const double u = q.SquaredNorm();

@@ -37,6 +37,20 @@ Result<KernelType> KernelTypeFromName(std::string_view name);
 /// True for the bandwidth-limited kernels SLAM's decomposition covers.
 bool KernelSupportedBySlam(KernelType kernel);
 
+/// Guarded per-evaluation constants shared by every kernel path — the
+/// scalar closed forms below, the SIMD row sweeps (src/simd/), and direct
+/// evaluation. The kernel polynomials divide by the bandwidth and its
+/// square; a zero, subnormal, or NaN bandwidth (reachable through the
+/// oracle and fuzz harnesses, which bypass task validation) would turn
+/// those divisions into Inf/NaN. Both divisors are clamped to the smallest
+/// positive normal double, which leaves every validated bandwidth
+/// (>= 1e-9, util/validate.h) bit-for-bit unchanged.
+struct KernelEvalProfile {
+  double bandwidth = 1.0;  // clamped to the positive-normal range
+  double b2 = 1.0;         // clamped bandwidth²
+};
+KernelEvalProfile MakeKernelEvalProfile(double bandwidth);
+
 /// Direct evaluation of K(q, p) given squared distance. This is the ground
 /// truth every optimized path is tested against.
 /// For distances > bandwidth the bounded kernels return 0.

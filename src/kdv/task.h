@@ -9,6 +9,7 @@
 #include "geom/point.h"
 #include "kdv/grid.h"
 #include "kdv/kernel.h"
+#include "simd/dispatch.h"
 #include "util/exec_context.h"
 #include "util/result.h"
 
@@ -51,6 +52,12 @@ struct ComputeOptions {
   /// by default — roughly doubles the per-endpoint add cost, which is
   /// dwarfed by the per-pixel closed-form evaluation (DESIGN.md §7).
   bool compensated_aggregates = true;
+  /// Sweep methods: instruction-set backend for the row primitives
+  /// (src/simd/, DESIGN.md §11). kAuto picks the best available at runtime,
+  /// resolved once per engine call; pinning an unavailable level is an
+  /// InvalidArgument, never a silent fallback. All backends agree with the
+  /// scalar reference to well under the 1e-9 oracle tolerance.
+  SimdLevel simd = SimdLevel::kAuto;
 };
 
 /// Rejects empty grids, non-positive or non-finite bandwidth/weight, and

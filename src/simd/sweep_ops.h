@@ -1,0 +1,126 @@
+// The per-row sweep primitives behind SLAM_SORT / SLAM_BUCKET / RAO, as a
+// table of function pointers selected once per compute call (dispatch.h).
+//
+// A row sweep decomposes into four data-parallel passes:
+//   1. envelope_filter — E(k) membership test over all points, emitting the
+//      survivors as SoA coordinate lanes (x[], y[]).
+//   2. bound_intervals — per envelope point, the sweep interval
+//      [p.x − √(b² − dy²), p.x + √(b² − dy²)] (paper Eqs. 8–9) into
+//      contiguous lb[]/ub[] lanes.
+//   3. bucket_indices — per interval endpoint, the pixel bucket it lands in
+//      (paper Eqs. 19–20, SLAM_BUCKET only).
+//   4. row_sweep — the sweep itself: fold each pixel's endpoint runs into
+//      the L/U SoA accumulators (core/sweep_state.h) and evaluate the
+//      kernel's closed-form polynomial at the pixel.
+//
+// Both sweep methods feed row_sweep the same run-list shape: per pixel i,
+// the endpoints in [offsets[i], offsets[i+1]) are applied before pixel i is
+// evaluated. SLAM_BUCKET produces that directly from its counting-sort
+// buckets; SLAM_SORT derives it from the sorted event arrays with one
+// linear merge against the pixel coordinates. That is what lets all three
+// methods (RAO delegates to the other two) share one dispatched kernel.
+//
+// The scalar backend is the reference: it mirrors the pre-SoA sweep
+// arithmetic operation for operation. Vector backends replay the identical
+// operation sequence in lanes — no FMA contraction, Knuth two-sum in place
+// of the branched Neumaier step (both produce the exact rounding error of
+// the addition, so they are interchangeable bit for bit) — and are held to
+// the scalar path and the long-double oracle at 1e-9 by
+// tests/simd/simd_equivalence_test.cc and fuzz/target_differential.cc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "kdv/grid.h"
+#include "kdv/kernel.h"
+#include "simd/dispatch.h"
+#include "util/result.h"
+
+namespace slam {
+
+/// One side's endpoint runs for a row sweep, in SoA row-local coordinates.
+/// Run i = [offsets[i], offsets[i + 1]) is applied before pixel i is
+/// evaluated; `offsets` therefore has at least width + 1 entries and is
+/// non-decreasing. Endpoints at or beyond offsets[width] are never applied
+/// (SLAM_BUCKET parks beyond-the-last-pixel endpoints there).
+struct EndpointRuns {
+  const int32_t* offsets = nullptr;
+  const double* px = nullptr;
+  const double* py = nullptr;
+};
+
+/// Inputs of one row sweep. All coordinates are row-local (see
+/// RowLocalOrigin): px/py/qx are pre-translated, and the query y is qy for
+/// every pixel of the row (0.0 from the sweep methods; kept symbolic so
+/// the backends stay testable on arbitrary frames).
+struct RowSweepArgs {
+  KernelType kernel = KernelType::kEpanechnikov;
+  bool compensated = true;
+  int width = 0;
+  double bandwidth = 1.0;
+  double weight = 1.0;
+  double qy = 0.0;
+  const double* qx = nullptr;  // length `width`
+  EndpointRuns lower;
+  EndpointRuns upper;
+  double* out = nullptr;  // densities, length `width`
+};
+
+/// Reusable scratch for the two-pass vector backends (pass 1 snapshots the
+/// per-pixel aggregate differences into interleaved lanes, pass 2 evaluates
+/// the polynomial across pixels). The scalar backend never touches it.
+struct RowSweepScratch {
+  std::vector<double> lanes;
+
+  /// Heap held, accounted against the memory budget by the sweep methods.
+  size_t HeapBytes() const { return lanes.capacity() * sizeof(double); }
+};
+
+/// One backend's implementations of the four row passes. The function
+/// pointers are never null in a table returned by GetSimdOps.
+struct SimdOps {
+  SimdLevel level = SimdLevel::kScalar;
+
+  /// Writes the points of E(k) = {p : |k − p.y| <= bandwidth} into the SoA
+  /// lanes ex/ey in input order and returns the survivor count. The caller
+  /// sizes both lanes to points.size(): the vector backends compress whole
+  /// registers to the output cursor, so up to one full vector width beyond
+  /// the survivor count is scribbled (never past points.size()). A
+  /// per-survivor `push_back` here was the single hottest instruction path
+  /// of SLAM_BUCKET — the capacity check serializes an otherwise
+  /// data-parallel scan over all n points every row.
+  size_t (*envelope_filter)(std::span<const Point> points, double k,
+                            double bandwidth, double* ex,
+                            double* ey) = nullptr;
+
+  /// lb[i] = ex[i] − √(max(b² − (k − ey[i])², 0)), ub[i] = ex[i] + √(...).
+  void (*bound_intervals)(const double* ex, const double* ey, size_t n,
+                          double k, double bandwidth, double* lb,
+                          double* ub) = nullptr;
+
+  /// lower_bucket[i] = LowerBucket(lb[i], xs), upper_bucket[i] =
+  /// UpperBucket(ub[i], xs) (core/slam_bucket.h, Eqs. 19–20).
+  void (*bucket_indices)(const double* lb, const double* ub, size_t n,
+                         const GridAxis& xs, int32_t* lower_bucket,
+                         int32_t* upper_bucket) = nullptr;
+
+  /// The row sweep proper; see RowSweepArgs.
+  void (*row_sweep)(const RowSweepArgs& args,
+                    RowSweepScratch* scratch) = nullptr;
+};
+
+/// Backend tables. The vector getters return nullptr when the backend is
+/// not compiled into this binary (arch-gated translation units); they do
+/// NOT check CPU features — that is SimdLevelAvailable's job.
+const SimdOps* GetScalarOps();
+const SimdOps* GetAvx2Ops();
+const SimdOps* GetNeonOps();
+
+/// Resolves `level` (kAuto → best available) and returns its ops table;
+/// InvalidArgument when a pinned level cannot run on this build/CPU.
+Result<const SimdOps*> GetSimdOps(SimdLevel level);
+
+}  // namespace slam

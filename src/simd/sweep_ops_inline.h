@@ -1,0 +1,100 @@
+// Internal to src/simd/: the scalar reference implementations of the four
+// row passes, shared between the scalar backend (which uses them whole) and
+// the vector backends (which use them for remainder tails and rare slow
+// paths). Header-only so each backend translation unit compiles them with
+// its own (contraction-free) flag set.
+//
+// Everything here mirrors the pre-SoA sweep arithmetic operation for
+// operation — see the bitwise-parity notes in sweep_ops.h. Changing an
+// expression here changes the reference the vector paths and the oracle
+// tests are held against; don't, unless the AoS originals in
+// core/sweep_state.h / core/bounds.cc change too.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/slam_bucket.h"
+#include "core/sweep_state.h"
+#include "geom/point.h"
+#include "kdv/grid.h"
+#include "kdv/kernel.h"
+#include "simd/sweep_ops.h"
+
+namespace slam::simd_internal {
+
+inline size_t EnvelopeFilterScalar(std::span<const Point> points, double k,
+                                   double bandwidth, double* ex, double* ey) {
+  size_t m = 0;
+  for (const Point& p : points) {
+    if (std::abs(k - p.y) <= bandwidth) {
+      ex[m] = p.x;
+      ey[m] = p.y;
+      ++m;
+    }
+  }
+  return m;
+}
+
+/// Interval computation over the index range [begin, end) — the vector
+/// backends call this for their tail elements.
+inline void BoundIntervalsScalarRange(const double* ex, const double* ey,
+                                      size_t begin, size_t end, double k,
+                                      double bandwidth, double* lb,
+                                      double* ub) {
+  const double b2 = bandwidth * bandwidth;
+  for (size_t i = begin; i < end; ++i) {
+    const double dy = k - ey[i];
+    const double rem = b2 - dy * dy;
+    // max() guards the tiny negative remainder FP can produce at |dy| == b
+    // (same guard as core/bounds.cc).
+    const double half_width = std::sqrt(std::max(rem, 0.0));
+    lb[i] = ex[i] - half_width;
+    ub[i] = ex[i] + half_width;
+  }
+}
+
+inline void BucketIndicesScalarRange(const double* lb, const double* ub,
+                                     size_t begin, size_t end,
+                                     const GridAxis& xs,
+                                     int32_t* lower_bucket,
+                                     int32_t* upper_bucket) {
+  for (size_t i = begin; i < end; ++i) {
+    lower_bucket[i] = LowerBucket(lb[i], xs);
+    upper_bucket[i] = UpperBucket(ub[i], xs);
+  }
+}
+
+/// The reference row sweep: SoA accumulators, one pixel at a time.
+template <bool kCompensated>
+void RowSweepScalarImpl(const RowSweepArgs& a) {
+  const int channels = SweepChannels(a.kernel);
+  SoaAccumulator lower;
+  SoaAccumulator upper;
+  double d[kSweepChannelsPadded] = {};
+  for (int ix = 0; ix < a.width; ++ix) {
+    for (int32_t i = a.lower.offsets[ix]; i < a.lower.offsets[ix + 1]; ++i) {
+      lower.Add<kCompensated>(a.lower.px[i], a.lower.py[i], channels);
+    }
+    for (int32_t i = a.upper.offsets[ix]; i < a.upper.offsets[ix + 1]; ++i) {
+      upper.Add<kCompensated>(a.upper.px[i], a.upper.py[i], channels);
+    }
+    SoaDifference<kCompensated>(lower, upper, channels, d);
+    a.out[ix] =
+        DensityFromAggregates(a.kernel, Point{a.qx[ix], a.qy},
+                              AggregatesFromLanes(d), a.bandwidth, a.weight);
+  }
+}
+
+inline void RowSweepScalar(const RowSweepArgs& a, RowSweepScratch* /*s*/) {
+  if (a.compensated) {
+    RowSweepScalarImpl<true>(a);
+  } else {
+    RowSweepScalarImpl<false>(a);
+  }
+}
+
+}  // namespace slam::simd_internal

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/random.h"
@@ -170,6 +172,67 @@ TEST(AggregateArityTest, MatchesPaperTable4) {
   EXPECT_EQ(AggregateArity(KernelType::kEpanechnikov), 4);
   EXPECT_EQ(AggregateArity(KernelType::kQuartic), 9);
   EXPECT_EQ(AggregateArity(KernelType::kGaussian), 0);
+}
+
+// ---- MakeKernelEvalProfile (the shared division guard) --------------
+
+TEST(KernelEvalProfileTest, ValidBandwidthPassesThroughBitExact) {
+  for (const double b : {1e-9, 0.5, 1.0, 1261.0, 1e30}) {
+    const KernelEvalProfile prof = MakeKernelEvalProfile(b);
+    EXPECT_EQ(prof.bandwidth, b);
+    EXPECT_EQ(prof.b2, b * b);
+  }
+}
+
+TEST(KernelEvalProfileTest, DegenerateBandwidthsClampToPositiveNormal) {
+  const double min_normal = std::numeric_limits<double>::min();
+  for (const double b :
+       {0.0, -0.0, -1.0, std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::quiet_NaN(),
+        -std::numeric_limits<double>::infinity()}) {
+    const KernelEvalProfile prof = MakeKernelEvalProfile(b);
+    EXPECT_GE(prof.bandwidth, min_normal) << b;
+    EXPECT_GE(prof.b2, min_normal) << b;
+    EXPECT_TRUE(std::isfinite(prof.bandwidth)) << b;
+    EXPECT_TRUE(std::isfinite(prof.b2)) << b;
+  }
+}
+
+TEST(KernelEvalProfileTest, SquareUnderflowIsAlsoClamped) {
+  // b ~ 1e-170 is a perfectly normal double whose square is subnormal
+  // (underflows below DBL_MIN); the b² lane must still be a positive
+  // normal or the 1/b² factors in the polynomials blow up.
+  const KernelEvalProfile prof = MakeKernelEvalProfile(1e-170);
+  EXPECT_EQ(prof.bandwidth, 1e-170);
+  EXPECT_GE(prof.b2, std::numeric_limits<double>::min());
+}
+
+TEST(KernelEvalProfileTest, EvaluateKernelNeverProducesNonFinite) {
+  // Division-by-zero audit: no bandwidth, however degenerate, may turn a
+  // kernel evaluation into Inf/NaN (ValidateTask rejects these upstream;
+  // the guard is defense in depth for direct callers).
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov, KernelType::kQuartic,
+        KernelType::kGaussian}) {
+    for (const double b : {0.0, -1.0, 5e-324, 1e-170}) {
+      const double v = EvaluateKernel(kernel, 0.5, b);
+      EXPECT_TRUE(std::isfinite(v))
+          << KernelTypeName(kernel) << " b=" << b << " -> " << v;
+    }
+  }
+}
+
+TEST(KernelEvalProfileTest, DensityFromAggregatesGuardedToo) {
+  RangeAggregates agg;
+  agg.Add({1.0, 1.0});
+  for (const KernelType kernel :
+       {KernelType::kUniform, KernelType::kEpanechnikov,
+        KernelType::kQuartic}) {
+    for (const double b : {0.0, 5e-324}) {
+      const double v = DensityFromAggregates(kernel, {1.0, 1.0}, agg, b, 1.0);
+      EXPECT_TRUE(std::isfinite(v)) << KernelTypeName(kernel) << " b=" << b;
+    }
+  }
 }
 
 }  // namespace

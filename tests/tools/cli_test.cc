@@ -102,6 +102,39 @@ TEST(CliTest, UnknownFlagFails) {
   EXPECT_NE(result.exit_code, 0);
 }
 
+TEST(CliTest, SimdScalarPinRendersAndCompares) {
+  // --simd=scalar is available on every machine; with --compare the
+  // pinned-backend result is additionally held to the SCAN oracle.
+  const auto result = RunCli(
+      "--city seattle --scale 0.0005 --width 20 --height 16 --simd scalar "
+      "--method slam_bucket --compare --output ''");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("vs SCAN oracle"), std::string::npos);
+}
+
+TEST(CliTest, SimdUnknownLevelIsUsageError) {
+  const auto result = RunCli(
+      "--city seattle --scale 0.0005 --width 10 --height 10 --simd sse9 "
+      "--output ''");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("unknown SIMD level"), std::string::npos);
+}
+
+TEST(CliTest, SimdUnavailableLevelFailsFast) {
+  // AVX2 and NEON are arch-exclusive, so at least one is always
+  // unavailable here; pinning it must be a hard error, not a fallback.
+  for (const char* level : {"avx2", "neon"}) {
+    const auto probe = RunCli(
+        std::string("--city seattle --scale 0.0005 --width 10 --height 10 "
+                    "--simd ") +
+        level + " --method slam_sort --output ''");
+    if (probe.exit_code == 0) continue;  // this one is available here
+    EXPECT_EQ(probe.exit_code, 2) << level << ": " << probe.output;
+    EXPECT_NE(probe.output.find("not available"), std::string::npos)
+        << level << ": " << probe.output;
+  }
+}
+
 TEST(CliTest, UnknownCityFails) {
   const auto result = RunCli("--city atlantis");
   EXPECT_NE(result.exit_code, 0);

@@ -17,6 +17,7 @@
 #include "explore/viewport_ops.h"
 #include "kdv/bandwidth.h"
 #include "kdv/engine.h"
+#include "simd/dispatch.h"
 #include "testing/oracle.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -69,7 +70,7 @@ Result<std::vector<Method>> ParseMethods(const std::string& list) {
 
 int RunOrDie(int argc, char** argv) {
   std::string input, city = "seattle", methods_flag = "all";
-  std::string kernel_name = "all";
+  std::string kernel_name = "all", simd_name = "auto";
   double scale = 0.002, bandwidth = 0.0, bandwidth_scale = 1.0;
   double offset_x = 0.0, offset_y = 0.0, max_rel_error = 1e-9;
   int width = 96, height = 72;
@@ -105,6 +106,9 @@ int RunOrDie(int argc, char** argv) {
   parser.AddBool("recenter", &recenter,
                  "engine-level recentering (--no-recenter measures the raw "
                  "method conditioning)");
+  parser.AddString("simd", &simd_name,
+                   "sweep-method instruction-set backend: auto, scalar, "
+                   "avx2, neon (pinning an unavailable one fails)");
 
   const auto positional = parser.Parse(argc, argv);
   positional.status().AbortIfNotOk();
@@ -122,9 +126,10 @@ int RunOrDie(int argc, char** argv) {
   // data or computing keep the repo-wide AbortIfNotOk convention.
   const auto kernels = ParseKernels(kernel_name);
   const auto methods = ParseMethods(methods_flag);
+  const auto simd = SimdLevelFromName(simd_name);
   const auto which = input.empty() ? CityFromName(city) : Result<City>(City::kSeattle);
   for (const Status& status :
-       {kernels.status(), methods.status(), which.status()}) {
+       {kernels.status(), methods.status(), simd.status(), which.status()}) {
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                    parser.Usage().c_str());
@@ -170,6 +175,16 @@ int RunOrDie(int argc, char** argv) {
 
   EngineOptions engine = testing::ExactEngineOptions();
   engine.recenter_coordinates = recenter;
+  engine.compute.simd = *simd;
+  // Fail fast (usage error) on a pinned backend this machine cannot run,
+  // and record what actually executes so CI logs show which path was gated.
+  const auto resolved = ResolveSimdLevel(*simd);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("simd backend: %s\n\n",
+              std::string(SimdLevelName(*resolved)).c_str());
 
   std::printf("%-12s  %-16s  %13s  %13s  %8s  %s\n", "kernel", "method",
               "max_rel_err", "max_abs_err", "max_ulps", "worst pixel");

@@ -18,6 +18,7 @@
 #include "explore/filter.h"
 #include "explore/viewport_ops.h"
 #include "serve/resilient_render.h"
+#include "simd/dispatch.h"
 #include "kdv/bandwidth.h"
 #include "kdv/engine.h"
 #include "kdv/parallel.h"
@@ -56,7 +57,7 @@ int RunOrDie(int argc, char** argv) {
   int width = 640, height = 480, filter_year = 0, category = -1;
   int hotspots = 0, threads = 1, retries = 1;
   double retry_backoff_ms = 10.0;
-  std::string diff_reference, degrade_name = "off";
+  std::string diff_reference, degrade_name = "off", simd_name = "auto";
   int64_t seed = 42, timeout_ms = 0, memory_budget_mb = 0;
   bool ascii = false, compare = false, sanitize = false, recenter = true;
 
@@ -120,6 +121,9 @@ int RunOrDie(int argc, char** argv) {
   parser.AddString("degrade", &degrade_name,
                    "under deadline/memory pressure serve a reduced-fidelity "
                    "answer: off, halfres, sample");
+  parser.AddString("simd", &simd_name,
+                   "sweep-method instruction-set backend: auto, scalar, "
+                   "avx2, neon (pinning an unavailable one fails)");
 
   const auto positional = parser.Parse(argc, argv);
   positional.status().AbortIfNotOk();
@@ -249,8 +253,21 @@ int RunOrDie(int argc, char** argv) {
   // request budget to schedule backoff and descend the ladder).
   if (timeout_ms > 0 && !resilient) exec.set_deadline(&deadline);
   if (memory_budget_mb > 0) exec.set_memory_budget(&budget);
+  const auto simd = SimdLevelFromName(simd_name);
+  if (!simd.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n", simd.status().message().c_str());
+    return 2;
+  }
+  // Usage error, not an abort: a pinned backend this machine cannot run is
+  // caught before any work starts (the engine would reject it anyway).
+  if (const auto resolved = ResolveSimdLevel(*simd); !resolved.ok()) {
+    std::fprintf(stderr, "slam_kdv: %s\n",
+                 resolved.status().message().c_str());
+    return 2;
+  }
   EngineOptions engine;
   engine.compute.exec = &exec;
+  engine.compute.simd = *simd;
   engine.sanitize = sanitize;
   engine.recenter_coordinates = recenter;
 
