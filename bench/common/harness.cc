@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <string_view>
 
@@ -87,6 +88,44 @@ std::string CellResult::ToString() const {
   return StringPrintf("%.3f", seconds);
 }
 
+bool ResetPeakRss() {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/clear_refs", "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fputs("5", file) >= 0;
+  return (std::fclose(file) == 0) && wrote;
+#else
+  return false;
+#endif
+}
+
+size_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    // "VmHWM:   59944 kB" — a bare digit run; the shared parse helpers
+    // are for untrusted input, this is the kernel talking to us.
+    const char* p = line + 6;
+    while (*p == ' ' || *p == '\t') ++p;
+    size_t kb = 0;
+    while (*p >= '0' && *p <= '9') {
+      kb = kb * 10 + static_cast<size_t>(*p - '0');
+      ++p;
+    }
+    bytes = kb * 1024;
+    break;
+  }
+  std::fclose(file);
+  return bytes;
+#else
+  return 0;
+#endif
+}
+
 CellResult RunCell(const KdvTask& task, Method method,
                    const BenchConfig& config,
                    const EngineOptions& engine_options,
@@ -104,9 +143,14 @@ CellResult RunCell(const KdvTask& task, Method method,
   exec.set_deadline(&deadline);
   EngineOptions options = engine_options;
   options.compute.exec = &exec;
+  // Reset the RSS watermark right before the compute so the cell's
+  // peak_rss_bytes reflects this method's own footprint (on top of the
+  // already-resident inputs), not the process-lifetime maximum.
+  const bool rss_armed = ResetPeakRss();
   Timer timer;
   const auto map = ComputeKdv(task, method, options);
   result.seconds = timer.ElapsedSeconds();
+  if (rss_armed) result.peak_rss_bytes = PeakRssBytes();
   if (!map.ok()) {
     if (map.status().IsDeadlineExceeded() || map.status().IsCancelled()) {
       result.censored = true;
@@ -146,11 +190,12 @@ std::string CellJsonLine(const std::string& experiment,
   }
   return StringPrintf(
       "{\"experiment\":\"%s\",\"dataset\":\"%s\",\"method\":\"%s\","
-      "\"seconds\":%.17g,\"censored\":%s,\"ok\":%s,\"max_rel_error\":%s}",
+      "\"seconds\":%.17g,\"censored\":%s,\"ok\":%s,\"max_rel_error\":%s,"
+      "\"peak_rss_bytes\":%zu}",
       experiment.c_str(), dataset.c_str(),
       std::string(MethodName(method)).c_str(), cell.seconds,
       cell.censored ? "true" : "false", cell.status.ok() ? "true" : "false",
-      error_field.c_str());
+      error_field.c_str(), cell.peak_rss_bytes);
 }
 
 void MaybeAppendJson(const BenchConfig& config, const std::string& line) {

@@ -63,10 +63,27 @@ struct CellResult {
   /// Max relative error vs the long-double reference (NaN = unmeasured).
   /// Computed after the timer stops, so it never perturbs `seconds`.
   double max_rel_error = std::numeric_limits<double>::quiet_NaN();
+  /// Peak RSS of this process over the cell's compute, from a per-cell
+  /// watermark reset (ResetPeakRss/PeakRssBytes). 0 = unavailable. Unlike
+  /// a process-lifetime ru_maxrss, this attributes memory to the method
+  /// that ran, not to whichever earlier phase (dataset generation) peaked
+  /// highest.
+  size_t peak_rss_bytes = 0;
 
   /// "12.345" or ">10" (censored) or "ERR".
   std::string ToString() const;
 };
+
+/// Resets the kernel's peak-RSS watermark for this process (Linux:
+/// writing "5" to /proc/self/clear_refs). False when the platform or
+/// kernel does not support it — peak_rss_bytes then stays 0 and consumers
+/// fall back to process-lifetime measurements.
+bool ResetPeakRss();
+
+/// The process's current peak RSS in bytes (Linux: VmHWM from
+/// /proc/self/status, i.e. the watermark since the last ResetPeakRss).
+/// 0 when unavailable.
+size_t PeakRssBytes();
 
 /// Runs the method once under the config's budget. When `reference` is
 /// non-null the produced map is compared against it (outside the timed

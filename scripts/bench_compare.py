@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Diff the two newest BENCH_<n>.json trajectory snapshots.
+"""Diff the two newest BENCH_<n>.json trajectory snapshots, per config.
 
 Finds the two highest-numbered BENCH_<n>.json files at the repo root
 (or takes two explicit paths), prints a per-method table of p95 latency
-and peak RSS deltas, and exits 1 if any method's p95 regressed by more
-than the threshold (default 10%). Methods present in only one snapshot
-are reported but never fail the gate (the roster may legitimately grow).
+and peak RSS deltas for every pinned config the snapshots share, and
+exits 1 if any method's p95 regressed by more than the threshold
+(default 10%) in any shared config. Methods or configs present in only
+one snapshot are reported but never fail the gate (the roster and the
+config set may legitimately grow).
+
+Snapshots that predate the multi-config schema carry a single top-level
+"methods" dict; they are treated as {"table7_default": methods}, so a
+new multi-config snapshot still diffs cleanly against an old one on the
+workload they share.
 
 Peak RSS deltas are informational: CI machine memory is noisy across
 runner generations, and earlier snapshots predate per-method RSS
-capture entirely (their peak_rss_bytes is absent or 0).
+capture entirely (their peak_rss_bytes is absent, 0, or a process-wide
+figure rather than a per-method one).
 
 Usage:
   scripts/bench_compare.py [--threshold 0.10] [old.json new.json]
@@ -46,9 +54,14 @@ def find_snapshots(root):
 
 
 def load(path):
+    """{config name: {method: stats}}, normalizing pre-config snapshots."""
     with open(path) as f:
         snapshot = json.load(f)
-    return snapshot.get("methods", {})
+    configs = snapshot.get("configs")
+    if configs:
+        return {name: c.get("methods", {}) for name, c in configs.items()}
+    # Legacy single-config schema: the lone workload was table7_default.
+    return {"table7_default": snapshot.get("methods", {})}
 
 
 def fmt_ms(seconds):
@@ -57,6 +70,43 @@ def fmt_ms(seconds):
 
 def fmt_mib(b):
     return f"{b / (1024.0 * 1024.0):7.1f}" if b else "      -"
+
+
+def diff_config(name, old, new, threshold):
+    """Prints one config's per-method table; returns its regressions."""
+    print(f"\n[{name}]")
+    print(f"{'method':<18} {'old p95':>9} {'new p95':>9} {'delta':>8} "
+          f"{'old MiB':>8} {'new MiB':>8}")
+    regressions = []
+    for method in sorted(set(old) | set(new)):
+        o, n = old.get(method), new.get(method)
+        if o is None or n is None:
+            side = "new" if o is None else "old"
+            print(f"{method:<18} (only in {side} snapshot)")
+            continue
+        old_p95, new_p95 = o["p95_seconds"], n["p95_seconds"]
+        if old_p95 > NEGLIGIBLE_P95_SECONDS:
+            delta = (new_p95 - old_p95) / old_p95
+            delta_str = f"{delta * 100:+7.1f}%"
+        elif new_p95 > NEGLIGIBLE_P95_SECONDS:
+            # A zero/garbage baseline against a measurable new p95 cannot
+            # be scored as a ratio, but letting it pass would hide an
+            # arbitrarily bad regression; fail it explicitly.
+            delta = float("inf")
+            delta_str = f"{'n/a':>8}"
+        else:
+            # Both immeasurably small: no signal either way.
+            delta = 0.0
+            delta_str = f"{'n/a':>8}"
+        flag = ""
+        if delta > threshold:
+            regressions.append((f"{name}/{method}", delta))
+            flag = "  << REGRESSION"
+        print(f"{method:<18} {fmt_ms(old_p95)}ms {fmt_ms(new_p95)}ms "
+              f"{delta_str} "
+              f"{fmt_mib(o.get('peak_rss_bytes', 0))} "
+              f"{fmt_mib(n.get('peak_rss_bytes', 0))}{flag}")
+    return regressions
 
 
 def main():
@@ -85,38 +135,15 @@ def main():
     print(f"bench_compare: {os.path.basename(old_path)} -> "
           f"{os.path.basename(new_path)} "
           f"(p95 threshold +{args.threshold * 100:.0f}%)")
-    print(f"{'method':<18} {'old p95':>9} {'new p95':>9} {'delta':>8} "
-          f"{'old MiB':>8} {'new MiB':>8}")
 
     regressions = []
-    for method in sorted(set(old) | set(new)):
-        o, n = old.get(method), new.get(method)
-        if o is None or n is None:
-            side = "new" if o is None else "old"
-            print(f"{method:<18} (only in {side} snapshot)")
+    for config in sorted(set(old) | set(new)):
+        if config not in old or config not in new:
+            side = "new" if config not in old else "old"
+            print(f"\n[{config}] (only in {side} snapshot; not gated)")
             continue
-        old_p95, new_p95 = o["p95_seconds"], n["p95_seconds"]
-        if old_p95 > NEGLIGIBLE_P95_SECONDS:
-            delta = (new_p95 - old_p95) / old_p95
-            delta_str = f"{delta * 100:+7.1f}%"
-        elif new_p95 > NEGLIGIBLE_P95_SECONDS:
-            # A zero/garbage baseline against a measurable new p95 cannot
-            # be scored as a ratio, but letting it pass would hide an
-            # arbitrarily bad regression; fail it explicitly.
-            delta = float("inf")
-            delta_str = f"{'n/a':>8}"
-        else:
-            # Both immeasurably small: no signal either way.
-            delta = 0.0
-            delta_str = f"{'n/a':>8}"
-        flag = ""
-        if delta > args.threshold:
-            regressions.append((method, delta))
-            flag = "  << REGRESSION"
-        print(f"{method:<18} {fmt_ms(old_p95)}ms {fmt_ms(new_p95)}ms "
-              f"{delta_str} "
-              f"{fmt_mib(o.get('peak_rss_bytes', 0))} "
-              f"{fmt_mib(n.get('peak_rss_bytes', 0))}{flag}")
+        regressions.extend(
+            diff_config(config, old[config], new[config], args.threshold))
 
     if regressions:
         worst = max(regressions, key=lambda r: r[1])

@@ -48,6 +48,14 @@ plus a reason in the surrounding comment):
                      contraction-free compile flags, and the scalar-vs-
                      vector equivalence gates (DESIGN.md §11).
 
+  comparison-sort    No `std::sort` / `std::stable_sort` in src/core/: the
+                     sweep hot paths order endpoints with the O(n + X)
+                     pixel-binned counting sort (simd histogram_scatter,
+                     DESIGN.md §12), and a comparison sort silently
+                     reintroduces the O(n log n) per row that PR 9 removed.
+                     Legitimate once-per-compute sorts (the y-sorted
+                     envelope scanner) carry explicit waivers.
+
   retry-backoff      A loop whose header names a retry/attempt counter must
                      reference a backoff (Backoff/RetryPolicy/
                      DelayBeforeRetry) or poll its budget (Deadline/
@@ -401,6 +409,38 @@ def check_raw_intrinsics(f: SourceFile) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: comparison-sort
+# ---------------------------------------------------------------------------
+
+COMPARISON_SORT_SCOPE = "src/core/"
+COMPARISON_SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+
+
+def check_comparison_sort(f: SourceFile) -> list[Violation]:
+    if not f.rel.startswith(COMPARISON_SORT_SCOPE):
+        return []
+    out = []
+    for i, line in enumerate(f.code_lines, start=1):
+        if f.allowed(i, "comparison-sort"):
+            continue
+        if COMPARISON_SORT_RE.search(line):
+            out.append(
+                Violation(
+                    f.rel,
+                    i,
+                    "comparison-sort",
+                    "std::sort/std::stable_sort in a sweep hot path: order "
+                    "endpoints with the pixel-binned counting sort "
+                    "(SimdOps::histogram_scatter, DESIGN.md §12) — per-pixel "
+                    "runs need no internal order; a once-per-compute sort "
+                    "may carry a lint:allow(comparison-sort) waiver with a "
+                    "reason",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Rule: retry-backoff
 # ---------------------------------------------------------------------------
 
@@ -473,6 +513,7 @@ def main() -> int:
         violations.extend(check_banned(f))
         violations.extend(check_unvalidated_parse(f))
         violations.extend(check_raw_intrinsics(f))
+        violations.extend(check_comparison_sort(f))
         violations.extend(check_retry_backoff(f))
 
     for v in violations:

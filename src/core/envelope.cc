@@ -15,7 +15,10 @@ void FindEnvelope(std::span<const Point> points, double k, double bandwidth,
 
 EnvelopeScanner::EnvelopeScanner(std::span<const Point> points)
     : sorted_by_y_(points.begin(), points.end()) {
-  std::sort(sorted_by_y_.begin(), sorted_by_y_.end(),
+  // Once per compute, not per row — the O(n log n) here is amortized over
+  // all Y rows and is exactly what DESIGN.md §4.4 trades it for.
+  std::sort(sorted_by_y_.begin(),  // lint:allow(comparison-sort)
+            sorted_by_y_.end(),
             [](const Point& a, const Point& b) { return a.y < b.y; });
 }
 

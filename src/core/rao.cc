@@ -16,7 +16,11 @@ using BaseMethod = Status (*)(const KdvTask&, const ComputeOptions&,
 // is a column-local frame of the original problem — the conditioning
 // guarantee (aggregate magnitudes bounded by sweep-line extent plus
 // bandwidth, not by the projection offset) carries through RAO unchanged,
-// and the swap itself is exact (no arithmetic on the coordinates).
+// and the swap itself is exact (no arithmetic on the coordinates). The
+// pixel-binned counting sort carries through too: the transposed sweep
+// bins endpoints against the transposed x-axis (the original y-axis), so
+// RAO's benefit is purely the shorter swept axis — the per-line cost is
+// O(n + max(X, Y)) either way (DESIGN.md §12).
 Status ComputeWithRao(BaseMethod base, const KdvTask& task,
                       const ComputeOptions& options, DensityMap* out) {
   if (!RaoWouldTranspose(task)) {

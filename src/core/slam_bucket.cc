@@ -1,191 +1,20 @@
 #include "core/slam_bucket.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <vector>
-
-#include "core/envelope.h"
-#include "core/sweep_state.h"
-#include "simd/sweep_ops.h"
-#include "util/narrow.h"
+#include "core/sweep_rows.h"
 
 namespace slam {
 
-namespace {
-
-/// Counting-sort style buckets, reused across rows so a KDV allocates the
-/// bucket arrays once. Bucket i (0 <= i < X) holds the endpoints applied
-/// when the sweep line reaches pixel i; bucket X holds endpoints beyond the
-/// last pixel, which the sweep never applies.
-struct BucketWorkspace {
-  // SoA envelope (global coordinates), interval endpoints, and the bucket
-  // index of every endpoint (computed once per row by the dispatched
-  // bucket_indices pass — the pre-SoA code evaluated Eqs. 19-20 twice per
-  // endpoint, once counting and once scattering).
-  std::vector<double> ex, ey;
-  std::vector<double> lb, ub;
-  std::vector<int32_t> lower_idx, upper_idx;
-  // Per-bucket counts -> exclusive prefix offsets (size X + 2); endpoints
-  // scattered into contiguous row-local SoA lanes.
-  std::vector<int32_t> lower_offsets, upper_offsets;
-  std::vector<int32_t> lower_cursor, upper_cursor;
-  std::vector<double> lower_px, lower_py, upper_px, upper_py;
-  // Row-local pixel x-coordinates; identical for every row, filled once.
-  std::vector<double> qx;
-  RowSweepScratch scratch;
-
-  void PrepareRow(int num_pixels) {
-    // size_t arithmetic: num_pixels + 2 overflows `int` when the axis is
-    // within 2 pixels of INT_MAX (overflow regression test in
-    // tests/kdv/grid_overflow_test.cc).
-    lower_offsets.assign(CheckedSize(num_pixels) + 2, 0);
-    upper_offsets.assign(CheckedSize(num_pixels) + 2, 0);
-  }
-
-  /// Heap held by the bucket workspace, accounted against the memory
-  /// budget.
-  size_t HeapBytes() const {
-    return (ex.capacity() + ey.capacity() + lb.capacity() + ub.capacity() +
-            lower_px.capacity() + lower_py.capacity() + upper_px.capacity() +
-            upper_py.capacity() + qx.capacity()) *
-               sizeof(double) +
-           (lower_idx.capacity() + upper_idx.capacity() +
-            lower_offsets.capacity() + upper_offsets.capacity() +
-            lower_cursor.capacity() + upper_cursor.capacity()) *
-               sizeof(int32_t) +
-           scratch.HeapBytes();
-  }
-};
-
-/// Counting sort of the endpoints by their precomputed bucket indices,
-/// scattering row-local coordinates into the SoA lanes. Input order within
-/// a bucket is preserved (stable), matching the pre-SoA scatter.
-void BucketEndpoints(BucketWorkspace& ws, const GridAxis& xs,
-                     const Point& origin) {
-  ws.PrepareRow(xs.count);
-  const size_t m = ws.lower_idx.size();
-  for (size_t i = 0; i < m; ++i) {
-    // Offset index shifted by one for the exclusive scan; through size_t
-    // because the bucket can legitimately be X itself and X + 1 in `int`
-    // is UB at X = INT_MAX.
-    ++ws.lower_offsets[CheckedSize(ws.lower_idx[i]) + 1];
-    ++ws.upper_offsets[CheckedSize(ws.upper_idx[i]) + 1];
-  }
-  for (size_t i = 1; i < ws.lower_offsets.size(); ++i) {
-    ws.lower_offsets[i] += ws.lower_offsets[i - 1];
-    ws.upper_offsets[i] += ws.upper_offsets[i - 1];
-  }
-  ws.lower_px.resize(m);
-  ws.lower_py.resize(m);
-  ws.upper_px.resize(m);
-  ws.upper_py.resize(m);
-  ws.lower_cursor.assign(ws.lower_offsets.begin(),
-                         ws.lower_offsets.end() - 1);
-  ws.upper_cursor.assign(ws.upper_offsets.begin(),
-                         ws.upper_offsets.end() - 1);
-  for (size_t i = 0; i < m; ++i) {
-    const int32_t lo = ws.lower_cursor[CheckedSize(ws.lower_idx[i])]++;
-    const int32_t up = ws.upper_cursor[CheckedSize(ws.upper_idx[i])]++;
-    ws.lower_px[CheckedSize(lo)] = ws.ex[i] - origin.x;
-    ws.lower_py[CheckedSize(lo)] = ws.ey[i] - origin.y;
-    ws.upper_px[CheckedSize(up)] = ws.ex[i] - origin.x;
-    ws.upper_py[CheckedSize(up)] = ws.ey[i] - origin.y;
-  }
-}
-
-/// Copies an AoS envelope span (from the y-sorted scanner) into the SoA
-/// lanes (caller-sized to the full point count) and returns its size.
-size_t SoaFromSpan(std::span<const Point> envelope, double* ex, double* ey) {
-  for (size_t i = 0; i < envelope.size(); ++i) {
-    ex[i] = envelope[i].x;
-    ey[i] = envelope[i].y;
-  }
-  return envelope.size();
-}
-
-}  // namespace
-
+// The bucket workspace and scalar counting sort that used to live here
+// moved behind the dispatched histogram_scatter op (simd/sweep_ops.h) and
+// the shared driver in core/sweep_rows.cc, which SLAM_SORT now runs too —
+// see DESIGN.md §12. The LowerBucket/UpperBucket formulas stay in the
+// header: the SIMD bucket_indices backends inline them, and the boundary
+// regression tests pin their clamps.
 Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,
                          DensityMap* out) {
-  SLAM_RETURN_NOT_OK(ValidateTask(task));
-  if (!KernelSupportedBySlam(task.kernel)) {
-    return Status::InvalidArgument(
-        "SLAM has no aggregate decomposition for the " +
-        std::string(KernelTypeName(task.kernel)) +
-        " kernel (paper Section 3.7)");
-  }
-  if (task.points.size() >
-      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
-    // The bucket offset/cursor arrays count endpoints in int32_t (sized to
-    // the space model in EstimateAuxiliarySpaceBytes); beyond 2^31 - 1
-    // points per row they would wrap.
-    return Status::InvalidArgument(
-        "SLAM_BUCKET supports at most 2^31 - 1 points");
-  }
-  SLAM_ASSIGN_OR_RETURN(const SimdOps* ops, GetSimdOps(options.simd));
-  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
-                                                           task.grid.height()));
-  const ExecContext* exec = options.exec;
-  ScopedMemoryCharge charge(exec, "slam_bucket/workspace");
-  std::unique_ptr<EnvelopeScanner> scanner;
-  if (options.incremental_envelope) {
-    SLAM_RETURN_NOT_OK(charge.Update(task.points.size() * sizeof(Point)));
-    scanner = std::make_unique<EnvelopeScanner>(task.points);
-  }
-  const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
-
-  BucketWorkspace ws;
-  // The envelope lanes are sized to n once: the dispatched filter writes
-  // survivors through a raw cursor (vector backends store whole registers
-  // at it), so no per-survivor capacity check runs in the hot scan.
-  ws.ex.resize(task.points.size());
-  ws.ey.resize(task.points.size());
-  const GridAxis& xs = task.grid.x_axis();
-  const GridAxis& ys = task.grid.y_axis();
-  const double origin_x = RowLocalOrigin(xs, 0.0).x;
-  ws.qx.resize(CheckedSize(xs.count));
-  for (int ix = 0; ix < xs.count; ++ix) {
-    ws.qx[CheckedSize(ix)] = xs.Coord(ix) - origin_x;
-  }
-  for (int iy = 0; iy < ys.count; ++iy) {
-    SLAM_RETURN_NOT_OK(ExecCheck(exec, "slam_bucket/row"));
-    const double k = ys.Coord(iy);
-    const Point origin = RowLocalOrigin(xs, k);
-    const size_t m =
-        scanner ? SoaFromSpan(scanner->Envelope(k, task.bandwidth),
-                              ws.ex.data(), ws.ey.data())
-                : ops->envelope_filter(task.points, k, task.bandwidth,
-                                       ws.ex.data(), ws.ey.data());
-    ws.lb.resize(m);
-    ws.ub.resize(m);
-    ops->bound_intervals(ws.ex.data(), ws.ey.data(), m, k, task.bandwidth,
-                         ws.lb.data(), ws.ub.data());
-    ws.lower_idx.resize(m);
-    ws.upper_idx.resize(m);
-    ops->bucket_indices(ws.lb.data(), ws.ub.data(), m, xs,
-                        ws.lower_idx.data(), ws.upper_idx.data());
-    BucketEndpoints(ws, xs, origin);
-    SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
-
-    RowSweepArgs args;
-    args.kernel = task.kernel;
-    args.compensated = options.compensated_aggregates;
-    args.width = xs.count;
-    args.bandwidth = task.bandwidth;
-    args.weight = task.weight;
-    args.qy = 0.0;  // the row-local frame pins the query y to the row
-    args.qx = ws.qx.data();
-    args.lower = {ws.lower_offsets.data(), ws.lower_px.data(),
-                  ws.lower_py.data()};
-    args.upper = {ws.upper_offsets.data(), ws.upper_px.data(),
-                  ws.upper_py.data()};
-    args.out = map.mutable_row(iy).data();
-    ops->row_sweep(args, &ws.scratch);
-  }
-  *out = std::move(map);
-  return Status::OK();
+  static constexpr SweepMethodLabels kLabels = {
+      "SLAM_BUCKET", "slam_bucket/workspace", "slam_bucket/row"};
+  return ComputeEndpointSweep(task, options, kLabels, out);
 }
 
 }  // namespace slam

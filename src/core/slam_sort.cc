@@ -1,191 +1,24 @@
 #include "core/slam_sort.h"
 
-#include <algorithm>
-#include <limits>
-#include <memory>
-#include <vector>
-
-#include "core/envelope.h"
-#include "core/sweep_state.h"
-#include "simd/sweep_ops.h"
-#include "util/narrow.h"
+#include "core/sweep_rows.h"
 
 namespace slam {
 
-namespace {
-
-/// One endpoint event of the sweep: the x-value where a point's interval
-/// opens (lower bound) or closes (upper bound), carrying the point's
-/// global coordinates for the aggregate updates.
-struct Event {
-  double x;
-  double px;
-  double py;
-};
-
-struct RowWorkspace {
-  // SoA envelope (global coordinates) and interval endpoints.
-  std::vector<double> ex, ey;
-  std::vector<double> lb, ub;
-  std::vector<Event> lower_events, upper_events;
-  // Per-pixel run offsets into the sorted event arrays (width + 1 entries):
-  // events [offsets[i], offsets[i+1]) are applied before pixel i, i.e. the
-  // lower events with x <= x_i and the upper events with x < x_i — the
-  // merge loop the pre-SoA sweep ran per pixel, done once per row.
-  std::vector<int32_t> lower_offsets, upper_offsets;
-  // Sorted events split into SoA row-local coordinate lanes.
-  std::vector<double> lower_px, lower_py, upper_px, upper_py;
-  // Row-local pixel x-coordinates; identical for every row, filled once.
-  std::vector<double> qx;
-  RowSweepScratch scratch;
-
-  /// Heap held by the sweep workspace, accounted against the memory budget.
-  size_t HeapBytes() const {
-    return (ex.capacity() + ey.capacity() + lb.capacity() + ub.capacity() +
-            lower_px.capacity() + lower_py.capacity() + upper_px.capacity() +
-            upper_py.capacity() + qx.capacity()) *
-               sizeof(double) +
-           (lower_events.capacity() + upper_events.capacity()) *
-               sizeof(Event) +
-           (lower_offsets.capacity() + upper_offsets.capacity()) *
-               sizeof(int32_t) +
-           scratch.HeapBytes();
-  }
-};
-
-/// Copies an AoS envelope span (from the y-sorted scanner) into the SoA
-/// lanes (caller-sized to the full point count) and returns its size.
-size_t SoaFromSpan(std::span<const Point> envelope, double* ex, double* ey) {
-  for (size_t i = 0; i < envelope.size(); ++i) {
-    ex[i] = envelope[i].x;
-    ey[i] = envelope[i].y;
-  }
-  return envelope.size();
-}
-
-/// Merges the sorted events against the pixel coordinates into per-pixel
-/// run offsets, and splits the events into row-local SoA lanes. LB events
-/// fire on x <= q.x and UB events on x < q.x, so a point whose interval
-/// ends exactly on a pixel still counts there (see sweep_state.h).
-void BuildRuns(const std::vector<Event>& events, const GridAxis& xs,
-               const Point& origin, bool strict,
-               std::vector<int32_t>* offsets, std::vector<double>* px,
-               std::vector<double>* py) {
-  offsets->resize(CheckedSize(xs.count) + 1);
-  (*offsets)[0] = 0;
-  size_t i = 0;
-  for (int ix = 0; ix < xs.count; ++ix) {
-    const double qx = xs.Coord(ix);
-    if (strict) {
-      while (i < events.size() && events[i].x < qx) ++i;
-    } else {
-      while (i < events.size() && events[i].x <= qx) ++i;
-    }
-    (*offsets)[CheckedSize(ix) + 1] = CheckedNarrow<int32_t>(i);
-  }
-  px->resize(events.size());
-  py->resize(events.size());
-  for (size_t e = 0; e < events.size(); ++e) {
-    (*px)[e] = events[e].px - origin.x;
-    (*py)[e] = events[e].py - origin.y;
-  }
-}
-
-}  // namespace
-
+// Historically this file carried Algorithm 1 verbatim: per row, sort the
+// interval endpoints with std::sort and merge them against the pixel
+// coordinates. The per-pixel runs that merge produced never needed an
+// internal order (DESIGN.md §12), so the comparison sort was replaced by
+// the pixel-binned counting sort — at which point the implementation became
+// the same five dispatched passes as SLAM_BUCKET, and both now live in
+// ComputeEndpointSweep. The public method identity (name, checkpoint
+// sites, budget tags) is all that remains here; complexity is now
+// O(Y (n + X)), matching Theorem 2 rather than Theorem 1's O(Y (n log n +
+// X)) bound.
 Status ComputeSlamSort(const KdvTask& task, const ComputeOptions& options,
                        DensityMap* out) {
-  SLAM_RETURN_NOT_OK(ValidateTask(task));
-  if (!KernelSupportedBySlam(task.kernel)) {
-    return Status::InvalidArgument(
-        "SLAM has no aggregate decomposition for the " +
-        std::string(KernelTypeName(task.kernel)) +
-        " kernel (paper Section 3.7)");
-  }
-  if (task.points.size() >
-      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
-    // The per-pixel run offsets count endpoints in int32_t (the SIMD row
-    // sweep's run representation, simd/sweep_ops.h).
-    return Status::InvalidArgument(
-        "SLAM_SORT supports at most 2^31 - 1 points");
-  }
-  SLAM_ASSIGN_OR_RETURN(const SimdOps* ops, GetSimdOps(options.simd));
-  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
-                                                           task.grid.height()));
-  const ExecContext* exec = options.exec;
-  ScopedMemoryCharge charge(exec, "slam_sort/workspace");
-  // The y-sorted scanner is an optional exact optimization; Algorithm 1
-  // rescans all n points per row.
-  std::unique_ptr<EnvelopeScanner> scanner;
-  if (options.incremental_envelope) {
-    SLAM_RETURN_NOT_OK(
-        charge.Update(task.points.size() * sizeof(Point)));
-    scanner = std::make_unique<EnvelopeScanner>(task.points);
-  }
-  const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
-
-  RowWorkspace ws;
-  // Envelope lanes sized to n once so the dispatched filter writes
-  // survivors through a raw cursor with no per-survivor capacity check
-  // (vector backends store whole registers at the cursor).
-  ws.ex.resize(task.points.size());
-  ws.ey.resize(task.points.size());
-  const GridAxis& xs = task.grid.x_axis();
-  const GridAxis& ys = task.grid.y_axis();
-  // The row-local frame's x-origin is row-independent, so the translated
-  // pixel coordinates are computed once for the whole KDV.
-  const double origin_x = RowLocalOrigin(xs, 0.0).x;
-  ws.qx.resize(CheckedSize(xs.count));
-  for (int ix = 0; ix < xs.count; ++ix) {
-    ws.qx[CheckedSize(ix)] = xs.Coord(ix) - origin_x;
-  }
-  for (int iy = 0; iy < ys.count; ++iy) {
-    SLAM_RETURN_NOT_OK(ExecCheck(exec, "slam_sort/row"));
-    const double k = ys.Coord(iy);
-    const Point origin = RowLocalOrigin(xs, k);
-    const size_t m =
-        scanner ? SoaFromSpan(scanner->Envelope(k, task.bandwidth),
-                              ws.ex.data(), ws.ey.data())
-                : ops->envelope_filter(task.points, k, task.bandwidth,
-                                       ws.ex.data(), ws.ey.data());
-    ws.lb.resize(m);
-    ws.ub.resize(m);
-    ops->bound_intervals(ws.ex.data(), ws.ey.data(), m, k, task.bandwidth,
-                         ws.lb.data(), ws.ub.data());
-
-    ws.lower_events.resize(m);
-    ws.upper_events.resize(m);
-    for (size_t i = 0; i < m; ++i) {
-      ws.lower_events[i] = {ws.lb[i], ws.ex[i], ws.ey[i]};
-      ws.upper_events[i] = {ws.ub[i], ws.ex[i], ws.ey[i]};
-    }
-    // The O(n log n) step Theorem 1 charges per row.
-    const auto by_x = [](const Event& a, const Event& b) { return a.x < b.x; };
-    std::sort(ws.lower_events.begin(), ws.lower_events.end(), by_x);
-    std::sort(ws.upper_events.begin(), ws.upper_events.end(), by_x);
-    BuildRuns(ws.lower_events, xs, origin, /*strict=*/false,
-              &ws.lower_offsets, &ws.lower_px, &ws.lower_py);
-    BuildRuns(ws.upper_events, xs, origin, /*strict=*/true,
-              &ws.upper_offsets, &ws.upper_px, &ws.upper_py);
-    SLAM_RETURN_NOT_OK(charge.Update(scanner_bytes + ws.HeapBytes()));
-
-    RowSweepArgs args;
-    args.kernel = task.kernel;
-    args.compensated = options.compensated_aggregates;
-    args.width = xs.count;
-    args.bandwidth = task.bandwidth;
-    args.weight = task.weight;
-    args.qy = 0.0;  // the row-local frame pins the query y to the row
-    args.qx = ws.qx.data();
-    args.lower = {ws.lower_offsets.data(), ws.lower_px.data(),
-                  ws.lower_py.data()};
-    args.upper = {ws.upper_offsets.data(), ws.upper_px.data(),
-                  ws.upper_py.data()};
-    args.out = map.mutable_row(iy).data();
-    ops->row_sweep(args, &ws.scratch);
-  }
-  *out = std::move(map);
-  return Status::OK();
+  static constexpr SweepMethodLabels kLabels = {
+      "SLAM_SORT", "slam_sort/workspace", "slam_sort/row"};
+  return ComputeEndpointSweep(task, options, kLabels, out);
 }
 
 }  // namespace slam

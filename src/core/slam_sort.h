@@ -1,7 +1,11 @@
-// SLAM_SORT (paper Algorithm 1, Section 3.4): per pixel row, sort the
+// SLAM_SORT (paper Algorithm 1, Section 3.4): per pixel row, order the
 // interval endpoints of the envelope points and sweep them together with
 // the (already sorted) pixel x-coordinates, maintaining the L/U aggregates.
-// Exact. O(Y (n log n + X)) total (Theorem 1).
+// Exact. The paper's per-row comparison sort gives O(Y (n log n + X))
+// (Theorem 1); this implementation orders the endpoints with the
+// pixel-binned counting sort instead (per-pixel runs need no internal
+// order — DESIGN.md §12), which drops the row cost to O(n + X) and makes
+// the method share SLAM_BUCKET's five-pass driver (core/sweep_rows.h).
 #pragma once
 
 #include "kdv/density_map.h"

@@ -1,0 +1,127 @@
+#include "core/sweep_rows.h"
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/envelope.h"
+#include "core/sweep_arena.h"
+#include "core/sweep_state.h"
+#include "simd/sweep_ops.h"
+#include "util/narrow.h"
+
+namespace slam {
+
+namespace {
+
+/// Copies an AoS envelope span (from the y-sorted scanner) into the SoA
+/// lanes (caller-sized to the full point count) and returns its size.
+size_t SoaFromSpan(std::span<const Point> envelope, double* ex, double* ey) {
+  for (size_t i = 0; i < envelope.size(); ++i) {
+    ex[i] = envelope[i].x;
+    ey[i] = envelope[i].y;
+  }
+  return envelope.size();
+}
+
+}  // namespace
+
+Status ComputeEndpointSweep(const KdvTask& task, const ComputeOptions& options,
+                            const SweepMethodLabels& labels, DensityMap* out) {
+  SLAM_RETURN_NOT_OK(ValidateTask(task));
+  if (!KernelSupportedBySlam(task.kernel)) {
+    return Status::InvalidArgument(
+        "SLAM has no aggregate decomposition for the " +
+        std::string(KernelTypeName(task.kernel)) +
+        " kernel (paper Section 3.7)");
+  }
+  if (task.points.size() >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    // The per-pixel run offsets and scatter cursors count endpoints in
+    // int32_t (the SIMD run representation, simd/sweep_ops.h); beyond
+    // 2^31 - 1 points per row they would wrap.
+    return Status::InvalidArgument(std::string(labels.method) +
+                                   " supports at most 2^31 - 1 points");
+  }
+  SLAM_ASSIGN_OR_RETURN(const SimdOps* ops, GetSimdOps(options.simd));
+  SLAM_ASSIGN_OR_RETURN(DensityMap map, DensityMap::Create(task.grid.width(),
+                                                           task.grid.height()));
+  const ExecContext* exec = options.exec;
+  ScopedMemoryCharge charge(exec, labels.workspace);
+  // The y-sorted scanner is an optional exact optimization; Algorithms 1-2
+  // rescan all n points per row.
+  std::unique_ptr<EnvelopeScanner> scanner;
+  if (options.incremental_envelope) {
+    SLAM_RETURN_NOT_OK(charge.Update(task.points.size() * sizeof(Point)));
+    scanner = std::make_unique<EnvelopeScanner>(task.points);
+  }
+  const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
+
+  const GridAxis& xs = task.grid.x_axis();
+  const GridAxis& ys = task.grid.y_axis();
+  ScopedArena ws;
+  ws->PrepareCompute(task.points.size(), xs);
+  for (int iy = 0; iy < ys.count; ++iy) {
+    SLAM_RETURN_NOT_OK(ExecCheck(exec, labels.row));
+    const double k = ys.Coord(iy);
+    const Point origin = RowLocalOrigin(xs, k);
+    const size_t m =
+        scanner ? SoaFromSpan(scanner->Envelope(k, task.bandwidth),
+                              ws->ex.data(), ws->ey.data())
+                : ops->envelope_filter(task.points, k, task.bandwidth,
+                                       ws->ex.data(), ws->ey.data());
+    ws->PrepareRow(m);
+    ops->bound_intervals(ws->ex.data(), ws->ey.data(), m, k, task.bandwidth,
+                         ws->lb.data(), ws->ub.data());
+    ops->bucket_indices(ws->lb.data(), ws->ub.data(), m, xs,
+                        ws->lower_idx.data(), ws->upper_idx.data());
+
+    HistogramScatterArgs hs;
+    hs.n = m;
+    hs.num_pixels = xs.count;
+    hs.lower_idx = ws->lower_idx.data();
+    hs.upper_idx = ws->upper_idx.data();
+    hs.ex = ws->ex.data();
+    hs.ey = ws->ey.data();
+    hs.origin_x = origin.x;
+    hs.origin_y = origin.y;
+    hs.lower_offsets = ws->lower_offsets.data();
+    hs.upper_offsets = ws->upper_offsets.data();
+    hs.lower_cursor = ws->lower_cursor.data();
+    hs.upper_cursor = ws->upper_cursor.data();
+    hs.lower_px = ws->lower_px.data();
+    hs.lower_py = ws->lower_py.data();
+    hs.upper_px = ws->upper_px.data();
+    hs.upper_py = ws->upper_py.data();
+    ops->histogram_scatter(hs);
+
+    if (Status charged = charge.Update(scanner_bytes + ws->HeapBytes());
+        !charged.ok()) {
+      // Drop the cached capacity before surfacing the failure: the arena
+      // outlives this compute, and a budget refusal must not be sticky for
+      // the thread's next (possibly smaller) task.
+      ws->Release();
+      return charged;
+    }
+
+    RowSweepArgs args;
+    args.kernel = task.kernel;
+    args.compensated = options.compensated_aggregates;
+    args.width = xs.count;
+    args.bandwidth = task.bandwidth;
+    args.weight = task.weight;
+    args.qy = 0.0;  // the row-local frame pins the query y to the row
+    args.qx = ws->qx.data();
+    args.lower = {ws->lower_offsets.data(), ws->lower_px.data(),
+                  ws->lower_py.data()};
+    args.upper = {ws->upper_offsets.data(), ws->upper_px.data(),
+                  ws->upper_py.data()};
+    args.out = map.mutable_row(iy).data();
+    ops->row_sweep(args, &ws->scratch);
+  }
+  *out = std::move(map);
+  return Status::OK();
+}
+
+}  // namespace slam

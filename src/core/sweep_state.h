@@ -23,6 +23,15 @@
 //    of channels into registers and keeps the entire running state
 //    register-resident across a row. Channel values and channel count per
 //    kernel are defined here so scalar and vector backends cannot drift.
+//
+// Because set union is commutative and Add folds one endpoint at a time,
+// the aggregates depend only on the *set* of endpoints applied before each
+// pixel, never on the order within that per-pixel run — the
+// run-order-irrelevance invariant (DESIGN.md §12) that lets the sweep
+// methods feed the accumulators from a counting sort instead of a
+// comparison sort. (The compensated rounding *error* does depend on
+// fold order at the last-ulp level; the 1e-9 oracle bound is what the
+// methods promise, and it holds for any run order.)
 #pragma once
 
 #include <cstddef>

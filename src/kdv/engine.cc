@@ -207,27 +207,18 @@ size_t EstimateAuxiliarySpaceBytes(Method method, size_t n, int width,
     case Method::kQuad:
       return n * point_bytes + tree_nodes * 176;  // QuadTree::Node
     case Method::kSlamSort:
-    case Method::kSlamSortRao: {
-      // SoA envelope + interval lanes (8 doubles/point across ex/ey/lb/ub
-      // and the scattered row-local endpoint lanes) + two 24-byte event
-      // arrays; plus per-pixel run offsets, pixel coordinates, and the
-      // vector backends' snapshot lanes (<= 12 channels + qx, 13 doubles
-      // per pixel), which scale with the swept axis — the longer one under
-      // RAO, which sweeps the transposed grid.
-      const size_t x = static_cast<size_t>(method == Method::kSlamSortRao
-                                               ? std::max(width, height)
-                                               : width);
-      return n * (point_bytes + sizeof(double) * 8 + sizeof(double) * 6) +
-             (x + 1) * sizeof(int32_t) * 2 + x * sizeof(double) * 13;
-    }
+    case Method::kSlamSortRao:
     case Method::kSlamBucket:
     case Method::kSlamBucketRao: {
-      // SoA envelope + interval + scattered endpoint lanes (8 doubles per
-      // point) + per-endpoint bucket indices (2 int32), plus bucket
-      // offset/cursor arrays and the per-pixel lanes (as above) spanning
-      // the swept axis. RAO sweeps min(X, Y) lines of max(X, Y) pixels,
-      // so its bucket arrays span the longer axis.
-      const size_t x = static_cast<size_t>(method == Method::kSlamBucketRao
+      // Both sweep methods run the shared counting-sort driver
+      // (core/sweep_rows.cc) on one SweepArena: SoA envelope + interval +
+      // scattered endpoint lanes (8 doubles per point) + per-endpoint
+      // bucket indices (2 int32), plus bucket offset/cursor arrays and the
+      // per-pixel lanes (<= 12 snapshot channels + qx, 13 doubles per
+      // pixel) spanning the swept axis. RAO sweeps min(X, Y) lines of
+      // max(X, Y) pixels, so its per-pixel arrays span the longer axis.
+      const size_t x = static_cast<size_t>((method == Method::kSlamSortRao ||
+                                            method == Method::kSlamBucketRao)
                                                ? std::max(width, height)
                                                : width);
       return n * (point_bytes + sizeof(double) * 8 + sizeof(int32_t) * 2) +

@@ -1,9 +1,9 @@
 // Runtime SIMD dispatch for the sweep hot paths (ROADMAP item 2).
 //
 // The per-row sweep work — envelope filtering, bound-interval computation,
-// endpoint bucketing, and the closed-form per-pixel polynomial over the
-// (count, A, S, C, Q, M) aggregates — is data-parallel across points and
-// pixels. Each instruction-set backend implements the same row primitives
+// endpoint bucketing, the pixel-binned counting sort, and the closed-form
+// per-pixel polynomial over the (count, A, S, C, Q, M) aggregates — is
+// data-parallel across points and pixels. Each instruction-set backend implements the same row primitives
 // (simd/sweep_ops.h); the level is chosen once per engine call and carried
 // in ComputeOptions::simd, so a binary built on any machine picks the best
 // available backend at runtime and can be pinned to a specific one

@@ -1,23 +1,29 @@
 // The per-row sweep primitives behind SLAM_SORT / SLAM_BUCKET / RAO, as a
 // table of function pointers selected once per compute call (dispatch.h).
 //
-// A row sweep decomposes into four data-parallel passes:
+// A row sweep decomposes into five data-parallel passes:
 //   1. envelope_filter — E(k) membership test over all points, emitting the
 //      survivors as SoA coordinate lanes (x[], y[]).
 //   2. bound_intervals — per envelope point, the sweep interval
 //      [p.x − √(b² − dy²), p.x + √(b² − dy²)] (paper Eqs. 8–9) into
 //      contiguous lb[]/ub[] lanes.
 //   3. bucket_indices — per interval endpoint, the pixel bucket it lands in
-//      (paper Eqs. 19–20, SLAM_BUCKET only).
-//   4. row_sweep — the sweep itself: fold each pixel's endpoint runs into
+//      (paper Eqs. 19–20).
+//   4. histogram_scatter — the pixel-binned counting sort: per-bucket
+//      histograms of the endpoint bins, prefix-summed into per-pixel run
+//      offsets, and the endpoint coordinates scattered (stably, in input
+//      order) into row-local SoA lanes.
+//   5. row_sweep — the sweep itself: fold each pixel's endpoint runs into
 //      the L/U SoA accumulators (core/sweep_state.h) and evaluate the
 //      kernel's closed-form polynomial at the pixel.
 //
 // Both sweep methods feed row_sweep the same run-list shape: per pixel i,
 // the endpoints in [offsets[i], offsets[i+1]) are applied before pixel i is
-// evaluated. SLAM_BUCKET produces that directly from its counting-sort
-// buckets; SLAM_SORT derives it from the sorted event arrays with one
-// linear merge against the pixel coordinates. That is what lets all three
+// evaluated, and both now produce it with the same counting sort (passes
+// 3 + 4): SLAM_SORT's per-row comparison sort is gone — per-pixel runs
+// need no internal order (DESIGN.md §12), so an O(m + X) counting sort
+// keyed on the pixel bin produces the identical run *sets* the old
+// sort-then-merge produced in O(m log m). That is what lets all three
 // methods (RAO delegates to the other two) share one dispatched kernel.
 //
 // The scalar backend is the reference: it mirrors the pre-SoA sweep
@@ -69,6 +75,33 @@ struct RowSweepArgs {
   double* out = nullptr;  // densities, length `width`
 };
 
+/// Inputs/outputs of the pixel-binned counting sort (pass 4). All pointers
+/// are caller-sized: `n` endpoints per side with bucket indices in [0,
+/// num_pixels] (bucket_indices' clamped range), offsets num_pixels + 2
+/// entries, cursors num_pixels + 1, coordinate lanes n each. On return,
+/// offsets[0] == 0, offsets is non-decreasing, offsets[num_pixels + 1] ==
+/// n, and run i = [offsets[i], offsets[i + 1]) holds the endpoints with
+/// bucket i in input order (stable) as row-local coordinates (global minus
+/// origin). Bucket num_pixels is the park run the row sweep never applies.
+struct HistogramScatterArgs {
+  size_t n = 0;
+  int num_pixels = 0;
+  const int32_t* lower_idx = nullptr;
+  const int32_t* upper_idx = nullptr;
+  const double* ex = nullptr;  // global endpoint coordinates
+  const double* ey = nullptr;
+  double origin_x = 0.0;  // row-local frame origin (RowLocalOrigin)
+  double origin_y = 0.0;
+  int32_t* lower_offsets = nullptr;
+  int32_t* upper_offsets = nullptr;
+  int32_t* lower_cursor = nullptr;  // scratch for the scatter pass
+  int32_t* upper_cursor = nullptr;
+  double* lower_px = nullptr;
+  double* lower_py = nullptr;
+  double* upper_px = nullptr;
+  double* upper_py = nullptr;
+};
+
 /// Reusable scratch for the two-pass vector backends (pass 1 snapshots the
 /// per-pixel aggregate differences into interleaved lanes, pass 2 evaluates
 /// the polynomial across pixels). The scalar backend never touches it.
@@ -106,6 +139,14 @@ struct SimdOps {
   void (*bucket_indices)(const double* lb, const double* ub, size_t n,
                          const GridAxis& xs, int32_t* lower_bucket,
                          int32_t* upper_bucket) = nullptr;
+
+  /// The pixel-binned counting sort; see HistogramScatterArgs. Integer-only
+  /// control flow plus an exact coordinate translation, so every backend
+  /// produces bit-identical output (the vector backends vectorize the
+  /// X-length prefix-sum pass; the count and scatter passes stay scalar —
+  /// scattered increments have no conflict-free vector form before
+  /// AVX-512 CD, and both passes are memory-bound anyway).
+  void (*histogram_scatter)(const HistogramScatterArgs& args) = nullptr;
 
   /// The row sweep proper; see RowSweepArgs.
   void (*row_sweep)(const RowSweepArgs& args,

@@ -209,6 +209,51 @@ void BucketIndices(const double* lb, const double* ub, size_t n,
 }
 
 // ---------------------------------------------------------------------------
+// histogram_scatter
+// ---------------------------------------------------------------------------
+
+/// Inclusive prefix sum of 8 int32 lanes: two within-128-bit-lane shifted
+/// adds, then the low lane's total carried into the high lane. Integer adds
+/// are associative, so regrouping is exact — no parity discipline needed.
+inline __m256i PrefixSum8(__m256i v) {
+  v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+  v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+  const __m256i lane_totals =
+      _mm256_shuffle_epi32(v, _MM_SHUFFLE(3, 3, 3, 3));
+  // imm 0x08: low half zeroed, high half = src low half — the low lane's
+  // running total positioned under the high lane only.
+  const __m256i carry_up =
+      _mm256_permute2x128_si256(lane_totals, lane_totals, 0x08);
+  return _mm256_add_epi32(v, carry_up);
+}
+
+void HistogramScatter(const HistogramScatterArgs& a) {
+  const size_t bins = static_cast<size_t>(a.num_pixels) + 2;
+  simd_internal::HistogramCountScalar(a);
+  // The X-length pass, 8 bins per op with a broadcast running carry. The
+  // count and scatter passes stay scalar (see the op comment in
+  // sweep_ops.h).
+  const __m256i splat_last = _mm256_set1_epi32(7);
+  for (int32_t* offsets : {a.lower_offsets, a.upper_offsets}) {
+    __m256i carry = _mm256_setzero_si256();
+    size_t b = 0;
+    for (; b + 8 <= bins; b += 8) {
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(offsets + b));
+      v = _mm256_add_epi32(PrefixSum8(v), carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(offsets + b), v);
+      carry = _mm256_permutevar8x32_epi32(v, splat_last);
+    }
+    int32_t run = (b > 0) ? offsets[b - 1] : 0;
+    for (; b < bins; ++b) {
+      run += offsets[b];
+      offsets[b] = run;
+    }
+  }
+  simd_internal::HistogramScatterEndpointsScalar(a);
+}
+
+// ---------------------------------------------------------------------------
 // row_sweep
 // ---------------------------------------------------------------------------
 
@@ -450,8 +495,8 @@ void RowSweep(const RowSweepArgs& a, RowSweepScratch* scratch) {
 }
 
 constexpr SimdOps kAvx2Ops = {
-    SimdLevel::kAvx2, &EnvelopeFilter, &BoundIntervals, &BucketIndices,
-    &RowSweep,
+    SimdLevel::kAvx2, &EnvelopeFilter,   &BoundIntervals,
+    &BucketIndices,   &HistogramScatter, &RowSweep,
 };
 
 }  // namespace

@@ -68,6 +68,59 @@ inline void BucketIndicesScalarRange(const double* lb, const double* ub,
   }
 }
 
+// The reference counting sort (sweep_ops.h pass 4) in three passes, all
+// exact integer/translation work: histogram the bucket indices (shifted by
+// one for the exclusive scan), prefix-sum into the run offsets, then
+// scatter the endpoint coordinates — translated into the row-local frame —
+// through per-bucket cursors. The scatter preserves input order within a
+// bucket (stable), which is all the run-order-irrelevance invariant
+// (DESIGN.md §12) asks. Split into pieces so the vector backends can reuse
+// the count/scatter passes around their own prefix sums.
+
+/// Pass 1: zero both histograms and count each endpoint into the bin one
+/// past its bucket (exclusive-scan shift).
+inline void HistogramCountScalar(const HistogramScatterArgs& a) {
+  const size_t bins = static_cast<size_t>(a.num_pixels) + 2;
+  std::fill(a.lower_offsets, a.lower_offsets + bins, 0);
+  std::fill(a.upper_offsets, a.upper_offsets + bins, 0);
+  for (size_t i = 0; i < a.n; ++i) {
+    // Through size_t: the bucket can legitimately be X itself, and X + 1
+    // in `int` is UB at X = INT_MAX.
+    ++a.lower_offsets[static_cast<size_t>(a.lower_idx[i]) + 1];
+    ++a.upper_offsets[static_cast<size_t>(a.upper_idx[i]) + 1];
+  }
+}
+
+/// Pass 2: in-place inclusive prefix sum over one histogram.
+inline void HistogramPrefixSumScalar(int32_t* offsets, size_t bins) {
+  for (size_t b = 1; b < bins; ++b) offsets[b] += offsets[b - 1];
+}
+
+/// Pass 3: scatter through per-bucket cursors seeded from the offsets.
+inline void HistogramScatterEndpointsScalar(const HistogramScatterArgs& a) {
+  const size_t bins = static_cast<size_t>(a.num_pixels) + 2;
+  std::copy(a.lower_offsets, a.lower_offsets + bins - 1, a.lower_cursor);
+  std::copy(a.upper_offsets, a.upper_offsets + bins - 1, a.upper_cursor);
+  for (size_t i = 0; i < a.n; ++i) {
+    const size_t lo = static_cast<size_t>(
+        a.lower_cursor[static_cast<size_t>(a.lower_idx[i])]++);
+    const size_t up = static_cast<size_t>(
+        a.upper_cursor[static_cast<size_t>(a.upper_idx[i])]++);
+    a.lower_px[lo] = a.ex[i] - a.origin_x;
+    a.lower_py[lo] = a.ey[i] - a.origin_y;
+    a.upper_px[up] = a.ex[i] - a.origin_x;
+    a.upper_py[up] = a.ey[i] - a.origin_y;
+  }
+}
+
+inline void HistogramScatterScalar(const HistogramScatterArgs& a) {
+  const size_t bins = static_cast<size_t>(a.num_pixels) + 2;
+  HistogramCountScalar(a);
+  HistogramPrefixSumScalar(a.lower_offsets, bins);
+  HistogramPrefixSumScalar(a.upper_offsets, bins);
+  HistogramScatterEndpointsScalar(a);
+}
+
 /// The reference row sweep: SoA accumulators, one pixel at a time.
 template <bool kCompensated>
 void RowSweepScalarImpl(const RowSweepArgs& a) {

@@ -113,6 +113,38 @@ void BucketIndices(const double* lb, const double* ub, size_t n,
                                           upper_bucket);
 }
 
+/// Inclusive prefix sum of 4 int32 lanes via two zero-filled vext shifted
+/// adds. Integer adds are associative, so regrouping is exact.
+inline int32x4_t PrefixSum4(int32x4_t v) {
+  const int32x4_t zero = vdupq_n_s32(0);
+  v = vaddq_s32(v, vextq_s32(zero, v, 3));
+  v = vaddq_s32(v, vextq_s32(zero, v, 2));
+  return v;
+}
+
+void HistogramScatter(const HistogramScatterArgs& a) {
+  const size_t bins = static_cast<size_t>(a.num_pixels) + 2;
+  simd_internal::HistogramCountScalar(a);
+  // The X-length pass, 4 bins per op with a broadcast running carry. The
+  // count and scatter passes stay scalar (see the op comment in
+  // sweep_ops.h).
+  for (int32_t* offsets : {a.lower_offsets, a.upper_offsets}) {
+    int32x4_t carry = vdupq_n_s32(0);
+    size_t b = 0;
+    for (; b + 4 <= bins; b += 4) {
+      int32x4_t v = vaddq_s32(PrefixSum4(vld1q_s32(offsets + b)), carry);
+      vst1q_s32(offsets + b, v);
+      carry = vdupq_laneq_s32(v, 3);
+    }
+    int32_t run = (b > 0) ? offsets[b - 1] : 0;
+    for (; b < bins; ++b) {
+      run += offsets[b];
+      offsets[b] = run;
+    }
+  }
+  simd_internal::HistogramScatterEndpointsScalar(a);
+}
+
 void RowSweepUniform(const RowSweepArgs& a) {
   const KernelEvalProfile prof = MakeKernelEvalProfile(a.bandwidth);
   const double wob = a.weight / prof.bandwidth;
@@ -303,8 +335,8 @@ void RowSweep(const RowSweepArgs& a, RowSweepScratch* scratch) {
 }
 
 constexpr SimdOps kNeonOps = {
-    SimdLevel::kNeon, &EnvelopeFilter, &BoundIntervals, &BucketIndices,
-    &RowSweep,
+    SimdLevel::kNeon, &EnvelopeFilter,   &BoundIntervals,
+    &BucketIndices,   &HistogramScatter, &RowSweep,
 };
 
 }  // namespace

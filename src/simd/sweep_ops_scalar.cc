@@ -27,11 +27,16 @@ void BucketIndices(const double* lb, const double* ub, size_t n,
                                           upper_bucket);
 }
 
+void HistogramScatter(const HistogramScatterArgs& args) {
+  simd_internal::HistogramScatterScalar(args);
+}
+
 constexpr SimdOps kScalarOps = {
     SimdLevel::kScalar,
     &EnvelopeFilter,
     &BoundIntervals,
     &BucketIndices,
+    &HistogramScatter,
     &simd_internal::RowSweepScalar,
 };
 

@@ -129,13 +129,36 @@ TEST(RunCellTest, MeasuresMaxRelErrorAgainstReference) {
   EXPECT_FALSE(MaybeReference(*task, config).has_value());
 }
 
+TEST(PeakRssTest, WatermarkResetTracksAllocationsAndDropsAgain) {
+  if (!ResetPeakRss()) {
+    GTEST_SKIP() << "peak-RSS watermark reset unsupported on this platform";
+  }
+  const size_t baseline = PeakRssBytes();
+  ASSERT_GT(baseline, 0u);
+  // Allocate and touch well above page-accounting noise; the watermark
+  // must climb by at least half of it.
+  constexpr size_t kBlockBytes = 16u << 20;
+  size_t with_block = 0;
+  {
+    std::vector<unsigned char> block(kBlockBytes);
+    for (size_t i = 0; i < block.size(); i += 4096) block[i] = 1;
+    with_block = PeakRssBytes();
+  }
+  EXPECT_GE(with_block, baseline + kBlockBytes / 2);
+  // After the block is freed a fresh reset must re-anchor the watermark
+  // below the old peak — this is exactly what lets RunCell attribute a
+  // cell's RSS to its own method instead of the process lifetime.
+  ASSERT_TRUE(ResetPeakRss());
+  EXPECT_LT(PeakRssBytes(), with_block);
+}
+
 TEST(CellJsonLineTest, FormatsMeasuredAndUnmeasuredCells) {
   CellResult cell;
   cell.seconds = 0.25;
   EXPECT_EQ(CellJsonLine("table7", "Seattle", Method::kScan, cell),
             "{\"experiment\":\"table7\",\"dataset\":\"Seattle\","
             "\"method\":\"SCAN\",\"seconds\":0.25,\"censored\":false,"
-            "\"ok\":true,\"max_rel_error\":null}");
+            "\"ok\":true,\"max_rel_error\":null,\"peak_rss_bytes\":0}");
   cell.max_rel_error = 0.5;
   cell.censored = true;
   const std::string line =
