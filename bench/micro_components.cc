@@ -31,7 +31,7 @@ const PointDataset& SharedCity() {
 void BM_EnvelopeLinearScan(benchmark::State& state) {
   const auto& ds = SharedCity();
   const double b = 600.0;
-  const double k = ds.Extent().center().y;
+  const WorldY k(ds.Extent().center().y);
   std::vector<Point> env;
   for (auto _ : state) {
     FindEnvelope(ds.coords(), k, b, &env);
@@ -45,7 +45,7 @@ BENCHMARK(BM_EnvelopeLinearScan);
 void BM_EnvelopeSortedScanner(benchmark::State& state) {
   const auto& ds = SharedCity();
   const double b = 600.0;
-  const double k = ds.Extent().center().y;
+  const WorldY k(ds.Extent().center().y);
   const EnvelopeScanner scanner(ds.coords());
   for (auto _ : state) {
     const auto env = scanner.Envelope(k, b);
@@ -57,7 +57,7 @@ BENCHMARK(BM_EnvelopeSortedScanner);
 void BM_BoundIntervalComputation(benchmark::State& state) {
   const auto& ds = SharedCity();
   const double b = 600.0;
-  const double k = ds.Extent().center().y;
+  const WorldY k(ds.Extent().center().y);
   std::vector<Point> env;
   FindEnvelope(ds.coords(), k, b, &env);
   std::vector<BoundInterval> intervals;
@@ -74,7 +74,7 @@ BENCHMARK(BM_BoundIntervalComputation);
 void BM_RowEndpointSort(benchmark::State& state) {
   const auto& ds = SharedCity();
   const double b = 600.0;
-  const double k = ds.Extent().center().y;
+  const WorldY k(ds.Extent().center().y);
   std::vector<Point> env;
   FindEnvelope(ds.coords(), k, b, &env);
   std::vector<BoundInterval> intervals;
@@ -96,7 +96,7 @@ BENCHMARK(BM_RowEndpointSort);
 void BM_RowEndpointBucket(benchmark::State& state) {
   const auto& ds = SharedCity();
   const double b = 600.0;
-  const double k = ds.Extent().center().y;
+  const WorldY k(ds.Extent().center().y);
   const int X = 1280;
   const double x0 = ds.Extent().min().x;
   const double gap = ds.Extent().width() / X;

@@ -7,7 +7,8 @@ and peak RSS deltas for every pinned config the snapshots share, and
 exits 1 if any method's p95 regressed by more than the threshold
 (default 10%) in any shared config. Methods or configs present in only
 one snapshot are reported but never fail the gate (the roster and the
-config set may legitimately grow).
+config set may legitimately grow — e.g. rao_transposed first appears in
+BENCH_10 and only gates from the next snapshot on).
 
 Snapshots that predate the multi-config schema carry a single top-level
 "methods" dict; they are treated as {"table7_default": methods}, so a

@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
-"""Benchmark trajectory snapshot: pinned configs -> BENCH_9.json.
+"""Benchmark trajectory snapshot: pinned configs -> BENCH_10.json.
 
 Runs the bench_table7_default binary at small, pinned configurations
 (fixed scale / resolution / seed, so successive PRs measure the same
 work) with SLAM_BENCH_JSON pointed at a scratch file, aggregates
-per-method wall times into p50/p95/p99, and writes BENCH_9.json at the
+per-method wall times into p50/p95/p99, and writes BENCH_10.json at the
 repo root. The file is the newest point of the repo's performance
 trajectory (ROADMAP item 1: track method latency PR over PR); diff it
 against the previous snapshot with scripts/bench_compare.py.
 
-Three pinned configs (ROADMAP item 1):
+Four pinned configs (ROADMAP item 1):
   table7_default  the historical workload, full ten-method roster
   large_n         4x the points at the same 120x90 grid (sweep methods
                   only) — stresses the O(n) terms
   high_res        the same points at a 480x360 grid (sweep methods
                   only) — stresses the O(X) terms, where the counting
                   sort's win over comparison sorting grows
+  rao_transposed  the same points at a 360x480 grid (sweep methods
+                  only): height > width, so the RAO variants transpose
+                  the task and sweep 360 rows of 480 pixels while the
+                  non-RAO variants sweep 480 rows of 360 — the regime
+                  the paper's Section 3.6 rotation argument targets
 
 The snapshot's top-level "methods" key mirrors configs.table7_default
 so older tooling (and older snapshots) keep comparing like for like.
@@ -81,6 +86,18 @@ CONFIGS = {
             "SLAM_BENCH_SCALE": "0.005",
             "SLAM_BENCH_BUDGET": "10",
             "SLAM_BENCH_RES": "480x360",
+            "SLAM_BENCH_CHECK": "0",
+        },
+        "methods": SWEEP_METHODS,
+    },
+    # Height > width: the transposed regime where the RAO rotation pays.
+    # Same pixel budget as high_res, so RAO vs non-RAO is the only axis
+    # that moves between the two configs.
+    "rao_transposed": {
+        "env": {
+            "SLAM_BENCH_SCALE": "0.005",
+            "SLAM_BENCH_BUDGET": "10",
+            "SLAM_BENCH_RES": "360x480",
             "SLAM_BENCH_CHECK": "0",
         },
         "methods": SWEEP_METHODS,
@@ -228,7 +245,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--repetitions", type=int, default=5)
-    parser.add_argument("--output", default="BENCH_9.json")
+    parser.add_argument("--output", default="BENCH_10.json")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -1,32 +1,10 @@
 #!/usr/bin/env python3
 """Repo-invariant linter: SLAM-specific rules the generic tools can't check.
 
-Rules (each can be waived on a single line with `// lint:allow(<rule>)`,
-plus a reason in the surrounding comment):
-
-  exec-context       Every public `Compute*` function in src/**/*.cc that
-                     returns Status or Result<...> must consult its
-                     ExecContext (an ExecCheck/Check/ChargeMemory/
-                     ScopedMemoryCharge call) or delegate to another
-                     Compute* that does. Guarantees cancellation,
-                     deadlines, and memory budgets cover every compute
-                     path (util/exec_context.h).
-
-  narrowing-cast     No raw `static_cast<int/int32_t/float>` or C-style
-                     `(int)`/`(float)` casts, and no `float` arithmetic,
-                     in the pixel-index / aggregate math under src/core
-                     and src/kdv — outside core/sweep_state.h. Use the
-                     checked helpers in util/narrow.h; the two clamped
-                     bucket conversions in slam_bucket.h carry explicit
-                     waivers.
-
-  uncompensated-aggregate
-                     No `+=` / `-=` on aggregate channel fields (sum_sq,
-                     m_xx, ...) outside kdv/kernel.h — accumulation must
-                     go through RangeAggregates::Add/Merge/Minus or the
-                     Neumaier helpers so the compensated path stays the
-                     only accumulation path (Langrené & Warin stability
-                     argument, DESIGN.md).
+The four rules that need type or call-graph information — exec-context
+polling, narrowing casts, uncompensated aggregate accumulation, and raw
+intrinsics placement — moved to the AST checker in tools/slam_tidy/ (see
+DESIGN.md §13); this linter keeps the purely textual rules:
 
   banned-function    rand()/srand() (not reproducible; use util/random.h),
                      strtod/strtof/atof (locale-dependent; use
@@ -40,13 +18,6 @@ plus a reason in the surrounding comment):
                      come through ParseDouble/ParseInt64 and then the
                      validation layer (util/validate.h) so hostile input is
                      rejected exactly once, with a typed Status.
-
-  raw-intrinsics     No SIMD intrinsics (_mm*/__m128/__m256, vld1q_*/
-                     float64x2_t, or the <immintrin.h>/<arm_neon.h>
-                     headers) outside src/simd/. Vector code anywhere else
-                     escapes the dispatch layer's CPU checks, the
-                     contraction-free compile flags, and the scalar-vs-
-                     vector equivalence gates (DESIGN.md §11).
 
   comparison-sort    No `std::sort` / `std::stable_sort` in src/core/: the
                      sweep hot paths order endpoints with the O(n + X)
@@ -65,6 +36,9 @@ plus a reason in the surrounding comment):
                      serve/resilient_render.cc) exists so nobody hand-rolls
                      one.
 
+Each rule can be waived on a single line with `// lint:allow(<rule>)` plus
+a reason in the surrounding comment.
+
 Exit status: 0 clean, 1 violations (printed as file:line: rule: message).
 """
 
@@ -75,48 +49,12 @@ import re
 import sys
 from pathlib import Path
 
+# The stripper is shared with other source-scanning tools and unit-tested
+# in tests/tools/source_strip_test.py.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from source_strip import strip_comments_and_strings  # noqa: E402
+
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-
-# ---------------------------------------------------------------------------
-# Source loading: strip comments and string literals so rules match code
-# only, but keep line structure (and keep lint:allow markers readable from
-# the raw text).
-# ---------------------------------------------------------------------------
-
-
-def strip_comments_and_strings(text: str) -> str:
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            i = n if j == -1 else j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            # Preserve newlines inside the comment for stable line numbers.
-            seg = text[i : (n if j == -1 else j + 2)]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = n if j == -1 else j + 2
-        elif c == '"' or c == "'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append(" " if text[i] != "\n" else "\n")
-                    i += 1
-            out.append(quote)
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
 
 class SourceFile:
     def __init__(self, path: Path, root: Path):
@@ -142,165 +80,6 @@ class Violation:
 
     def __str__(self) -> str:
         return f"{self.rel}:{self.line}: {self.rule}: {self.message}"
-
-
-# ---------------------------------------------------------------------------
-# Rule: exec-context
-# ---------------------------------------------------------------------------
-
-COMPUTE_DEF_RE = re.compile(
-    r"^(?:Status|Result<[^;()]*>)\s+(Compute\w+)\s*\(", re.MULTILINE
-)
-EXEC_TOKENS_RE = re.compile(
-    r"\bExecCheck\s*\(|\bExecChargeMemory\s*\(|->\s*Check\s*\(|"
-    r"\.\s*Check\s*\(|\bScopedMemoryCharge\b|\bChargeMemory\s*\("
-)
-DELEGATE_RE = re.compile(r"\b(Compute\w+)\s*\(")
-# Forwarding the ComputeOptions / ExecContext to a helper counts as
-# consultation — the helper is then itself in the linter's scope or takes
-# over polling (e.g. ComputeRqsKd -> RqsLoop(index, task, options, out)).
-FORWARD_RE = re.compile(r"[(,]\s*&?(?:options|exec)\s*[),]")
-
-
-def function_body(code: str, sig_end: int) -> tuple[int, int] | None:
-    """Returns (open_brace, close_brace) of the body starting at/after the
-    parameter list whose '(' sits at sig_end - 1."""
-    depth = 0
-    i = sig_end - 1
-    n = len(code)
-    while i < n:  # skip the parameter list
-        if code[i] == "(":
-            depth += 1
-        elif code[i] == ")":
-            depth -= 1
-            if depth == 0:
-                break
-        i += 1
-    while i < n and code[i] != "{":
-        if code[i] == ";":
-            return None  # declaration, not a definition
-        i += 1
-    if i >= n:
-        return None
-    start = i
-    depth = 0
-    while i < n:
-        if code[i] == "{":
-            depth += 1
-        elif code[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return (start, i)
-        i += 1
-    return None
-
-
-def check_exec_context(f: SourceFile) -> list[Violation]:
-    out = []
-    for m in COMPUTE_DEF_RE.finditer(f.code):
-        name = m.group(1)
-        span = function_body(f.code, m.end())
-        if span is None:
-            continue
-        body = f.code[span[0] : span[1]]
-        line = f.code.count("\n", 0, m.start()) + 1
-        if f.allowed(line, "exec-context"):
-            continue
-        if EXEC_TOKENS_RE.search(body):
-            continue
-        delegates = [
-            d for d in DELEGATE_RE.findall(body) if d != name
-        ]  # calling a sibling Compute* inherits its polling
-        if delegates or FORWARD_RE.search(body):
-            continue
-        out.append(
-            Violation(
-                f.rel,
-                line,
-                "exec-context",
-                f"{name}() never consults its ExecContext: add an "
-                "ExecCheck(exec, ...) poll (per row / per point) so "
-                "cancellation, deadlines, and memory budgets cover it",
-            )
-        )
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Rule: narrowing-cast
-# ---------------------------------------------------------------------------
-
-NARROWING_SCOPE = ("src/core/", "src/kdv/")
-NARROWING_EXEMPT = ("src/core/sweep_state.h",)
-NARROWING_RE = re.compile(
-    r"static_cast<\s*(?:int|int32_t|float|short|char)\s*>\s*\(|"
-    r"\(\s*(?:int|int32_t|float)\s*\)\s*[\w(]"
-)
-FLOAT_TYPE_RE = re.compile(r"\bfloat\b")
-
-
-def check_narrowing(f: SourceFile) -> list[Violation]:
-    if not f.rel.startswith(NARROWING_SCOPE) or f.rel in NARROWING_EXEMPT:
-        return []
-    out = []
-    for i, line in enumerate(f.code_lines, start=1):
-        if f.allowed(i, "narrowing-cast"):
-            continue
-        if NARROWING_RE.search(line):
-            out.append(
-                Violation(
-                    f.rel,
-                    i,
-                    "narrowing-cast",
-                    "raw narrowing cast in pixel-index/aggregate math; use "
-                    "PixelIndex()/CheckedNarrow<>() from util/narrow.h "
-                    "(clamping conversions belong in sweep_state.h or "
-                    "carry a lint:allow waiver)",
-                )
-            )
-        elif FLOAT_TYPE_RE.search(line):
-            out.append(
-                Violation(
-                    f.rel,
-                    i,
-                    "narrowing-cast",
-                    "`float` in sweep/aggregate math: the exactness "
-                    "guarantees (DESIGN.md) are double-precision only",
-                )
-            )
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Rule: uncompensated-aggregate
-# ---------------------------------------------------------------------------
-
-AGG_EXEMPT = ("src/kdv/kernel.h",)
-AGG_FIELD_RE = re.compile(
-    r"[\w\])]\.(?:count|sum|sum_sq|sum_sq_p|sum_quad|m_xx|m_xy|m_yy)(?:\.[xy])?"
-    r"\s*[+-]="
-)
-
-
-def check_aggregates(f: SourceFile) -> list[Violation]:
-    if f.rel in AGG_EXEMPT:
-        return []
-    out = []
-    for i, line in enumerate(f.code_lines, start=1):
-        if f.allowed(i, "uncompensated-aggregate"):
-            continue
-        if AGG_FIELD_RE.search(line):
-            out.append(
-                Violation(
-                    f.rel,
-                    i,
-                    "uncompensated-aggregate",
-                    "direct +=/-= on an aggregate channel; accumulate via "
-                    "RangeAggregates::Add/Merge/Minus or NeumaierAdd "
-                    "(kdv/kernel.h) so compensation is never bypassed",
-                )
-            )
-    return out
 
 
 # ---------------------------------------------------------------------------
@@ -373,42 +152,6 @@ def check_unvalidated_parse(f: SourceFile) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
-# Rule: raw-intrinsics
-# ---------------------------------------------------------------------------
-
-INTRINSICS_SCOPE_PREFIX = "src/simd/"
-INTRINSICS_RE = re.compile(
-    r"(?<![\w:])_mm(?:256|512)?_\w+\s*\(|"       # x86 intrinsic calls
-    r"\b__m(?:128|256|512)[di]?\b|"              # x86 vector types
-    r"(?<![\w:])v(?:ld|st)[1-4]q?_\w+\s*\(|"     # NEON load/store calls
-    r"\b(?:float|int|uint)(?:32|64)x[24]_t\b|"   # NEON vector types
-    r"#\s*include\s*[<\"](?:immintrin|x86intrin|arm_neon)\.h[>\"]"
-)
-
-
-def check_raw_intrinsics(f: SourceFile) -> list[Violation]:
-    if f.rel.startswith(INTRINSICS_SCOPE_PREFIX):
-        return []
-    out = []
-    for i, line in enumerate(f.code_lines, start=1):
-        if f.allowed(i, "raw-intrinsics"):
-            continue
-        if INTRINSICS_RE.search(line):
-            out.append(
-                Violation(
-                    f.rel,
-                    i,
-                    "raw-intrinsics",
-                    "SIMD intrinsic outside src/simd/: vector code must live "
-                    "behind the dispatched backend tables (simd/sweep_ops.h) "
-                    "so it inherits the cpuid gating, contraction-free "
-                    "flags, and scalar-equivalence tests",
-                )
-            )
-    return out
-
-
-# ---------------------------------------------------------------------------
 # Rule: comparison-sort
 # ---------------------------------------------------------------------------
 
@@ -443,6 +186,40 @@ def check_comparison_sort(f: SourceFile) -> list[Violation]:
 # ---------------------------------------------------------------------------
 # Rule: retry-backoff
 # ---------------------------------------------------------------------------
+
+
+def function_body(code: str, sig_end: int) -> tuple[int, int] | None:
+    """Returns (open_brace, close_brace) of the body starting at/after the
+    parameter list whose '(' sits at sig_end - 1."""
+    depth = 0
+    i = sig_end - 1
+    n = len(code)
+    while i < n:  # skip the parameter list
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    while i < n and code[i] != "{":
+        if code[i] == ";":
+            return None  # declaration, not a definition
+        i += 1
+    if i >= n:
+        return None
+    start = i
+    depth = 0
+    while i < n:
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return (start, i)
+        i += 1
+    return None
+
 
 RETRY_LOOP_RE = re.compile(
     r"\b(?:for|while)\s*\([^)]*\b(?:retry|retries|attempt|attempts)\w*\b"
@@ -507,12 +284,8 @@ def main() -> int:
         if not path.is_file() or path.suffix not in (".cc", ".h"):
             continue
         f = SourceFile(path, root)
-        violations.extend(check_exec_context(f))
-        violations.extend(check_narrowing(f))
-        violations.extend(check_aggregates(f))
         violations.extend(check_banned(f))
         violations.extend(check_unvalidated_parse(f))
-        violations.extend(check_raw_intrinsics(f))
         violations.extend(check_comparison_sort(f))
         violations.extend(check_retry_backoff(f))
 

@@ -1,0 +1,96 @@
+"""Comment/string stripper shared by the repo's source-scanning tools.
+
+`strip_comments_and_strings` blanks out the contents of comments and
+string/char literals in C/C++ source while preserving line structure, so
+line-regex rules (scripts/lint_invariants.py) match code only. Compared to
+the naive scanner it replaces, this one handles:
+
+  * raw string literals  R"(...)" and R"delim(...)delim" — an inner `"`
+    or `)` must not terminate the literal early (the naive scanner
+    resumed mid-literal and produced false positives on the remainder);
+  * digit separators     1'000'000 — the `'` is part of the number, not a
+    char-literal open quote (the naive scanner swallowed everything until
+    the next apostrophe, hiding real code);
+  * block comments spanning lines, `//` and `/*` inside string literals,
+    escaped quotes, and unterminated constructs at EOF.
+
+Every blanked character becomes a space (newlines survive) so byte offsets
+and line/column numbers in the stripped text match the original.
+"""
+
+from __future__ import annotations
+
+
+def strip_comments_and_strings(text: str) -> str:
+    out: list[str] = []
+    i, n = 0, len(text)
+
+    def blank(segment: str) -> str:
+        return "".join(ch if ch == "\n" else " " for ch in segment)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(blank(text[i:j]))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append(blank(text[i:end]))
+            i = end
+        elif c == "R" and nxt == '"' and not _identifier_tail(text, i):
+            # Raw string literal: R"delim( ... )delim". The delimiter is
+            # everything between the opening quote and the first '('.
+            open_paren = text.find("(", i + 2)
+            if open_paren == -1:
+                out.append(blank(text[i:]))
+                i = n
+                continue
+            delim = text[i + 2 : open_paren]
+            closer = ")" + delim + '"'
+            j = text.find(closer, open_paren + 1)
+            end = n if j == -1 else j + len(closer)
+            out.append('R"' + blank(text[i + 2 : end - 1]) + '"'
+                       if j != -1 else blank(text[i:end]))
+            i = end
+        elif c == '"' or (c == "'" and not _digit_separator(text, i)):
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote and text[i] != "\n":
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" ")
+                    i += 1
+            if i < n:
+                out.append(text[i])  # closing quote, or the stray newline
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _identifier_tail(text: str, i: int) -> bool:
+    """True when the `R` at `text[i]` is the tail of a longer identifier
+    (e.g. `FOOR"..."` is not a raw-string prefix)."""
+    if i == 0:
+        return False
+    prev = text[i - 1]
+    return prev.isalnum() or prev == "_"
+
+
+def _digit_separator(text: str, i: int) -> bool:
+    """True when the `'` at `text[i]` is a C++14 digit separator
+    (1'000'000, 0x7f'ff): digit or hex digit on both sides."""
+    if i == 0 or i + 1 >= len(text):
+        return False
+    prev, nxt = text[i - 1], text[i + 1]
+    hexdigits = "0123456789abcdefABCDEF"
+    return prev in hexdigits and nxt in hexdigits

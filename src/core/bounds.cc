@@ -6,16 +6,17 @@
 
 namespace slam {
 
-void ComputeBoundIntervals(std::span<const Point> envelope, double k,
+void ComputeBoundIntervals(std::span<const Point> envelope, WorldY k,
                            double bandwidth,
                            std::vector<BoundInterval>* out) {
   out->clear();
   out->reserve(envelope.size());
   const double b2 = bandwidth * bandwidth;
   for (const Point& p : envelope) {
-    const double dy = k - p.y;
+    const double dy = k - WorldY(p.y);
     const double rem = b2 - dy * dy;
-    SLAM_DCHECK(rem >= 0.0) << "point outside the envelope of row " << k;
+    SLAM_DCHECK(rem >= 0.0) << "point outside the envelope of row "
+                            << k.value();
     // max() guards the tiny negative remainder FP can produce at |dy| == b.
     const double half_width = std::sqrt(std::max(rem, 0.0));
     out->push_back({p.x - half_width, p.x + half_width, p});

@@ -7,19 +7,23 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "util/units.h"
 
 namespace slam {
 
 struct BoundInterval {
-  double lb = 0.0;
+  double lb = 0.0;  // world-x of the interval ends; see LowerBound/UpperBound
   double ub = 0.0;
   Point p;  // the data point, carried along for the aggregate updates
+
+  WorldX lower() const { return WorldX(lb); }
+  WorldX upper() const { return WorldX(ub); }
 };
 
 /// Clears `out` and fills it with the interval of every envelope point.
 /// Precondition (Definition 1): |k - p.y| <= bandwidth for all inputs —
 /// guaranteed by FindEnvelope / EnvelopeScanner; DCHECKed here.
-void ComputeBoundIntervals(std::span<const Point> envelope, double k,
+void ComputeBoundIntervals(std::span<const Point> envelope, WorldY k,
                            double bandwidth, std::vector<BoundInterval>* out);
 
 }  // namespace slam

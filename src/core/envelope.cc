@@ -5,11 +5,11 @@
 
 namespace slam {
 
-void FindEnvelope(std::span<const Point> points, double k, double bandwidth,
+void FindEnvelope(std::span<const Point> points, WorldY k, double bandwidth,
                   std::vector<Point>* out) {
   out->clear();
   for (const Point& p : points) {
-    if (std::abs(k - p.y) <= bandwidth) out->push_back(p);
+    if (std::abs(k - WorldY(p.y)) <= bandwidth) out->push_back(p);
   }
 }
 
@@ -22,13 +22,13 @@ EnvelopeScanner::EnvelopeScanner(std::span<const Point> points)
             [](const Point& a, const Point& b) { return a.y < b.y; });
 }
 
-std::span<const Point> EnvelopeScanner::Envelope(double k,
+std::span<const Point> EnvelopeScanner::Envelope(WorldY k,
                                                  double bandwidth) const {
   const auto lo = std::lower_bound(
-      sorted_by_y_.begin(), sorted_by_y_.end(), k - bandwidth,
+      sorted_by_y_.begin(), sorted_by_y_.end(), (k - bandwidth).value(),
       [](const Point& p, double v) { return p.y < v; });
   const auto hi = std::upper_bound(
-      lo, sorted_by_y_.end(), k + bandwidth,
+      lo, sorted_by_y_.end(), (k + bandwidth).value(),
       [](double v, const Point& p) { return v < p.y; });
   return {lo, hi};
 }

@@ -16,11 +16,14 @@
 
 #include "geom/point.h"
 #include "util/result.h"
+#include "util/units.h"
 
 namespace slam {
 
-/// Clears `out` and fills it with E(k) for row coordinate `k`.
-void FindEnvelope(std::span<const Point> points, double k, double bandwidth,
+/// Clears `out` and fills it with E(k) for the row at world coordinate
+/// `k`. Taking WorldY (not a bare double) pins the unit: an envelope is
+/// always cut along the swept axis, never by a pixel index or an x value.
+void FindEnvelope(std::span<const Point> points, WorldY k, double bandwidth,
                   std::vector<Point>* out);
 
 class EnvelopeScanner {
@@ -29,7 +32,7 @@ class EnvelopeScanner {
   explicit EnvelopeScanner(std::span<const Point> points);
 
   /// The envelope as a contiguous span of the y-sorted points.
-  std::span<const Point> Envelope(double k, double bandwidth) const;
+  std::span<const Point> Envelope(WorldY k, double bandwidth) const;
 
   size_t size() const { return sorted_by_y_.size(); }
 

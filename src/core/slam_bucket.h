@@ -12,32 +12,36 @@
 #include "kdv/grid.h"
 #include "kdv/task.h"
 #include "util/status.h"
+#include "util/units.h"
 
 namespace slam {
 
-/// Bucket of a lower bound: the first pixel index i with value <= x_i,
-/// i.e. ceil((value - x0) / gap), clamped to [0, X] (Eq. 19). Exposed for
-/// the boundary regression tests — the strict-inequality convention of
+/// Bucket of a lower bound (a world-x interval end, never a pixel index —
+/// the WorldX parameter makes the unit a compile-time fact): the first
+/// pixel index i with value <= x_i, i.e. ceil((value - x0) / gap),
+/// clamped to [0, X] (Eq. 19). The result is a bucket slot, not a pixel:
+/// X is the valid park bucket, one past the last pixel. Exposed for the
+/// boundary regression tests — the strict-inequality convention of
 /// sweep_state.h lives or dies on these two clamps.
-inline int LowerBucket(double value, const GridAxis& xs) {
-  const double t = std::ceil((value - xs.origin) / xs.gap);
+inline int LowerBucket(WorldX value, const GridAxis& xs) {
+  const double t = std::ceil((value.value() - xs.origin) / xs.gap);
   if (t <= 0.0) return 0;
   if (t >= static_cast<double>(xs.count)) return xs.count;
   // In-range by the clamps above; one of the two sanctioned float->index
   // conversion sites (see util/narrow.h).
-  return static_cast<int>(t);  // lint:allow(narrowing-cast)
+  return static_cast<int>(t);  // lint:allow(narrowing-cast) NOLINT(slam-narrowing-cast)
 }
 
 /// Bucket of an upper bound: the first pixel index i with value < x_i,
 /// i.e. floor((value - x0) / gap) + 1, clamped to [0, X] (Eq. 20; strict
 /// so boundary points still count at the pixel they end on, see
 /// sweep_state.h).
-inline int UpperBucket(double value, const GridAxis& xs) {
-  const double t = std::floor((value - xs.origin) / xs.gap) + 1.0;
+inline int UpperBucket(WorldX value, const GridAxis& xs) {
+  const double t = std::floor((value.value() - xs.origin) / xs.gap) + 1.0;
   if (t <= 0.0) return 0;
   if (t >= static_cast<double>(xs.count)) return xs.count;
   // In-range by the clamps above (the other sanctioned site).
-  return static_cast<int>(t);  // lint:allow(narrowing-cast)
+  return static_cast<int>(t);  // lint:allow(narrowing-cast) NOLINT(slam-narrowing-cast)
 }
 
 Status ComputeSlamBucket(const KdvTask& task, const ComputeOptions& options,

@@ -27,7 +27,7 @@ void SweepArena::PrepareCompute(size_t num_points, const GridAxis& xs) {
     // The row-local frame's x-origin is row-independent, so the translated
     // pixel coordinates serve every row — and every later compute on the
     // same axis.
-    const double origin_x = RowLocalOrigin(xs, 0.0).x;
+    const double origin_x = RowLocalOrigin(xs, WorldY(0.0)).x;
     qx.resize(pixels);
     for (int ix = 0; ix < xs.count; ++ix) {
       qx[CheckedSize(ix)] = xs.Coord(ix) - origin_x;

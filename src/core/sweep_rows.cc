@@ -10,6 +10,7 @@
 #include "core/sweep_state.h"
 #include "simd/sweep_ops.h"
 #include "util/narrow.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -17,10 +18,14 @@ namespace {
 
 /// Copies an AoS envelope span (from the y-sorted scanner) into the SoA
 /// lanes (caller-sized to the full point count) and returns its size.
-size_t SoaFromSpan(std::span<const Point> envelope, double* ex, double* ey) {
+/// The lanes are typed at this boundary (TypedLane, util/units.h): the
+/// compiler rejects scattering a y coordinate into the x lane; only the
+/// dispatched backends below ever see the raw doubles.
+size_t SoaFromSpan(std::span<const Point> envelope, TypedLane<WorldX> ex,
+                   TypedLane<WorldY> ey) {
   for (size_t i = 0; i < envelope.size(); ++i) {
-    ex[i] = envelope[i].x;
-    ey[i] = envelope[i].y;
+    ex.Store(i, WorldX(envelope[i].x));
+    ey.Store(i, WorldY(envelope[i].y));
   }
   return envelope.size();
 }
@@ -59,21 +64,23 @@ Status ComputeEndpointSweep(const KdvTask& task, const ComputeOptions& options,
   const size_t scanner_bytes = scanner ? scanner->size() * sizeof(Point) : 0;
 
   const GridAxis& xs = task.grid.x_axis();
-  const GridAxis& ys = task.grid.y_axis();
+  const RowIndex rows(task.grid.height());
   ScopedArena ws;
   ws->PrepareCompute(task.points.size(), xs);
-  for (int iy = 0; iy < ys.count; ++iy) {
+  for (RowIndex iy(0); iy < rows; ++iy) {
     SLAM_RETURN_NOT_OK(ExecCheck(exec, labels.row));
-    const double k = ys.Coord(iy);
+    const WorldY k = task.grid.YCoord(iy);
     const Point origin = RowLocalOrigin(xs, k);
+    const size_t lane_size = task.points.size();
     const size_t m =
         scanner ? SoaFromSpan(scanner->Envelope(k, task.bandwidth),
-                              ws->ex.data(), ws->ey.data())
-                : ops->envelope_filter(task.points, k, task.bandwidth,
+                              TypedLane<WorldX>(ws->ex.data(), lane_size),
+                              TypedLane<WorldY>(ws->ey.data(), lane_size))
+                : ops->envelope_filter(task.points, k.value(), task.bandwidth,
                                        ws->ex.data(), ws->ey.data());
     ws->PrepareRow(m);
-    ops->bound_intervals(ws->ex.data(), ws->ey.data(), m, k, task.bandwidth,
-                         ws->lb.data(), ws->ub.data());
+    ops->bound_intervals(ws->ex.data(), ws->ey.data(), m, k.value(),
+                         task.bandwidth, ws->lb.data(), ws->ub.data());
     ops->bucket_indices(ws->lb.data(), ws->ub.data(), m, xs,
                         ws->lower_idx.data(), ws->upper_idx.data());
 
@@ -117,7 +124,7 @@ Status ComputeEndpointSweep(const KdvTask& task, const ComputeOptions& options,
                   ws->lower_py.data()};
     args.upper = {ws->upper_offsets.data(), ws->upper_px.data(),
                   ws->upper_py.data()};
-    args.out = map.mutable_row(iy).data();
+    args.out = map.mutable_density_row(iy).raw();
     ops->row_sweep(args, &ws->scratch);
   }
   *out = std::move(map);

@@ -39,6 +39,7 @@
 #include "geom/point.h"
 #include "kdv/grid.h"
 #include "kdv/kernel.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -49,8 +50,8 @@ namespace slam {
 /// projection puts the viewport from (0, 0) — the fix for the catastrophic
 /// cancellation Langrené & Warin document for fast-sum KDE. Exact for the
 /// density: every kernel in Table 2 depends only on q − p.
-inline Point RowLocalOrigin(const GridAxis& xs, double row_y) {
-  return {0.5 * (xs.origin + xs.last()), row_y};
+inline Point RowLocalOrigin(const GridAxis& xs, WorldY row_y) {
+  return {0.5 * (xs.origin + xs.last()), row_y.value()};
 }
 
 /// Templated over the aggregate accumulator so the compensated variant

@@ -36,6 +36,17 @@ bool Viewport::GeoToPixel(const Point& p, int* ix, int* iy) const {
   return true;
 }
 
+Result<PixelCoord> Viewport::ToPixel(const Point& p) const {
+  int ix = 0;
+  int iy = 0;
+  if (!GeoToPixel(p, &ix, &iy)) {
+    return Status::OutOfRange(StringPrintf(
+        "point (%.17g, %.17g) outside viewport region %s", p.x, p.y,
+        region_.ToString().c_str()));
+  }
+  return PixelCoord{PixelX(ix), PixelY(iy)};
+}
+
 Result<Viewport> Viewport::Zoomed(double ratio) const {
   if (!(ratio > 0.0) || !std::isfinite(ratio)) {
     return Status::InvalidArgument(

@@ -9,6 +9,7 @@
 #include "geom/bounding_box.h"
 #include "geom/point.h"
 #include "util/result.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -41,6 +42,15 @@ class Viewport {
   /// Pixel indices containing the geographic point; points on the max edge
   /// map to the last pixel. Returns false if p is outside the region.
   bool GeoToPixel(const Point& p, int* ix, int* iy) const;
+
+  /// Typed variants (util/units.h, DESIGN.md §13): the checked world→pixel
+  /// conversion returns axis-tagged indices, so a caller cannot feed the
+  /// y index where an x index is expected without an explicit (greppable)
+  /// unwrap.
+  Result<PixelCoord> ToPixel(const Point& p) const;
+  Point PixelCenter(PixelX ix, PixelY iy) const {
+    return PixelCenter(ix.value(), iy.value());
+  }
 
   /// Zoomed viewport: same center and resolution, region scaled by `ratio`
   /// per axis (ratio < 1 zooms in). Mirrors the paper's Figure 16a/b setup.

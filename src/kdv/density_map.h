@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -31,6 +32,17 @@ class DensityMap {
     values_[static_cast<size_t>(iy) * width_ + ix] = v;
   }
 
+  // Typed coordinate-space accessors (util/units.h, DESIGN.md §13): the
+  // subscripts are pixel indices and the cells are densities, and with
+  // these overloads the compiler enforces both — at(iy, ix) transpositions
+  // and density-as-coordinate leaks do not build.
+  DensityValue at(PixelX ix, PixelY iy) const {
+    return DensityValue(at(ix.value(), iy.value()));
+  }
+  void set(PixelX ix, PixelY iy, DensityValue v) {
+    set(ix.value(), iy.value(), v.value());
+  }
+
   /// Row-major (y-major) raw values.
   std::span<const double> values() const { return values_; }
   std::span<double> mutable_values() { return values_; }
@@ -43,6 +55,14 @@ class DensityMap {
   std::span<const double> row(int iy) const {
     return std::span<const double>(values_).subspan(
         static_cast<size_t>(iy) * width_, width_);
+  }
+
+  /// Typed row view for the sweep writers: a density lane addressed by a
+  /// row index. The raw pointer the SIMD row sweep writes through comes
+  /// from TypedLane::raw() at the dispatch boundary.
+  TypedLane<DensityValue> mutable_density_row(RowIndex iy) {
+    auto r = mutable_row(iy.value());
+    return TypedLane<DensityValue>(r.data(), r.size());
   }
 
   double MinValue() const;

@@ -1,8 +1,48 @@
 #include "kdv/grid.h"
 
+#include <cmath>
+
 #include "util/string_util.h"
 
 namespace slam {
+
+namespace {
+
+/// Shared checked conversion: the index of the pixel whose half-open cell
+/// [center − gap/2, center + gap/2) contains `w`, or OutOfRange. The
+/// round is exact integer arithmetic for every on-lattice coordinate, so
+/// ToPixel(Coord(i)) == i round-trips for all i in [0, count).
+Result<int> NearestPixel(double w, const GridAxis& axis, const char* name) {
+  const double t = std::floor((w - axis.origin) / axis.gap + 0.5);
+  if (!(t >= 0.0) || t >= static_cast<double>(axis.count)) {
+    return Status::OutOfRange(StringPrintf(
+        "%s coordinate %.17g outside the pixel lattice [%.17g, %.17g]", name,
+        w, axis.origin, axis.last()));
+  }
+  // In [0, count) by the checks above; count is a positive int
+  // (Grid::Create), so the narrow is lossless.
+  return static_cast<int>(t);  // lint:allow(narrowing-cast) NOLINT(slam-narrowing-cast)
+}
+
+}  // namespace
+
+Result<PixelX> Grid::ToPixelX(WorldX wx) const {
+  SLAM_ASSIGN_OR_RETURN(const int ix, NearestPixel(wx.value(), x_, "x"));
+  return PixelX(ix);
+}
+
+Result<PixelY> Grid::ToPixelY(WorldY wy) const {
+  SLAM_ASSIGN_OR_RETURN(const int iy, NearestPixel(wy.value(), y_, "y"));
+  return PixelY(iy);
+}
+
+Result<PixelX> ToPixel(WorldX wx, const Grid& grid) {
+  return grid.ToPixelX(wx);
+}
+
+Result<PixelY> ToPixel(WorldY wy, const Grid& grid) {
+  return grid.ToPixelY(wy);
+}
 
 Result<Grid> Grid::Create(const GridAxis& x_axis, const GridAxis& y_axis) {
   if (x_axis.count <= 0 || y_axis.count <= 0) {

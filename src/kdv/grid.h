@@ -8,6 +8,7 @@
 #include "geom/point.h"
 #include "geom/viewport.h"
 #include "util/result.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -43,6 +44,21 @@ class Grid {
     return {x_.Coord(ix), y_.Coord(iy)};
   }
 
+  // Typed coordinate-space API (util/units.h, DESIGN.md §13). Pixel ->
+  // world is total; world -> pixel is checked (the world coordinate may
+  // fall outside the lattice) and returns the pixel whose center is
+  // nearest, i.e. whose half-open cell [center − gap/2, center + gap/2)
+  // contains the coordinate.
+  WorldX XCoord(PixelX ix) const { return WorldX(x_.Coord(ix.value())); }
+  WorldY YCoord(PixelY iy) const { return WorldY(y_.Coord(iy.value())); }
+  Point PixelCenter(PixelX ix, PixelY iy) const {
+    return {x_.Coord(ix.value()), y_.Coord(iy.value())};
+  }
+  /// OutOfRange when the coordinate is beyond half a gap outside the
+  /// first/last pixel center.
+  Result<PixelX> ToPixelX(WorldX wx) const;
+  Result<PixelY> ToPixelY(WorldY wy) const;
+
   /// Swaps the axes — the RAO transformation (paper Section 3.6) runs the
   /// row sweep on the transposed problem when Y > X.
   Grid Transposed() const {
@@ -67,5 +83,11 @@ class Grid {
   GridAxis x_;
   GridAxis y_;
 };
+
+/// Free-function spellings of the checked world -> pixel conversions; the
+/// axis-specific parameter type picks the axis, so there is no way to ask
+/// for "the pixel of this y coordinate along x".
+Result<PixelX> ToPixel(WorldX wx, const Grid& grid);
+Result<PixelY> ToPixel(WorldY wy, const Grid& grid);
 
 }  // namespace slam

@@ -66,12 +66,14 @@ double EvaluateKernel(KernelType kernel, double squared_distance,
     case KernelType::kUniform:
       return squared_distance <= b2 ? 1.0 / prof.bandwidth : 0.0;
     case KernelType::kEpanechnikov:
-      return squared_distance <= b2 ? 1.0 - squared_distance / b2 : 0.0;
-    case KernelType::kQuartic: {
-      if (squared_distance > b2) return 0.0;
-      const double t = 1.0 - squared_distance / b2;
-      return t * t;
-    }
+      return squared_distance <= b2
+                 ? EpanechnikovProfile(ScaleSquaredDistance(squared_distance,
+                                                            prof))
+                 : 0.0;
+    case KernelType::kQuartic:
+      return squared_distance <= b2
+                 ? QuarticProfile(ScaleSquaredDistance(squared_distance, prof))
+                 : 0.0;
     case KernelType::kGaussian:
       return std::exp(-squared_distance / (2.0 * b2));
   }
@@ -149,7 +151,7 @@ double DensityFromAggregates(KernelType kernel, const Point& q,
       break;
   }
   SLAM_CHECK(false) << "unreachable: kernel "
-                    << static_cast<int>(kernel);  // lint:allow(narrowing-cast)
+                    << static_cast<int>(kernel);  // lint:allow(narrowing-cast) NOLINT(slam-narrowing-cast)
   return 0.0;
 }
 

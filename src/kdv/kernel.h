@@ -21,6 +21,7 @@
 
 #include "geom/point.h"
 #include "util/result.h"
+#include "util/units.h"
 
 namespace slam {
 
@@ -50,6 +51,27 @@ struct KernelEvalProfile {
   double b2 = 1.0;         // clamped bandwidth²
 };
 KernelEvalProfile MakeKernelEvalProfile(double bandwidth);
+
+/// The bandwidth-scaled squared distance u² = d²/b² — the dimensionless
+/// quantity every bounded-kernel profile is a polynomial in. Typed
+/// (util/units.h) so a raw, unscaled distance cannot reach a profile
+/// polynomial: the scaling step is the only constructor call site.
+inline BandwidthScaled ScaleSquaredDistance(double squared_distance,
+                                            const KernelEvalProfile& prof) {
+  return BandwidthScaled(squared_distance / prof.b2);
+}
+
+/// Profile polynomials over bandwidth-scaled inputs (paper Table 2,
+/// support checks excluded — callers gate on d² <= b² against the RAW
+/// squared distance, never the scaled one, so boundary membership is
+/// bit-identical to direct evaluation).
+inline double EpanechnikovProfile(BandwidthScaled u2) {
+  return 1.0 - u2.value();
+}
+inline double QuarticProfile(BandwidthScaled u2) {
+  const double t = 1.0 - u2.value();
+  return t * t;
+}
 
 /// Direct evaluation of K(q, p) given squared distance. This is the ground
 /// truth every optimized path is tested against.

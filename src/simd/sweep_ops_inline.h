@@ -63,8 +63,8 @@ inline void BucketIndicesScalarRange(const double* lb, const double* ub,
                                      int32_t* lower_bucket,
                                      int32_t* upper_bucket) {
   for (size_t i = begin; i < end; ++i) {
-    lower_bucket[i] = LowerBucket(lb[i], xs);
-    upper_bucket[i] = UpperBucket(ub[i], xs);
+    lower_bucket[i] = LowerBucket(WorldX(lb[i]), xs);
+    upper_bucket[i] = UpperBucket(WorldX(ub[i]), xs);
   }
 }
 

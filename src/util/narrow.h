@@ -20,7 +20,7 @@ namespace slam {
 /// Integral → integral only; the pixel-coordinate float→index conversions
 /// stay in LowerBucket/UpperBucket, which clamp explicitly.
 template <typename To, typename From>
-inline To CheckedNarrow(From value) {
+[[nodiscard]] inline To CheckedNarrow(From value) {
   static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
                 "CheckedNarrow is for integral conversions");
   SLAM_DCHECK(std::in_range<To>(value)) << "narrowing lost value";
@@ -32,13 +32,13 @@ inline To CheckedNarrow(From value) {
 /// positive `int`, so a checked narrow documents (and in debug builds
 /// verifies) that invariant at every conversion site.
 template <typename From>
-inline int PixelIndex(From value) {
+[[nodiscard]] inline int PixelIndex(From value) {
   return CheckedNarrow<int>(value);
 }
 
 /// `size_t` element count from any non-negative signed count.
 template <typename From>
-inline size_t CheckedSize(From value) {
+[[nodiscard]] inline size_t CheckedSize(From value) {
   static_assert(std::is_integral_v<From>);
   if constexpr (std::is_signed_v<From>) {
     SLAM_DCHECK(value >= From{0}) << "negative count";

@@ -1,0 +1,159 @@
+// Coordinate-space unit types: zero-cost tagged wrappers that make the
+// sweep core's unit discipline a compile-time property (DESIGN.md §13).
+//
+// SLAM's correctness argument mixes four distinct scalar spaces that were
+// all bare `double`/`int` until this header existed:
+//
+//   world coordinates   the data/projection space (EPSG meters, degrees):
+//                       point coordinates, interval bounds LB/UB, row
+//                       sweep-line positions k.          -> WorldX, WorldY
+//   pixel indices       the lattice the paper calls q_1..q_X per row:
+//                       array subscripts into rasters and SoA lanes.
+//                                             -> PixelX, PixelY, RowIndex
+//   bandwidth-scaled    dimensionless ratios d/b (or d²/b²) the kernel
+//   quantities          profiles are polynomials in.   -> BandwidthScaled
+//   densities           the output values F_P(q).         -> DensityValue
+//
+// Swapping an x for a y, a pixel index for a world coordinate, an
+// unscaled distance for a bandwidth-scaled one, or a density for a
+// coordinate is exactly the bug class the RAO transposition and the SoA
+// refactor multiplied call sites for — and none of it compiles now (the
+// negative try_compile suite under tests/compile_fail/ proves it).
+//
+// Design rules:
+//  * Construction from the raw representation is explicit; reading it out
+//    is an explicit `.value()`. No implicit conversions in either
+//    direction, so a typed quantity can never silently cross spaces.
+//  * Within one space, offset arithmetic is allowed in the underlying
+//    representation (coordinate ± offset -> coordinate, coordinate −
+//    coordinate -> offset): the sweep's interval math (p.x ± √(b²−dy²))
+//    stays natural. Cross-space operators simply do not exist.
+//  * Zero cost: each type is a trivially copyable single-field struct;
+//    every operation is constexpr and inlines to the raw arithmetic.
+//  * Checked space *conversions* (world -> pixel) return Result and live
+//    with the Grid (kdv/grid.h: ToPixel/ToPixelX/ToPixelY), since only
+//    the grid knows the lattice. Pixel -> world is total (Grid::XCoord/
+//    YCoord).
+//  * Inside src/simd/ the SoA lanes stay raw double* — the dispatch
+//    tables are the one sanctioned raw-representation domain — but the
+//    fill/read shims at its boundary speak TypedLane, so lane contents
+//    are typed on entry and exit.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+
+namespace slam {
+
+/// The tagged-wrapper machinery. `Rep` is the raw representation, `Tag` an
+/// otherwise-unused type that makes each space a distinct C++ type.
+template <typename Rep, typename Tag>
+class StrongUnit {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongUnit() = default;
+  constexpr explicit StrongUnit(Rep v) : v_(v) {}
+
+  /// The raw representation; the only way out of the type.
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  friend constexpr bool operator==(StrongUnit a, StrongUnit b) = default;
+  friend constexpr auto operator<=>(StrongUnit a, StrongUnit b) = default;
+
+  // Offset arithmetic within one space: a coordinate plus a plain offset
+  // stays in its space, and the difference of two same-space coordinates
+  // is a plain offset. There is deliberately no operator taking another
+  // StrongUnit specialization — that absence is the type wall.
+  friend constexpr StrongUnit operator+(StrongUnit a, Rep d) {
+    return StrongUnit(a.v_ + d);
+  }
+  friend constexpr StrongUnit operator-(StrongUnit a, Rep d) {
+    return StrongUnit(a.v_ - d);
+  }
+  friend constexpr Rep operator-(StrongUnit a, StrongUnit b) {
+    return a.v_ - b.v_;
+  }
+  constexpr StrongUnit& operator+=(Rep d) {
+    v_ += d;
+    return *this;
+  }
+  constexpr StrongUnit& operator-=(Rep d) {
+    v_ -= d;
+    return *this;
+  }
+  /// Pixel-index loop idiom: `for (RowIndex iy(0); iy < rows; ++iy)`.
+  constexpr StrongUnit& operator++() {
+    v_ += Rep{1};
+    return *this;
+  }
+
+ private:
+  Rep v_ = Rep{};
+};
+
+/// World-space coordinates (projection units). WorldX and WorldY are
+/// distinct types: the RAO transposition swaps axes wholesale, never one
+/// scalar at a time, so an x/y mix-up is always a bug.
+using WorldX = StrongUnit<double, struct WorldXTag>;
+using WorldY = StrongUnit<double, struct WorldYTag>;
+
+/// Pixel-lattice indices, 0-based. Valid subscripts are [0, axis count);
+/// the endpoint-bucket value `count` (the park bucket, Eqs. 19–20) is
+/// plain int on purpose — it is a bucket slot, not a pixel.
+using PixelX = StrongUnit<int, struct PixelXTag>;
+using PixelY = StrongUnit<int, struct PixelYTag>;
+
+/// The sweep's row counter. A row of the (possibly RAO-transposed) task
+/// grid IS its y pixel index — one name, one type, so `mutable_row(iy)`
+/// and `YCoord(iy)` cannot take an x index.
+using RowIndex = PixelY;
+
+/// Dimensionless bandwidth-scaled quantity: d/b or d²/b² (context-fixed
+/// per call site). The kernel profiles (kdv/kernel.h) are polynomials in
+/// this space; feeding them an unscaled distance is a unit error the
+/// compiler now rejects.
+using BandwidthScaled = StrongUnit<double, struct BandwidthScaledTag>;
+
+/// A kernel density value F_P(q) — the raster's cell space. Distinct from
+/// every coordinate space so a density can never be used as a position.
+using DensityValue = StrongUnit<double, struct DensityValueTag>;
+
+/// A typed pixel position; what Viewport/Grid conversions hand back.
+struct PixelCoord {
+  PixelX x;
+  PixelY y;
+
+  friend constexpr bool operator==(const PixelCoord&, const PixelCoord&) =
+      default;
+};
+
+/// Typed view of one SoA lane at the SIMD boundary: the lane storage is
+/// the unit's raw representation (the backends under src/simd/ consume
+/// `raw()`), but filling and reading go through the unit type, so a shim
+/// cannot scatter y values into an x lane. Not a container — a view over
+/// caller-owned memory, like std::span.
+template <typename Unit>
+class TypedLane {
+ public:
+  using rep_type = typename Unit::rep_type;
+
+  constexpr TypedLane() = default;
+  constexpr TypedLane(rep_type* data, size_t size)
+      : data_(data), size_(size) {}
+
+  constexpr void Store(size_t i, Unit v) { data_[i] = v.value(); }
+  [[nodiscard]] constexpr Unit Load(size_t i) const {
+    return Unit(data_[i]);
+  }
+
+  /// The raw lane for the dispatched backends (src/simd/ only).
+  [[nodiscard]] constexpr rep_type* raw() const { return data_; }
+  [[nodiscard]] constexpr size_t size() const { return size_; }
+
+ private:
+  rep_type* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace slam

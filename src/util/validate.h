@@ -63,37 +63,37 @@ struct InputLimits {
 };
 
 /// NaN/Inf rejected; `what` names the field in the error message.
-Status CheckFinite(double value, std::string_view what);
+[[nodiscard]] Status CheckFinite(double value, std::string_view what);
 
 /// Strictly positive, finite, and not subnormal. The subnormal clause is
 /// the point: a denormal like 1e-310 passes `> 0` yet 1/x overflows to
 /// Inf, which is exactly how a hostile bandwidth corrupts the sweep.
-Status CheckPositiveNormal(double value, std::string_view what);
+[[nodiscard]] Status CheckPositiveNormal(double value, std::string_view what);
 
 /// A coordinate: finite and |v| <= InputLimits::kMaxCoordinateMagnitude.
 /// Subnormals are fine here (they are just tiny); use
 /// CanonicalizeCoordinate to flush them to a single representation.
-Status CheckCoordinate(double value, std::string_view what);
-Status CheckCoordinatePair(double x, double y, std::string_view what);
+[[nodiscard]] Status CheckCoordinate(double value, std::string_view what);
+[[nodiscard]] Status CheckCoordinatePair(double x, double y, std::string_view what);
 
 /// Raster/grid dimensions: positive, per-axis <= kMaxGridDim, and
 /// width*height <= kMaxGridCells. Takes int64 so callers can pass raw
 /// header fields before any narrowing.
-Status CheckGridDims(int64_t width, int64_t height);
+[[nodiscard]] Status CheckGridDims(int64_t width, int64_t height);
 
 /// Bandwidth on the serving path: CheckPositiveNormal plus the
 /// [kMinBandwidth, kMaxBandwidth] range.
-Status CheckBandwidth(double bandwidth);
+[[nodiscard]] Status CheckBandwidth(double bandwidth);
 
 /// A rectangular region: all four corners valid coordinates and
 /// min < max on both axes (degenerate or inverted regions rejected).
-Status CheckRegion(double min_x, double min_y, double max_x, double max_y);
+[[nodiscard]] Status CheckRegion(double min_x, double min_y, double max_x, double max_y);
 
 /// Canonical form of an untrusted coordinate: -0.0 becomes +0.0 and
 /// subnormals flush to 0.0, so "zero-ish" has one representation and
 /// dedup/bucketing downstream cannot be steered by bit games. Finite
 /// normal values pass through unchanged.
-inline double CanonicalizeCoordinate(double value) {
+[[nodiscard]] inline double CanonicalizeCoordinate(double value) {
   if (value == 0.0 || (std::isfinite(value) && !std::isnormal(value))) {
     return 0.0;
   }

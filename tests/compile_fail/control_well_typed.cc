@@ -1,0 +1,19 @@
+// Positive control for the unit-type compile-fail suite: the SAME headers
+// and APIs the negative cases misuse, used correctly. This file MUST
+// build — if it ever stops compiling, the negative cases could be failing
+// for an unrelated reason (broken include path, header error) and the
+// suite would be vacuously green.
+#include "kdv/grid.h"
+#include "kdv/kernel.h"
+#include "util/units.h"
+
+int main() {
+  slam::Grid grid;
+  const slam::WorldX wx = grid.XCoord(slam::PixelX(0));
+  const slam::WorldY wy = grid.YCoord(slam::PixelY(0));
+  const slam::Point center = grid.PixelCenter(slam::PixelX(0), slam::PixelY(0));
+  const double span = (wx + 1.0) - wx;  // offset arithmetic stays legal
+  const double profile =
+      slam::EpanechnikovProfile(slam::BandwidthScaled(0.5));
+  return (wy.value() + center.x + span + profile) > 1e300 ? 1 : 0;
+}

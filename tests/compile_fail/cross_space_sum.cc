@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: arithmetic across coordinate spaces. Offset math
+// (coordinate ± double) is legal; summing an x with a y has no meaning in
+// any space and no operator exists for it.
+#include "util/units.h"
+
+int main() {
+  const auto bad = slam::WorldX(1.0) + slam::WorldY(2.0);  // x + y
+  return bad.value() > 0.0 ? 1 : 0;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: a density value used as a coordinate. F_P(q) lives in
+// the raster's cell space; the checked world->pixel conversion only
+// accepts the matching world coordinate type.
+#include "kdv/grid.h"
+#include "util/units.h"
+
+int main() {
+  slam::Grid grid;
+  const slam::DensityValue density(0.125);
+  const auto pixel = grid.ToPixelX(density);  // density is not a position
+  return pixel.ok() ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: raw squared distance fed to a kernel profile. The
+// profiles are polynomials in the dimensionless d²/b²; passing an
+// unscaled d² (a plain double) skips the bandwidth division and the
+// explicit BandwidthScaled constructor refuses the implicit conversion.
+#include "kdv/kernel.h"
+#include "util/units.h"
+
+int main() {
+  const double squared_distance = 0.25;
+  const double w = slam::EpanechnikovProfile(squared_distance);  // unscaled
+  return w > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: world coordinate used as a pixel index. XCoord maps
+// lattice index -> world; feeding it a world coordinate would silently
+// re-interpret meters as subscripts if the parameter were still `int`.
+#include "kdv/grid.h"
+#include "util/units.h"
+
+int main() {
+  slam::Grid grid;
+  const slam::WorldX wx = grid.XCoord(slam::WorldX(12.5));  // world != pixel
+  return wx.value() > 0.0 ? 1 : 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: x/y axis swap. A y pixel index handed to the x-axis
+// accessor — the exact single-scalar mix-up the RAO transposition
+// (Grid::Transposed) makes easy to write and units.h makes impossible.
+#include "kdv/grid.h"
+#include "util/units.h"
+
+int main() {
+  slam::Grid grid;
+  const slam::WorldX wx = grid.XCoord(slam::PixelY(0));  // wrong axis
+  return wx.value() > 0.0 ? 1 : 0;
+}

@@ -35,11 +35,11 @@ TEST(BoundaryTest, EnvelopeIncludesRowAtDistanceExactlyB) {
   std::vector<Point> found;
   // Rows exactly b above and below the point: Definition 1 is inclusive.
   for (const double k : {3.5 - kBandwidth, 3.5 + kBandwidth}) {
-    FindEnvelope(points, k, kBandwidth, &found);
+    FindEnvelope(points, WorldY(k), kBandwidth, &found);
     ASSERT_EQ(found.size(), 1u) << "FindEnvelope at k=" << k;
     EXPECT_EQ(found[0].x, 3.5);
     EXPECT_EQ(found[0].y, 3.5);
-    const auto span = scanner.Envelope(k, kBandwidth);
+    const auto span = scanner.Envelope(WorldY(k), kBandwidth);
     ASSERT_EQ(span.size(), 1u) << "EnvelopeScanner at k=" << k;
     EXPECT_EQ(span[0].x, found[0].x);
     EXPECT_EQ(span[0].y, found[0].y);
@@ -48,9 +48,9 @@ TEST(BoundaryTest, EnvelopeIncludesRowAtDistanceExactlyB) {
   // on the row coordinate — adding a perturbed bandwidth to 3.5 would
   // round back to 5.5.)
   const double beyond = std::nextafter(3.5 + kBandwidth, 10.0);
-  FindEnvelope(points, beyond, kBandwidth, &found);
+  FindEnvelope(points, WorldY(beyond), kBandwidth, &found);
   EXPECT_TRUE(found.empty());
-  EXPECT_TRUE(scanner.Envelope(beyond, kBandwidth).empty());
+  EXPECT_TRUE(scanner.Envelope(WorldY(beyond), kBandwidth).empty());
 }
 
 TEST(BoundaryTest, BoundIntervalsAtExactRowDistanceCollapseToPoint) {
@@ -58,7 +58,7 @@ TEST(BoundaryTest, BoundIntervalsAtExactRowDistanceCollapseToPoint) {
   // degenerates to [p.x, p.x] — both endpoints bitwise equal to p.x.
   const std::vector<Point> envelope = {{3.5, 3.5}};
   std::vector<BoundInterval> intervals;
-  ComputeBoundIntervals(envelope, /*k=*/5.5, kBandwidth, &intervals);
+  ComputeBoundIntervals(envelope, /*k=*/WorldY(5.5), kBandwidth, &intervals);
   ASSERT_EQ(intervals.size(), 1u);
   EXPECT_EQ(intervals[0].lb, 3.5);
   EXPECT_EQ(intervals[0].ub, 3.5);
@@ -69,18 +69,18 @@ TEST(BoundaryTest, BucketClampsAgreeWithSweepConvention) {
   // Point at x=3.5, row at the point's own y: LB = 1.5, UB = 5.5 — both
   // landing exactly on pixel centers.
   // LowerBucket: first pixel with LB <= x_i. x_1 = 1.5 qualifies.
-  EXPECT_EQ(LowerBucket(1.5, xs), 1);
+  EXPECT_EQ(LowerBucket(WorldX(1.5), xs), 1);
   // UpperBucket: first pixel with UB < x_i (strict, Eq. 20) — the pixel
   // *at* the upper bound still counts, so the exit fires at x_6 = 6.5.
-  EXPECT_EQ(UpperBucket(5.5, xs), 6);
+  EXPECT_EQ(UpperBucket(WorldX(5.5), xs), 6);
   // One ulp either side of a pixel center moves exactly one bucket.
-  EXPECT_EQ(LowerBucket(std::nextafter(1.5, 2.0), xs), 2);
-  EXPECT_EQ(UpperBucket(std::nextafter(5.5, 5.0), xs), 5);
+  EXPECT_EQ(LowerBucket(WorldX(std::nextafter(1.5, 2.0)), xs), 2);
+  EXPECT_EQ(UpperBucket(WorldX(std::nextafter(5.5, 5.0)), xs), 5);
   // Clamps: below the axis -> 0, past the end -> count.
-  EXPECT_EQ(LowerBucket(-100.0, xs), 0);
-  EXPECT_EQ(UpperBucket(-100.0, xs), 0);
-  EXPECT_EQ(LowerBucket(100.0, xs), 8);
-  EXPECT_EQ(UpperBucket(100.0, xs), 8);
+  EXPECT_EQ(LowerBucket(WorldX(-100.0), xs), 0);
+  EXPECT_EQ(UpperBucket(WorldX(-100.0), xs), 0);
+  EXPECT_EQ(LowerBucket(WorldX(100.0), xs), 8);
+  EXPECT_EQ(UpperBucket(WorldX(100.0), xs), 8);
 }
 
 TEST(BoundaryTest, ExactDistanceBAgreesBitwiseAcrossMethods) {

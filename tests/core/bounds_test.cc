@@ -14,7 +14,7 @@ TEST(BoundIntervalsTest, MatchPaperFormulas) {
   // Point at (10, 3), row k = 0, b = 5: half-width = sqrt(25 - 9) = 4.
   const std::vector<Point> env{{10, 3}};
   std::vector<BoundInterval> out;
-  ComputeBoundIntervals(env, 0.0, 5.0, &out);
+  ComputeBoundIntervals(env, WorldY(0.0), 5.0, &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].lb, 6.0);
   EXPECT_DOUBLE_EQ(out[0].ub, 14.0);
@@ -24,7 +24,7 @@ TEST(BoundIntervalsTest, MatchPaperFormulas) {
 TEST(BoundIntervalsTest, PointOnRowHasFullWidth) {
   const std::vector<Point> env{{7, 2}};
   std::vector<BoundInterval> out;
-  ComputeBoundIntervals(env, 2.0, 3.0, &out);
+  ComputeBoundIntervals(env, WorldY(2.0), 3.0, &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].lb, 4.0);
   EXPECT_DOUBLE_EQ(out[0].ub, 10.0);
@@ -33,7 +33,7 @@ TEST(BoundIntervalsTest, PointOnRowHasFullWidth) {
 TEST(BoundIntervalsTest, PointAtBandwidthEdgeHasZeroWidth) {
   const std::vector<Point> env{{7, 5}};
   std::vector<BoundInterval> out;
-  ComputeBoundIntervals(env, 0.0, 5.0, &out);
+  ComputeBoundIntervals(env, WorldY(0.0), 5.0, &out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].lb, 7.0);
   EXPECT_DOUBLE_EQ(out[0].ub, 7.0);
@@ -48,7 +48,7 @@ TEST(BoundIntervalsTest, IntervalMembershipEqualsDistanceTest) {
     const Point p{rng.Uniform(-20, 20), k + rng.Uniform(-b, b)};
     std::vector<BoundInterval> out;
     const std::vector<Point> env{p};
-    ComputeBoundIntervals(env, k, b, &out);
+    ComputeBoundIntervals(env, WorldY(k), b, &out);
     ASSERT_EQ(out.size(), 1u);
     for (int i = 0; i < 20; ++i) {
       const Point q{rng.Uniform(-25, 25), k};
@@ -67,9 +67,9 @@ TEST(BoundIntervalsTest, IntervalMembershipEqualsDistanceTest) {
 TEST(BoundIntervalsTest, EnvelopePipelineProducesOneIntervalPerPoint) {
   const auto pts = testing::RandomPoints(300, 50.0, 211);
   std::vector<Point> env;
-  FindEnvelope(pts, 25.0, 8.0, &env);
+  FindEnvelope(pts, WorldY(25.0), 8.0, &env);
   std::vector<BoundInterval> out;
-  ComputeBoundIntervals(env, 25.0, 8.0, &out);
+  ComputeBoundIntervals(env, WorldY(25.0), 8.0, &out);
   EXPECT_EQ(out.size(), env.size());
   for (const BoundInterval& iv : out) {
     EXPECT_LE(iv.lb, iv.ub);
@@ -82,7 +82,7 @@ TEST(BoundIntervalsTest, EnvelopePipelineProducesOneIntervalPerPoint) {
 
 TEST(BoundIntervalsTest, ClearsPreviousContents) {
   std::vector<BoundInterval> out(5);
-  ComputeBoundIntervals({}, 0.0, 1.0, &out);
+  ComputeBoundIntervals({}, WorldY(0.0), 1.0, &out);
   EXPECT_TRUE(out.empty());
 }
 

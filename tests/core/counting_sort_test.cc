@@ -232,13 +232,13 @@ TEST(CountingSortSemanticsTest, StrictVsNonStrictBoundaryBuckets) {
   const GridAxis xs{0.5, 1.0, 8};
   Workload w;
   w.num_pixels = xs.count;
-  const Point origin = RowLocalOrigin(xs, 0.0);
+  const Point origin = RowLocalOrigin(xs, WorldY(0.0));
   w.origin_x = origin.x;
   w.origin_y = origin.y;
   for (int i = 0; i < xs.count; ++i) {
     const double v = xs.Coord(i);
-    w.lower_idx.push_back(LowerBucket(v, xs));
-    w.upper_idx.push_back(UpperBucket(v, xs));
+    w.lower_idx.push_back(LowerBucket(WorldX(v), xs));
+    w.upper_idx.push_back(UpperBucket(WorldX(v), xs));
     w.ex.push_back(v);
     w.ey.push_back(0.0);
     EXPECT_EQ(w.lower_idx.back(), i) << "lower bound on pixel " << i;
@@ -272,14 +272,14 @@ TEST(CountingSortSemanticsTest, OutOfRangeBucketsClampToEdgeAndParkRuns) {
   // bucket X, whose run the row sweep never applies.
   const double below = xs.origin - 100.0;
   const double above = xs.last() + 100.0;
-  EXPECT_EQ(LowerBucket(below, xs), 0);
-  EXPECT_EQ(UpperBucket(below, xs), 0);
-  EXPECT_EQ(LowerBucket(above, xs), xs.count);
-  EXPECT_EQ(UpperBucket(above, xs), xs.count);
+  EXPECT_EQ(LowerBucket(WorldX(below), xs), 0);
+  EXPECT_EQ(UpperBucket(WorldX(below), xs), 0);
+  EXPECT_EQ(LowerBucket(WorldX(above), xs), xs.count);
+  EXPECT_EQ(UpperBucket(WorldX(above), xs), xs.count);
   for (int i = 0; i < 6; ++i) {
     const double v = (i % 2 == 0) ? below : above;
-    w.lower_idx.push_back(LowerBucket(v, xs));
-    w.upper_idx.push_back(UpperBucket(v, xs));
+    w.lower_idx.push_back(LowerBucket(WorldX(v), xs));
+    w.upper_idx.push_back(UpperBucket(WorldX(v), xs));
     w.ex.push_back(v);
     w.ey.push_back(static_cast<double>(i));
   }

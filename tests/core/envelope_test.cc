@@ -14,7 +14,7 @@ using testing::RandomPoints;
 TEST(FindEnvelopeTest, FiltersByYDistance) {
   const std::vector<Point> pts{{0, 0}, {5, 1}, {9, -2}, {3, 2.01}, {7, -2.01}};
   std::vector<Point> env;
-  FindEnvelope(pts, 0.0, 2.0, &env);
+  FindEnvelope(pts, WorldY(0.0), 2.0, &env);
   ASSERT_EQ(env.size(), 3u);  // y in [-2, 2]
   for (const Point& p : env) EXPECT_LE(std::abs(p.y), 2.0);
 }
@@ -22,23 +22,23 @@ TEST(FindEnvelopeTest, FiltersByYDistance) {
 TEST(FindEnvelopeTest, BoundaryIsInclusive) {
   const std::vector<Point> pts{{1, 2.0}, {1, -2.0}};
   std::vector<Point> env;
-  FindEnvelope(pts, 0.0, 2.0, &env);
+  FindEnvelope(pts, WorldY(0.0), 2.0, &env);
   EXPECT_EQ(env.size(), 2u);  // |k - p.y| == b counts (Definition 1)
 }
 
 TEST(FindEnvelopeTest, ClearsPreviousContents) {
   const std::vector<Point> pts{{0, 0}};
   std::vector<Point> env{{9, 9}, {8, 8}};
-  FindEnvelope(pts, 0.0, 1.0, &env);
+  FindEnvelope(pts, WorldY(0.0), 1.0, &env);
   EXPECT_EQ(env.size(), 1u);
 }
 
 TEST(FindEnvelopeTest, EmptyInputs) {
   std::vector<Point> env;
-  FindEnvelope({}, 0.0, 1.0, &env);
+  FindEnvelope({}, WorldY(0.0), 1.0, &env);
   EXPECT_TRUE(env.empty());
   const std::vector<Point> pts{{0, 100}};
-  FindEnvelope(pts, 0.0, 1.0, &env);
+  FindEnvelope(pts, WorldY(0.0), 1.0, &env);
   EXPECT_TRUE(env.empty());
 }
 
@@ -51,8 +51,8 @@ TEST(EnvelopeScannerTest, MatchesLinearScan) {
   for (int trial = 0; trial < 50; ++trial) {
     const double k = rng.Uniform(-10, 110);
     const double b = rng.Uniform(0.1, 20.0);
-    FindEnvelope(pts, k, b, &expected);
-    const auto got = scanner.Envelope(k, b);
+    FindEnvelope(pts, WorldY(k), b, &expected);
+    const auto got = scanner.Envelope(WorldY(k), b);
     ASSERT_EQ(got.size(), expected.size()) << "k=" << k << " b=" << b;
     // Same multiset of points (scanner returns y-sorted order).
     double sum_exp = 0.0, sum_got = 0.0;
@@ -65,7 +65,7 @@ TEST(EnvelopeScannerTest, MatchesLinearScan) {
 TEST(EnvelopeScannerTest, EnvelopeIsContiguousAndSorted) {
   const auto pts = RandomPoints(500, 50.0, 193);
   const EnvelopeScanner scanner(pts);
-  const auto env = scanner.Envelope(25.0, 5.0);
+  const auto env = scanner.Envelope(WorldY(25.0), 5.0);
   for (size_t i = 1; i < env.size(); ++i) {
     EXPECT_LE(env[i - 1].y, env[i].y);
   }
@@ -77,14 +77,14 @@ TEST(EnvelopeScannerTest, EnvelopeIsContiguousAndSorted) {
 
 TEST(EnvelopeScannerTest, EmptyScanner) {
   const EnvelopeScanner scanner({});
-  EXPECT_TRUE(scanner.Envelope(0.0, 10.0).empty());
+  EXPECT_TRUE(scanner.Envelope(WorldY(0.0), 10.0).empty());
 }
 
 TEST(EnvelopeScannerTest, RowOutsideDataIsEmpty) {
   const auto pts = RandomPoints(100, 10.0, 197);
   const EnvelopeScanner scanner(pts);
-  EXPECT_TRUE(scanner.Envelope(1000.0, 5.0).empty());
-  EXPECT_TRUE(scanner.Envelope(-1000.0, 5.0).empty());
+  EXPECT_TRUE(scanner.Envelope(WorldY(1000.0), 5.0).empty());
+  EXPECT_TRUE(scanner.Envelope(WorldY(-1000.0), 5.0).empty());
 }
 
 }  // namespace

@@ -58,7 +58,7 @@ TEST(SweepArenaTest, PrepareComputeSizesLanesAndCachesQx) {
   EXPECT_EQ(arena.lower_cursor.size(), 9u);  // X + 1
   ASSERT_EQ(arena.qx.size(), 8u);
   // qx is row-local: pixel center minus the row frame's x-origin.
-  const double origin_x = RowLocalOrigin(xs, 0.0).x;
+  const double origin_x = RowLocalOrigin(xs, WorldY(0.0)).x;
   for (int i = 0; i < xs.count; ++i) {
     EXPECT_DOUBLE_EQ(arena.qx[static_cast<size_t>(i)],
                      xs.Coord(i) - origin_x);
@@ -73,7 +73,7 @@ TEST(SweepArenaTest, PrepareComputeSizesLanesAndCachesQx) {
   // A different axis invalidates the cache and refills.
   const GridAxis other{0.25, 0.5, 8};
   arena.PrepareCompute(50, other);
-  const double other_origin = RowLocalOrigin(other, 0.0).x;
+  const double other_origin = RowLocalOrigin(other, WorldY(0.0)).x;
   for (int i = 0; i < other.count; ++i) {
     EXPECT_DOUBLE_EQ(arena.qx[static_cast<size_t>(i)],
                      other.Coord(i) - other_origin);

@@ -44,25 +44,25 @@ TEST(GridOverflowTest, BucketClampsAtIntMaxAxis) {
   // +1 shift downstream (BucketEndpoints) must happen in size_t. Here we
   // pin the clamp values themselves at the extreme axis.
   const GridAxis xs{0.0, 1.0, INT_MAX};
-  EXPECT_EQ(LowerBucket(-1e30, xs), 0);
-  EXPECT_EQ(UpperBucket(-1e30, xs), 0);
-  EXPECT_EQ(LowerBucket(1e30, xs), INT_MAX);
-  EXPECT_EQ(UpperBucket(1e30, xs), INT_MAX);
+  EXPECT_EQ(LowerBucket(WorldX(-1e30), xs), 0);
+  EXPECT_EQ(UpperBucket(WorldX(-1e30), xs), 0);
+  EXPECT_EQ(LowerBucket(WorldX(1e30), xs), INT_MAX);
+  EXPECT_EQ(UpperBucket(WorldX(1e30), xs), INT_MAX);
   // A value inside the axis still buckets normally.
-  EXPECT_EQ(LowerBucket(41.5, xs), 42);
-  EXPECT_EQ(UpperBucket(41.5, xs), 42);
+  EXPECT_EQ(LowerBucket(WorldX(41.5), xs), 42);
+  EXPECT_EQ(UpperBucket(WorldX(41.5), xs), 42);
 }
 
 TEST(GridOverflowTest, BucketClampsNearIntMaxBoundary) {
   // Values landing beyond pixel INT_MAX - 1 clamp to X, never wrap.
   const GridAxis xs{0.0, 1.0, INT_MAX};
   const double near_end = static_cast<double>(INT_MAX) - 0.5;
-  EXPECT_EQ(LowerBucket(near_end * 4.0, xs), INT_MAX);
-  EXPECT_EQ(UpperBucket(near_end * 4.0, xs), INT_MAX);
-  EXPECT_GE(LowerBucket(near_end, xs), 0);
-  EXPECT_LE(LowerBucket(near_end, xs), INT_MAX);
-  EXPECT_GE(UpperBucket(near_end, xs), 0);
-  EXPECT_LE(UpperBucket(near_end, xs), INT_MAX);
+  EXPECT_EQ(LowerBucket(WorldX(near_end * 4.0), xs), INT_MAX);
+  EXPECT_EQ(UpperBucket(WorldX(near_end * 4.0), xs), INT_MAX);
+  EXPECT_GE(LowerBucket(WorldX(near_end), xs), 0);
+  EXPECT_LE(LowerBucket(WorldX(near_end), xs), INT_MAX);
+  EXPECT_GE(UpperBucket(WorldX(near_end), xs), 0);
+  EXPECT_LE(UpperBucket(WorldX(near_end), xs), INT_MAX);
 }
 
 TEST(GridOverflowTest, SpaceModelDoesNotWrapAtIntMaxAxes) {

@@ -1,0 +1,110 @@
+"""Unit tests for scripts/source_strip.py — the comment/string stripper
+behind lint_invariants.py.
+
+The regression class that motivated the shared module: rules matching
+inside block comments, raw string literals, and code hidden by a
+mis-lexed digit separator. Run directly or via ctest (source_strip_test).
+"""
+
+from __future__ import annotations
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "scripts"))
+
+from source_strip import strip_comments_and_strings  # noqa: E402
+
+
+class StripTest(unittest.TestCase):
+    def assert_stripped(self, source: str, *, keeps: list[str] = (),
+                        drops: list[str] = ()):
+        stripped = strip_comments_and_strings(source)
+        self.assertEqual(len(stripped), len(source),
+                         "stripping must preserve byte offsets")
+        self.assertEqual(stripped.count("\n"), source.count("\n"),
+                         "stripping must preserve line structure")
+        for needle in keeps:
+            self.assertIn(needle, stripped)
+        for needle in drops:
+            self.assertNotIn(needle, stripped)
+
+    def test_line_comment(self):
+        self.assert_stripped("int x;  // calls rand() here\n",
+                             keeps=["int x;"], drops=["rand()"])
+
+    def test_block_comment_single_line(self):
+        self.assert_stripped("int /* rand() */ x;\n",
+                             keeps=["int", "x;"], drops=["rand()"])
+
+    def test_block_comment_multi_line(self):
+        src = "a();\n/* std::sort(v.begin(), v.end());\n   more */\nb();\n"
+        self.assert_stripped(src, keeps=["a();", "b();"], drops=["std::sort"])
+
+    def test_string_literal(self):
+        self.assert_stripped('Log("calling rand() now");\n',
+                             keeps=["Log("], drops=["rand()"])
+
+    def test_escaped_quote_in_string(self):
+        self.assert_stripped('s = "he said \\"rand()\\"";  f();\n',
+                             keeps=["f();"], drops=["rand()"])
+
+    def test_comment_markers_inside_string(self):
+        # A // inside a string must not comment out the rest of the line.
+        self.assert_stripped('url = "http://x";  srand(7);\n',
+                             keeps=["srand(7);"], drops=["http"])
+
+    def test_raw_string_literal(self):
+        # The naive scanner ended the literal at the first inner quote and
+        # resumed "inside" the string, leaking its tail as code.
+        src = 'const char* re = R"(he said "call rand please" loudly)";  g();\n'
+        self.assert_stripped(src, keeps=["g();"], drops=["rand", "loudly"])
+
+    def test_raw_string_with_delimiter(self):
+        src = 'auto s = R"delim(contains )" and rand())delim";  h();\n'
+        self.assert_stripped(src, keeps=["h();"], drops=["rand()"])
+
+    def test_multiline_raw_string(self):
+        src = 'auto q = R"(line one rand()\nline two srand())";\nk();\n'
+        self.assert_stripped(src, keeps=["k();"], drops=["rand", "srand"])
+
+    def test_identifier_ending_in_r_is_not_raw_prefix(self):
+        # FOOR"..." : the R belongs to the identifier, the string is plain.
+        self.assert_stripped('x = FOOR"text rand()";  m();\n',
+                             keeps=["FOOR", "m();"], drops=["rand()"])
+
+    def test_digit_separator_is_not_char_literal(self):
+        # 1'000'000: the naive scanner opened a char literal at the first
+        # apostrophe and swallowed real code until the next one.
+        self.assert_stripped("const size_t n = 1'000'000;  srand(n);\n",
+                             keeps=["1'000'000", "srand(n);"])
+
+    def test_hex_digit_separator(self):
+        self.assert_stripped("int mask = 0x7f'ff;  p();\n",
+                             keeps=["0x7f'ff", "p();"])
+
+    def test_char_literal_still_stripped(self):
+        self.assert_stripped("if (c == 'r') q(); // rand() in comment\n",
+                             keeps=["if (c ==", "q();"], drops=["rand()"])
+
+    def test_escaped_char_literal(self):
+        self.assert_stripped("char c = '\\'';  r();\n", keeps=["r();"])
+
+    def test_unterminated_block_comment(self):
+        self.assert_stripped("ok();\n/* rand() never closed\n",
+                             keeps=["ok();"], drops=["rand()"])
+
+    def test_unterminated_string_stops_at_newline(self):
+        # A lexically broken file must not swallow subsequent lines.
+        self.assert_stripped('bad = "unterminated rand()\nnext_line();\n',
+                             keeps=["next_line();"], drops=["rand()"])
+
+    def test_line_numbers_stable_through_block_comment(self):
+        src = "a\n/* one\ntwo\nthree */\nsrand(1);\n"
+        stripped = strip_comments_and_strings(src)
+        self.assertEqual(stripped.splitlines()[4], "srand(1);")
+
+
+if __name__ == "__main__":
+    unittest.main()

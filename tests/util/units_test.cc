@@ -1,0 +1,154 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "kdv/grid.h"
+
+namespace slam {
+namespace {
+
+Grid MakeGrid(int width, int height) {
+  GridAxis x{/*origin=*/10.0, /*gap=*/0.5, /*count=*/width};
+  GridAxis y{/*origin=*/-3.0, /*gap=*/2.0, /*count=*/height};
+  auto grid = Grid::Create(x, y);
+  EXPECT_TRUE(grid.ok()) << grid.status().message();
+  return *grid;
+}
+
+// --- zero-cost / layout guarantees ---------------------------------------
+
+static_assert(std::is_trivially_copyable_v<WorldX>);
+static_assert(std::is_trivially_copyable_v<PixelY>);
+static_assert(sizeof(WorldX) == sizeof(double));
+static_assert(sizeof(PixelX) == sizeof(int));
+
+// Distinct spaces are distinct types; RowIndex is exactly PixelY.
+static_assert(!std::is_same_v<WorldX, WorldY>);
+static_assert(!std::is_same_v<PixelX, PixelY>);
+static_assert(std::is_same_v<RowIndex, PixelY>);
+
+// Construction from raw is explicit in both directions.
+static_assert(!std::is_convertible_v<double, WorldX>);
+static_assert(!std::is_convertible_v<WorldX, double>);
+static_assert(std::is_constructible_v<WorldX, double>);
+
+TEST(StrongUnitTest, OffsetArithmeticStaysInSpace) {
+  constexpr WorldX a(5.0);
+  constexpr WorldX b = a + 2.5;
+  static_assert(b.value() == 7.5);
+  static_assert(b - a == 2.5);  // coord − coord -> plain offset
+  WorldX c = a;
+  c += 1.0;
+  c -= 0.5;
+  EXPECT_DOUBLE_EQ(c.value(), 5.5);
+}
+
+TEST(StrongUnitTest, PixelIncrementLoopIdiom) {
+  int visited = 0;
+  const RowIndex rows(3);
+  for (RowIndex iy(0); iy < rows; ++iy) ++visited;
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(StrongUnitTest, ComparisonAndEquality) {
+  EXPECT_EQ(PixelX(4), PixelX(4));
+  EXPECT_NE(PixelX(4), PixelX(5));
+  EXPECT_LT(WorldY(-1.0), WorldY(0.0));
+}
+
+// --- checked world -> pixel conversions at the grid boundary -------------
+
+TEST(GridUnitsTest, RoundTripAtFirstPixel) {
+  const Grid g = MakeGrid(8, 5);
+  const WorldX w0 = g.XCoord(PixelX(0));
+  const auto back = ToPixel(w0, g);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, PixelX(0));
+  const WorldY h0 = g.YCoord(PixelY(0));
+  const auto backy = ToPixel(h0, g);
+  ASSERT_TRUE(backy.ok());
+  EXPECT_EQ(*backy, PixelY(0));
+}
+
+TEST(GridUnitsTest, RoundTripAtLastPixel) {
+  const Grid g = MakeGrid(8, 5);
+  const auto bx = ToPixel(g.XCoord(PixelX(7)), g);
+  ASSERT_TRUE(bx.ok());
+  EXPECT_EQ(bx->value(), 7);
+  const auto by = ToPixel(g.YCoord(PixelY(4)), g);
+  ASSERT_TRUE(by.ok());
+  EXPECT_EQ(by->value(), 4);
+}
+
+TEST(GridUnitsTest, RoundTripEveryInteriorPixel) {
+  const Grid g = MakeGrid(8, 5);
+  for (int i = 0; i < g.width(); ++i) {
+    const auto back = g.ToPixelX(g.XCoord(PixelX(i)));
+    ASSERT_TRUE(back.ok()) << "pixel " << i;
+    EXPECT_EQ(back->value(), i);
+  }
+  for (int j = 0; j < g.height(); ++j) {
+    const auto back = g.ToPixelY(g.YCoord(PixelY(j)));
+    ASSERT_TRUE(back.ok()) << "pixel " << j;
+    EXPECT_EQ(back->value(), j);
+  }
+}
+
+TEST(GridUnitsTest, NearestPixelWithinHalfGap) {
+  const Grid g = MakeGrid(8, 5);
+  // Just inside the half-open cell of pixel 3 on each side of its center.
+  const WorldX center = g.XCoord(PixelX(3));
+  const double half = g.x_axis().gap / 2.0;
+  const auto lo = ToPixel(center - (half * 0.99), g);
+  const auto hi = ToPixel(center + (half * 0.99), g);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(*lo, PixelX(3));
+  EXPECT_EQ(*hi, PixelX(3));
+}
+
+TEST(GridUnitsTest, RejectsCoordinateOnePixelPastTheEnd) {
+  const Grid g = MakeGrid(8, 5);
+  // The center that pixel X would have — index 8 on an 8-wide axis — is a
+  // full gap past the last center, outside every cell.
+  const WorldX past(g.x_axis().Coord(8));
+  const auto r = ToPixel(past, g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange()) << r.status().message();
+  const WorldY pasty(g.y_axis().Coord(5));
+  EXPECT_TRUE(ToPixel(pasty, g).status().IsOutOfRange());
+}
+
+TEST(GridUnitsTest, RejectsCoordinateBeforeTheOrigin) {
+  const Grid g = MakeGrid(8, 5);
+  const WorldX before = g.XCoord(PixelX(0)) - g.x_axis().gap;
+  EXPECT_TRUE(ToPixel(before, g).status().IsOutOfRange());
+}
+
+TEST(GridUnitsTest, TransposedGridSwapsAxesAndTypes) {
+  const Grid g = MakeGrid(8, 5);
+  const Grid t = g.Transposed();
+  EXPECT_EQ(t.width(), 5);
+  EXPECT_EQ(t.height(), 8);
+  // The transposed grid's x axis carries the original y lattice.
+  EXPECT_DOUBLE_EQ(t.XCoord(PixelX(2)).value(), g.YCoord(PixelY(2)).value());
+}
+
+// --- TypedLane boundary shim ---------------------------------------------
+
+TEST(TypedLaneTest, StoreLoadRoundTripAndRawView) {
+  double storage[4] = {0, 0, 0, 0};
+  TypedLane<WorldX> lane(storage, 4);
+  lane.Store(0, WorldX(1.5));
+  lane.Store(3, WorldX(-2.0));
+  EXPECT_EQ(lane.Load(0), WorldX(1.5));
+  EXPECT_EQ(lane.Load(3), WorldX(-2.0));
+  EXPECT_EQ(lane.raw(), storage);
+  EXPECT_EQ(lane.size(), 4u);
+  EXPECT_DOUBLE_EQ(storage[3], -2.0);
+}
+
+}  // namespace
+}  // namespace slam

@@ -1,0 +1,512 @@
+#include "SlamTidyChecks.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace slam_tidy {
+
+using namespace clang;                // NOLINT
+using namespace clang::ast_matchers;  // NOLINT
+
+namespace {
+
+bool StartsWith(const std::string &s, const std::string &prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool Contains(const std::string &s, const std::string &needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string &s, const std::string &suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string NormalizePath(std::string p) {
+  for (char &c : p) {
+    if (c == '\\') c = '/';
+  }
+  return p;
+}
+
+/// The path used for scope decisions (src/core/ vs src/simd/ ...): the
+/// real file path, except that corpus runs substitute --assume-path for
+/// the main file.
+std::string EffectivePath(SourceLocation loc, const SourceManager &sm,
+                          const Options &opts) {
+  const SourceLocation expansion = sm.getExpansionLoc(loc);
+  if (!opts.assume_path.empty() && sm.isWrittenInMainFile(expansion)) {
+    return opts.assume_path;
+  }
+  const PresumedLoc presumed = sm.getPresumedLoc(expansion);
+  if (presumed.isInvalid()) return std::string();
+  return NormalizePath(presumed.getFilename());
+}
+
+/// A location is reportable when it falls inside the analysis surface:
+/// the main file (corpus mode) or anywhere under --repo-root (tree mode).
+/// Keeps system headers — which freely use intrinsics and narrowing —
+/// out of the findings.
+bool Reportable(SourceLocation loc, const SourceManager &sm,
+                const Options &opts) {
+  const SourceLocation expansion = sm.getExpansionLoc(loc);
+  if (expansion.isInvalid()) return false;
+  if (opts.repo_root.empty()) return sm.isWrittenInMainFile(expansion);
+  const PresumedLoc presumed = sm.getPresumedLoc(expansion);
+  if (presumed.isInvalid()) return false;
+  return StartsWith(NormalizePath(presumed.getFilename()),
+                    NormalizePath(opts.repo_root));
+}
+
+/// Scope helper: true when the path sits under `dir` (a repo-relative
+/// directory like "src/core/"), at any absolute prefix.
+bool UnderDir(const std::string &path, const std::string &dir) {
+  return StartsWith(path, dir) || Contains(path, "/" + dir);
+}
+
+/// Same-line NOLINT waiver, clang-tidy style: `// NOLINT` waives every
+/// check, `// NOLINT(a, b)` waives the named ones.
+bool HasNolint(SourceLocation loc, const SourceManager &sm,
+               const std::string &check) {
+  const SourceLocation expansion = sm.getExpansionLoc(loc);
+  const std::pair<FileID, unsigned> decomposed =
+      sm.getDecomposedLoc(expansion);
+  bool invalid = false;
+  const llvm::StringRef buffer = sm.getBufferData(decomposed.first, &invalid);
+  if (invalid) return false;
+  size_t begin = buffer.rfind('\n', decomposed.second);
+  begin = (begin == llvm::StringRef::npos) ? 0 : begin + 1;
+  size_t end = buffer.find('\n', decomposed.second);
+  if (end == llvm::StringRef::npos) end = buffer.size();
+  const std::string line = buffer.slice(begin, end).str();
+  size_t pos = line.find("NOLINT");
+  while (pos != std::string::npos) {
+    size_t after = pos + 6;  // strlen("NOLINT")
+    if (after >= line.size() || line[after] != '(') return true;  // bare
+    const size_t close = line.find(')', after);
+    if (close == std::string::npos) return true;
+    const std::string list = line.substr(after + 1, close - after - 1);
+    size_t item = 0;
+    while (item < list.size()) {
+      size_t comma = list.find(',', item);
+      if (comma == std::string::npos) comma = list.size();
+      std::string name = list.substr(item, comma - item);
+      // trim
+      while (!name.empty() && name.front() == ' ') name.erase(0, 1);
+      while (!name.empty() && name.back() == ' ') name.pop_back();
+      if (name == check) return true;
+      item = comma + 1;
+    }
+    pos = line.find("NOLINT", close);
+  }
+  return false;
+}
+
+/// Central gate every check funnels through: scope filter + NOLINT +
+/// dedupe + emit.
+void Emit(const MatchFinder::MatchResult &result, SourceLocation loc,
+          const Options &opts, FindingCollector &collector,
+          const std::string &check, const std::string &message) {
+  const SourceManager &sm = *result.SourceManager;
+  if (!Reportable(loc, sm, opts)) return;
+  if (HasNolint(loc, sm, check)) return;
+  const SourceLocation expansion = sm.getExpansionLoc(loc);
+  const PresumedLoc presumed = sm.getPresumedLoc(expansion);
+  if (presumed.isInvalid()) return;
+  collector.Report(NormalizePath(presumed.getFilename()),
+                   presumed.getLine(), presumed.getColumn(), check, message);
+}
+
+// ---------------------------------------------------------------------------
+// slam-exec-context-poll
+// ---------------------------------------------------------------------------
+
+/// Scans one function body for a direct ExecContext consultation and
+/// collects the callees for the transitive pass.
+class PollScanner : public RecursiveASTVisitor<PollScanner> {
+ public:
+  bool polls = false;
+  std::vector<const FunctionDecl *> callees;
+
+  bool VisitCallExpr(CallExpr *e) {
+    const FunctionDecl *callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    const std::string name = callee->getNameAsString();
+    if (name == "ExecCheck" || name == "ExecChargeMemory" ||
+        name == "ChargeMemory") {
+      polls = true;
+      return true;
+    }
+    if (name == "Check" || name == "Update") {
+      if (const auto *method = dyn_cast<CXXMethodDecl>(callee)) {
+        const std::string cls = method->getParent()->getNameAsString();
+        if (cls == "ExecContext" || cls == "ScopedMemoryCharge") {
+          polls = true;
+          return true;
+        }
+      }
+    }
+    callees.push_back(callee);
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(CXXConstructExpr *e) {
+    const CXXConstructorDecl *ctor = e->getConstructor();
+    if (ctor != nullptr &&
+        ctor->getParent()->getNameAsString() == "ScopedMemoryCharge") {
+      polls = true;
+    }
+    return true;
+  }
+};
+
+/// Call-graph-aware satisfaction: a function polls if its own body does,
+/// if any callee with a body in this TU (transitively) polls, or if it
+/// delegates across the TU boundary to another Compute* / anything that
+/// receives the ExecContext or ComputeOptions (the callee is then itself
+/// in slam-tidy's scope when its TU is analyzed).
+bool SatisfiesPoll(const FunctionDecl *fd,
+                   std::map<const FunctionDecl *, int> &memo) {
+  if (fd == nullptr) return false;
+  const FunctionDecl *canonical = fd->getCanonicalDecl();
+  const auto it = memo.find(canonical);
+  if (it != memo.end()) return it->second == 1;  // in-progress counts false
+  memo[canonical] = 2;  // visiting (cycle guard)
+
+  const FunctionDecl *def = nullptr;
+  if (!fd->hasBody(def)) {
+    bool ok = StartsWith(fd->getNameAsString(), "Compute");
+    for (const ParmVarDecl *p : fd->parameters()) {
+      const std::string t = p->getType().getAsString();
+      if (Contains(t, "ExecContext") || Contains(t, "ComputeOptions")) {
+        ok = true;
+      }
+    }
+    memo[canonical] = ok ? 1 : 0;
+    return ok;
+  }
+
+  PollScanner scanner;
+  scanner.TraverseStmt(def->getBody());
+  bool ok = scanner.polls;
+  for (const FunctionDecl *callee : scanner.callees) {
+    if (ok) break;
+    ok = SatisfiesPoll(callee, memo);
+  }
+  memo[canonical] = ok ? 1 : 0;
+  return ok;
+}
+
+class ExecContextPollCheck : public MatchFinder::MatchCallback {
+ public:
+  ExecContextPollCheck(FindingCollector &collector, const Options &opts)
+      : collector_(collector), opts_(opts) {}
+
+  void run(const MatchFinder::MatchResult &result) override {
+    const auto *fd = result.Nodes.getNodeAs<FunctionDecl>("compute");
+    if (fd == nullptr || !fd->doesThisDeclarationHaveABody()) return;
+    const std::string ret = fd->getReturnType().getAsString();
+    if (!Contains(ret, "Status") && !Contains(ret, "Result<")) return;
+    const std::string path =
+        EffectivePath(fd->getLocation(), *result.SourceManager, opts_);
+    if (!UnderDir(path, "src/")) return;
+    std::map<const FunctionDecl *, int> memo;
+    if (SatisfiesPoll(fd, memo)) return;
+    Emit(result, fd->getLocation(), opts_, collector_,
+         "slam-exec-context-poll",
+         fd->getNameAsString() +
+             "() never consults its ExecContext on any call path: add an "
+             "ExecCheck(exec, ...) poll (per row / per point) so "
+             "cancellation, deadlines, and memory budgets cover it");
+  }
+
+ private:
+  FindingCollector &collector_;
+  const Options &opts_;
+};
+
+// ---------------------------------------------------------------------------
+// slam-uncompensated-aggregate
+// ---------------------------------------------------------------------------
+
+bool IsAggregateChannelName(const std::string &name) {
+  return name == "count" || name == "sum" || name == "sum_sq" ||
+         name == "sum_sq_p" || name == "sum_quad" || name == "m_xx" ||
+         name == "m_xy" || name == "m_yy";
+}
+
+bool IsAggregateRecordType(QualType type) {
+  const CXXRecordDecl *record = type->getAsCXXRecordDecl();
+  if (record == nullptr) return false;
+  const std::string name = record->getNameAsString();
+  return name == "RangeAggregates" || name == "CompensatedRangeAggregates";
+}
+
+/// True when `lhs` resolves — through any chain of member accesses,
+/// references, or pointer dereferences — to a channel field of an
+/// aggregate record (e.g. `agg.sum_sq`, `r->comps.m_xx`, `alias.sum.x`).
+bool IsAggregateChannelAccess(const Expr *lhs) {
+  const Expr *e = lhs->IgnoreParenImpCasts();
+  const auto *member = dyn_cast<MemberExpr>(e);
+  if (member == nullptr) return false;
+  const Expr *base = member->getBase()->IgnoreParenImpCasts();
+  QualType base_type = base->getType();
+  if (base_type->isPointerType()) base_type = base_type->getPointeeType();
+  if (IsAggregateRecordType(base_type)) {
+    return IsAggregateChannelName(member->getMemberDecl()->getNameAsString());
+  }
+  // One level deeper for the Point-valued channels: agg.sum.x += v.
+  return IsAggregateChannelAccess(base);
+}
+
+class UncompensatedAggregateCheck : public MatchFinder::MatchCallback {
+ public:
+  UncompensatedAggregateCheck(FindingCollector &collector, const Options &opts)
+      : collector_(collector), opts_(opts) {}
+
+  void run(const MatchFinder::MatchResult &result) override {
+    const Expr *lhs = nullptr;
+    SourceLocation loc;
+    if (const auto *op = result.Nodes.getNodeAs<BinaryOperator>("agg_op")) {
+      if (!op->isCompoundAssignmentOp()) return;
+      const BinaryOperatorKind kind = op->getOpcode();
+      if (kind != BO_AddAssign && kind != BO_SubAssign) return;
+      lhs = op->getLHS();
+      loc = op->getOperatorLoc();
+    } else if (const auto *cxx_op =
+                   result.Nodes.getNodeAs<CXXOperatorCallExpr>("agg_cxx_op")) {
+      // Point::operator+= / -= on a Point-valued channel (agg.sum += p).
+      const OverloadedOperatorKind kind = cxx_op->getOperator();
+      if (kind != OO_PlusEqual && kind != OO_MinusEqual) return;
+      if (cxx_op->getNumArgs() < 1) return;
+      lhs = cxx_op->getArg(0);
+      loc = cxx_op->getOperatorLoc();
+    } else {
+      return;
+    }
+    if (!IsAggregateChannelAccess(lhs)) return;
+    const std::string path = EffectivePath(loc, *result.SourceManager, opts_);
+    if (EndsWith(path, "kdv/kernel.h")) return;  // the sanctioned impl
+    Emit(result, loc, opts_, collector_, "slam-uncompensated-aggregate",
+         "direct +=/-= on an aggregate channel; accumulate via "
+         "RangeAggregates::Add/Merge/Minus or NeumaierAdd (kdv/kernel.h) "
+         "so compensation is never bypassed");
+  }
+
+ private:
+  FindingCollector &collector_;
+  const Options &opts_;
+};
+
+// ---------------------------------------------------------------------------
+// slam-narrowing-cast
+// ---------------------------------------------------------------------------
+
+bool InNarrowingScope(const std::string &path) {
+  if (EndsWith(path, "core/sweep_state.h")) return false;  // clamp home
+  return UnderDir(path, "src/core/") || UnderDir(path, "src/kdv/");
+}
+
+/// Value-narrowing conversion: floating -> integral, wider integral ->
+/// narrower integral, or double -> float. Same-width sign changes and
+/// widenings are not findings (that is -Wconversion's turf; this check
+/// exists for the conversions that silently drop pixel-index precision).
+bool IsNarrowing(ASTContext &ctx, QualType from, QualType to) {
+  from = from.getCanonicalType();
+  to = to.getCanonicalType();
+  if (from->isEnumeralType() || to->isEnumeralType()) return false;
+  if (from->isRealFloatingType() && to->isIntegralType(ctx)) return true;
+  if (from->isRealFloatingType() && to->isRealFloatingType()) {
+    return ctx.getTypeSize(to) < ctx.getTypeSize(from);
+  }
+  if (from->isIntegralType(ctx) && to->isIntegralType(ctx)) {
+    if (from->isBooleanType() || to->isBooleanType()) return false;
+    return ctx.getTypeSize(to) < ctx.getTypeSize(from);
+  }
+  return false;
+}
+
+class NarrowingCastCheck : public MatchFinder::MatchCallback {
+ public:
+  NarrowingCastCheck(FindingCollector &collector, const Options &opts)
+      : collector_(collector), opts_(opts) {}
+
+  void run(const MatchFinder::MatchResult &result) override {
+    const SourceManager &sm = *result.SourceManager;
+    if (const auto *cast =
+            result.Nodes.getNodeAs<ExplicitCastExpr>("explicit_cast")) {
+      const std::string path =
+          EffectivePath(cast->getBeginLoc(), sm, opts_);
+      if (!InNarrowingScope(path)) return;
+      const QualType from = cast->getSubExpr()->getType();
+      const QualType to = cast->getType();
+      if (!IsNarrowing(*result.Context, from, to)) return;
+      Emit(result, cast->getBeginLoc(), opts_, collector_,
+           "slam-narrowing-cast",
+           "narrowing cast (" + from.getAsString() + " -> " +
+               to.getAsString() +
+               ") in pixel-index/aggregate math; use PixelIndex()/"
+               "CheckedNarrow<>() from util/narrow.h, or move the clamp "
+               "into sweep_state.h");
+      return;
+    }
+    if (const auto *cast =
+            result.Nodes.getNodeAs<ImplicitCastExpr>("implicit_cast")) {
+      if (cast->getCastKind() != CK_FloatingToIntegral &&
+          cast->getCastKind() != CK_FloatingCast &&
+          cast->getCastKind() != CK_IntegralCast) {
+        return;
+      }
+      const std::string path =
+          EffectivePath(cast->getBeginLoc(), sm, opts_);
+      if (!InNarrowingScope(path)) return;
+      const QualType from = cast->getSubExpr()->getType();
+      const QualType to = cast->getType();
+      if (!IsNarrowing(*result.Context, from, to)) return;
+      Emit(result, cast->getBeginLoc(), opts_, collector_,
+           "slam-narrowing-cast",
+           "implicit narrowing conversion (" + from.getAsString() + " -> " +
+               to.getAsString() + ") in pixel-index/aggregate math");
+      return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<DeclaratorDecl>("float_decl")) {
+      const std::string path = EffectivePath(decl->getLocation(), sm, opts_);
+      if (!InNarrowingScope(path)) return;
+      const QualType type = decl->getType().getCanonicalType();
+      if (!type->isSpecificBuiltinType(BuiltinType::Float)) return;
+      Emit(result, decl->getLocation(), opts_, collector_,
+           "slam-narrowing-cast",
+           "`float` in sweep/aggregate math: the exactness guarantees "
+           "(DESIGN.md) are double-precision only");
+    }
+  }
+
+ private:
+  FindingCollector &collector_;
+  const Options &opts_;
+};
+
+// ---------------------------------------------------------------------------
+// slam-raw-intrinsics-outside-simd
+// ---------------------------------------------------------------------------
+
+bool LooksLikeIntrinsicName(const std::string &name) {
+  if (StartsWith(name, "_mm_") || StartsWith(name, "_mm256_") ||
+      StartsWith(name, "_mm512_")) {
+    return true;
+  }
+  // NEON loads/stores/arithmetic: vld1q_f64, vst1_u32, vaddq_f64, ...
+  if (name.size() > 2 && name[0] == 'v' &&
+      (StartsWith(name, "vld") || StartsWith(name, "vst") ||
+       EndsWith(name, "q_f64") || EndsWith(name, "q_f32") ||
+       EndsWith(name, "q_u64") || EndsWith(name, "q_s32"))) {
+    return true;
+  }
+  return false;
+}
+
+bool LooksLikeVectorTypeName(const std::string &spelling) {
+  if (Contains(spelling, "__m128") || Contains(spelling, "__m256") ||
+      Contains(spelling, "__m512")) {
+    return true;
+  }
+  // NEON vector typedefs: float64x2_t, int32x4_t, uint64x2_t, ...
+  return Contains(spelling, "64x2_t") || Contains(spelling, "32x4_t") ||
+         Contains(spelling, "16x8_t") || Contains(spelling, "8x16_t");
+}
+
+class RawIntrinsicsCheck : public MatchFinder::MatchCallback {
+ public:
+  RawIntrinsicsCheck(FindingCollector &collector, const Options &opts)
+      : collector_(collector), opts_(opts) {}
+
+  void run(const MatchFinder::MatchResult &result) override {
+    const SourceManager &sm = *result.SourceManager;
+    static const char *kMessage =
+        "SIMD intrinsic outside src/simd/: vector code must live behind "
+        "the dispatched backend tables (simd/sweep_ops.h) so it inherits "
+        "the cpuid gating, contraction-free flags, and scalar-equivalence "
+        "tests";
+    if (const auto *call = result.Nodes.getNodeAs<CallExpr>("intrin_call")) {
+      const FunctionDecl *callee = call->getDirectCallee();
+      if (callee == nullptr ||
+          !LooksLikeIntrinsicName(callee->getNameAsString())) {
+        return;
+      }
+      const std::string path =
+          EffectivePath(call->getBeginLoc(), sm, opts_);
+      if (UnderDir(path, "src/simd/")) return;
+      Emit(result, call->getBeginLoc(), opts_, collector_,
+           "slam-raw-intrinsics-outside-simd", kMessage);
+      return;
+    }
+    if (const auto *decl =
+            result.Nodes.getNodeAs<DeclaratorDecl>("intrin_decl")) {
+      if (!LooksLikeVectorTypeName(decl->getType().getAsString())) return;
+      const std::string path = EffectivePath(decl->getLocation(), sm, opts_);
+      if (UnderDir(path, "src/simd/")) return;
+      Emit(result, decl->getLocation(), opts_, collector_,
+           "slam-raw-intrinsics-outside-simd", kMessage);
+    }
+  }
+
+ private:
+  FindingCollector &collector_;
+  const Options &opts_;
+};
+
+}  // namespace
+
+bool FindingCollector::Report(const std::string &path, unsigned line,
+                              unsigned column, const std::string &check,
+                              const std::string &message) {
+  const std::string key =
+      path + ":" + std::to_string(line) + ":" + check;
+  if (!seen_.insert(key).second) return false;
+  llvm::errs() << path << ":" << line << ":" << column << ": warning: "
+               << message << " [" << check << "]\n";
+  return true;
+}
+
+void RegisterSlamChecks(MatchFinder &finder, FindingCollector &collector,
+                        const Options &options) {
+  // The callbacks leak (by design): they must outlive the finder, and the
+  // tool process exits right after the run.
+  auto *exec = new ExecContextPollCheck(collector, options);
+  finder.addMatcher(
+      functionDecl(matchesName("::Compute[A-Za-z0-9_]*$"), isDefinition())
+          .bind("compute"),
+      exec);
+
+  auto *agg = new UncompensatedAggregateCheck(collector, options);
+  finder.addMatcher(
+      binaryOperator(hasAnyOperatorName("+=", "-=")).bind("agg_op"), agg);
+  finder.addMatcher(cxxOperatorCallExpr(hasAnyOverloadedOperatorName(
+                                            "+=", "-="))
+                        .bind("agg_cxx_op"),
+                    agg);
+
+  auto *narrow = new NarrowingCastCheck(collector, options);
+  finder.addMatcher(explicitCastExpr().bind("explicit_cast"), narrow);
+  finder.addMatcher(implicitCastExpr().bind("implicit_cast"), narrow);
+  finder.addMatcher(declaratorDecl().bind("float_decl"), narrow);
+
+  auto *intrin = new RawIntrinsicsCheck(collector, options);
+  finder.addMatcher(callExpr().bind("intrin_call"), intrin);
+  finder.addMatcher(declaratorDecl().bind("intrin_decl"), intrin);
+}
+
+}  // namespace slam_tidy

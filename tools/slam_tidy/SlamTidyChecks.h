@@ -1,0 +1,68 @@
+// slam-tidy: AST-grounded checks for the SLAM repo invariants that the
+// regex linter (scripts/lint_invariants.py) could only approximate.
+//
+// Four checks, each named like a clang-tidy check so `// NOLINT(slam-*)`
+// waivers read the same way:
+//
+//   slam-exec-context-poll          every Compute* function returning
+//                                   Status/Result must poll its ExecContext
+//                                   — directly OR through any callee (the
+//                                   regex rule could not follow calls).
+//   slam-uncompensated-aggregate    no member +=/-= on RangeAggregates /
+//                                   CompensatedRangeAggregates channels
+//                                   outside kdv/kernel.h, through any
+//                                   alias, reference, or nested member.
+//   slam-narrowing-cast             no value-narrowing casts (floating ->
+//                                   integral, wider -> narrower integral,
+//                                   double -> float) and no `float`
+//                                   declarations in the pixel/aggregate
+//                                   math under src/core + src/kdv,
+//                                   template instantiations included.
+//   slam-raw-intrinsics-outside-simd
+//                                   no SIMD intrinsic calls or vector
+//                                   types outside src/simd/.
+//
+// Waive a finding on its own line with `// NOLINT(slam-<check>)` plus a
+// reason in the surrounding comment; a bare `// NOLINT` waives all checks
+// on that line (same semantics as clang-tidy, same-line form only).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+namespace slam_tidy {
+
+struct Options {
+  // When non-empty, scope decisions for locations in the *main file* use
+  // this path instead of the real one. Lets the regression corpus under
+  // tools/slam_tidy/test/ exercise path-scoped checks (src/core/ vs
+  // src/viz/ vs src/simd/) from a single directory.
+  std::string assume_path;
+  // When non-empty, findings are reported only for files under this
+  // directory (the whole-tree mode over compile_commands.json). When
+  // empty, only main-file findings are reported (the corpus mode).
+  std::string repo_root;
+};
+
+class FindingCollector {
+ public:
+  // Records one finding; duplicates (same file:line:check, e.g. a header
+  // included by many TUs, or a template body instantiated twice) collapse.
+  // Returns true if the finding was new.
+  bool Report(const std::string &path, unsigned line, unsigned column,
+              const std::string &check, const std::string &message);
+
+  int finding_count() const { return static_cast<int>(seen_.size()); }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+// Registers all four checks on `finder`. `collector` and `options` must
+// outlive the finder.
+void RegisterSlamChecks(clang::ast_matchers::MatchFinder &finder,
+                        FindingCollector &collector, const Options &options);
+
+}  // namespace slam_tidy

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Regression driver for the slam-tidy AST checks.
+#
+# Corpus mode (default): runs every file under tools/slam_tidy/test/ and
+# compares the findings slam-tidy reports against the `// EXPECT-FINDING:
+# <check>` markers in the file (exact line + check match; negatives simply
+# carry no markers). Each corpus file names its pretend repo path in a
+# `// RUN-ASSUME-PATH:` directive so the path-scoped checks can be
+# exercised from one directory.
+#
+# Tree mode (--tree <build_dir>): runs slam-tidy over every src/**/*.cc in
+# the compilation database and fails on any finding — the zero-findings
+# gate CI enforces.
+#
+# Usage:
+#   check_slam_tidy.sh [--binary <slam-tidy>] [--tree <build_dir>]
+#
+# Exit: 0 all good (or tool not built: SKIP, exit 0 so local ctest stays
+# green without LLVM dev packages), 1 mismatch/finding, 2 setup error.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BINARY=""
+TREE_BUILD_DIR=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --binary) BINARY="$2"; shift 2 ;;
+    --tree) TREE_BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$BINARY" ]; then
+  for candidate in \
+      "$ROOT/build/tools/slam_tidy/slam-tidy" \
+      "$ROOT/build-tidy/tools/slam_tidy/slam-tidy"; do
+    if [ -x "$candidate" ]; then BINARY="$candidate"; break; fi
+  done
+fi
+
+if [ -z "$BINARY" ] || [ ! -x "$BINARY" ]; then
+  echo "check_slam_tidy: SKIP — slam-tidy binary not built" \
+       "(configure with -DSLAM_TIDY=ON and the LLVM/Clang dev packages)"
+  exit 0
+fi
+
+fail=0
+
+if [ -n "$TREE_BUILD_DIR" ]; then
+  if [ ! -f "$TREE_BUILD_DIR/compile_commands.json" ]; then
+    echo "check_slam_tidy: no compile_commands.json in $TREE_BUILD_DIR" >&2
+    exit 2
+  fi
+  # Whole-tree gate: every first-party TU, zero findings allowed. Headers
+  # are covered through the TUs that include them (findings dedupe).
+  mapfile -t sources < <(cd "$ROOT" && find src -name '*.cc' | sort)
+  if ! (cd "$ROOT" && "$BINARY" -p "$TREE_BUILD_DIR" --repo-root="$ROOT" \
+        "${sources[@]}"); then
+    echo "check_slam_tidy: findings in tree (see above)" >&2
+    fail=1
+  else
+    echo "check_slam_tidy: tree clean (${#sources[@]} TUs)"
+  fi
+  exit $fail
+fi
+
+for corpus in "$ROOT"/tools/slam_tidy/test/*.cc; do
+  name="$(basename "$corpus")"
+  assume="$(sed -n 's|^// RUN-ASSUME-PATH: ||p' "$corpus" | head -n1)"
+  if [ -z "$assume" ]; then
+    echo "FAIL $name: missing // RUN-ASSUME-PATH: directive" >&2
+    fail=1
+    continue
+  fi
+
+  # Expected findings: "line check" pairs from the EXPECT-FINDING markers.
+  expected="$(grep -n 'EXPECT-FINDING: ' "$corpus" \
+      | sed 's/^\([0-9]*\):.*EXPECT-FINDING: \([a-z-]*\).*/\1 \2/' | sort)"
+
+  # Actual findings: parse "path:line:col: warning: ... [check]" lines.
+  output="$("$BINARY" --assume-path="$assume" "$corpus" -- \
+      -std=c++20 -Wno-everything 2>&1)"
+  actual="$(printf '%s\n' "$output" \
+      | sed -n 's/^.*:\([0-9]*\):[0-9]*: warning: .*\[\([a-z-]*\)\]$/\1 \2/p' \
+      | sort)"
+
+  if [ "$expected" = "$actual" ]; then
+    count="$(printf '%s' "$expected" | grep -c . || true)"
+    echo "PASS $name (${count} expected finding(s))"
+  else
+    echo "FAIL $name" >&2
+    echo "--- expected (line check) ---" >&2
+    printf '%s\n' "$expected" >&2
+    echo "--- actual (line check) ---" >&2
+    printf '%s\n' "$actual" >&2
+    echo "--- raw output ---" >&2
+    printf '%s\n' "$output" >&2
+    fail=1
+  fi
+done
+
+exit $fail

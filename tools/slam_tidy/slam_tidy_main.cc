@@ -1,0 +1,71 @@
+// slam-tidy: standalone clang (libTooling) driver for the SLAM AST checks.
+//
+// Corpus mode (one file, path-scoping faked for the test corpus):
+//   slam-tidy --assume-path=src/core/x.cc test/foo.cc -- -std=c++20
+//
+// Tree mode (whole repo over the exported compilation database):
+//   slam-tidy --repo-root=$PWD -p build $(git ls-files 'src/**/*.cc')
+//
+// Exit status: 0 clean, 1 findings, 2 tool/setup error — mirroring
+// scripts/lint_invariants.py so CI lanes treat both gates identically.
+#include <string>
+
+#include "SlamTidyChecks.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory SlamTidyCategory("slam-tidy options");
+
+llvm::cl::opt<std::string> AssumePath(
+    "assume-path",
+    llvm::cl::desc("Treat the main file as having this repo-relative path "
+                   "for scope decisions (regression corpus only)"),
+    llvm::cl::init(""), llvm::cl::cat(SlamTidyCategory));
+
+llvm::cl::opt<std::string> RepoRoot(
+    "repo-root",
+    llvm::cl::desc("Report findings for any file under this directory "
+                   "(whole-tree mode); default: main file only"),
+    llvm::cl::init(""), llvm::cl::cat(SlamTidyCategory));
+
+}  // namespace
+
+int main(int argc, const char **argv) {
+  auto expected_parser =
+      clang::tooling::CommonOptionsParser::create(argc, argv,
+                                                  SlamTidyCategory);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser &parser = *expected_parser;
+  clang::tooling::ClangTool tool(parser.getCompilations(),
+                                 parser.getSourcePathList());
+
+  slam_tidy::Options options;
+  options.assume_path = AssumePath;
+  options.repo_root = RepoRoot;
+
+  slam_tidy::FindingCollector collector;
+  clang::ast_matchers::MatchFinder finder;
+  slam_tidy::RegisterSlamChecks(finder, collector, options);
+
+  const int run_status =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (run_status != 0) {
+    llvm::errs() << "slam-tidy: compilation errors while analyzing\n";
+    return 2;
+  }
+  if (collector.finding_count() > 0) {
+    llvm::errs() << "\nslam-tidy: " << collector.finding_count()
+                 << " finding(s)\n";
+    return 1;
+  }
+  llvm::outs() << "slam-tidy: clean\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// slam-exec-context-poll negatives: outside src/ (bench harnesses drive
+// computes with no serving budget), the rule does not apply; void-returning
+// and non-Compute functions are never in scope either.
+// RUN-ASSUME-PATH: bench/corpus_exec.cc
+
+struct Status {
+  static Status OK() { return Status(); }
+};
+
+namespace slam {
+
+// Would be a finding under src/, but bench/ is out of scope.
+Status ComputeNoPollInBench(int rows) {
+  int acc = 0;
+  for (int i = 0; i < rows; ++i) acc += i;
+  return Status::OK();
+}
+
+// Wrong return type: the rule only covers Status/Result returns.
+void ComputeVoidReturn(int) {}
+
+// Not a Compute* entry point.
+Status HelperWithoutPoll(int) { return Status::OK(); }
+
+}  // namespace slam

@@ -1,0 +1,97 @@
+// slam-exec-context-poll corpus: positives AND the call-graph cases the
+// old regex rule could not express. Self-contained — stubs stand in for
+// the repo types.
+// RUN-ASSUME-PATH: src/core/corpus_exec.cc
+
+struct Status {
+  static Status OK() { return Status(); }
+};
+template <typename T>
+struct Result {
+  Result(T) {}
+  Result(Status) {}
+};
+struct ExecContext {
+  Status Check(const char *) const { return Status::OK(); }
+};
+Status ExecCheck(const ExecContext *, const char *) { return Status::OK(); }
+struct ComputeOptions {
+  const ExecContext *exec = nullptr;
+};
+
+namespace slam {
+
+// Never consults the context on any path: finding.
+Status ComputeNoPoll(int rows) {  // EXPECT-FINDING: slam-exec-context-poll
+  int acc = 0;
+  for (int i = 0; i < rows; ++i) acc += i;
+  return acc >= 0 ? Status::OK() : Status::OK();
+}
+
+// Direct poll: clean.
+Status ComputeDirectPoll(const ComputeOptions &options, int rows) {
+  for (int i = 0; i < rows; ++i) {
+    Status s = ExecCheck(options.exec, "row");
+    (void)s;
+  }
+  return Status::OK();
+}
+
+// The call-graph case: the Compute* itself never polls, but its helper
+// does. The regex rule needed a waiver here; the AST check follows the
+// call.
+Status RowLoopHelper(const ExecContext *exec, int rows) {
+  for (int i = 0; i < rows; ++i) {
+    Status s = ExecCheck(exec, "row");
+    (void)s;
+  }
+  return Status::OK();
+}
+Status ComputeViaHelper(const ComputeOptions &options, int rows) {
+  return RowLoopHelper(options.exec, rows);
+}
+
+// Two hops deep: still clean.
+Status MiddleHelper(const ExecContext *exec, int rows) {
+  return RowLoopHelper(exec, rows);
+}
+Status ComputeTwoHops(const ComputeOptions &options, int rows) {
+  return MiddleHelper(options.exec, rows);
+}
+
+// Helper exists but never polls: the call graph bottoms out with no
+// consultation anywhere, so the Compute* is a finding. The regex rule's
+// forward-the-options heuristic wrongly accepted this shape.
+Status DeadHelper(const ExecContext *, int rows) {
+  int acc = 0;
+  for (int i = 0; i < rows; ++i) acc += i;
+  return Status::OK();
+}
+Status ComputeDeadHelper(  // EXPECT-FINDING: slam-exec-context-poll
+    const ComputeOptions &options, int rows) {
+  return DeadHelper(options.exec, rows);
+}
+
+// Delegation to a sibling Compute* declared in another TU: clean (the
+// callee is checked when its own TU is analyzed).
+Status ComputeInOtherTu(const ComputeOptions &options, int rows);
+Status ComputeDelegating(const ComputeOptions &options, int rows) {
+  return ComputeInOtherTu(options, rows);
+}
+
+// Mutually recursive Compute* pair with no poll anywhere: both findings
+// (the cycle guard must not report satisfaction).
+Status ComputeCycleB(int rows);
+Status ComputeCycleA(int rows) {  // EXPECT-FINDING: slam-exec-context-poll
+  return rows > 0 ? ComputeCycleB(rows - 1) : Status::OK();
+}
+Status ComputeCycleB(int rows) {  // EXPECT-FINDING: slam-exec-context-poll
+  return rows > 0 ? ComputeCycleA(rows - 1) : Status::OK();
+}
+
+// Waived with a reason: the setup-only path has no per-row work to poll.
+Status ComputeWaived(int) {  // NOLINT(slam-exec-context-poll)
+  return Status::OK();
+}
+
+}  // namespace slam

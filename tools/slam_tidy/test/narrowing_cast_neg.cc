@@ -1,0 +1,21 @@
+// slam-narrowing-cast negatives: identical narrowing code OUTSIDE the
+// src/core + src/kdv scope (viz quantizes doubles to pixel bytes all the
+// time — that is its job).
+// RUN-ASSUME-PATH: src/viz/corpus_narrow.cc
+
+namespace slam {
+
+int ExplicitFloatingToInt(double d) { return static_cast<int>(d); }
+
+int CStyleCast(double d) { return (int)d; }
+
+float QuantizedChannel(double intensity) {
+  return static_cast<float>(intensity);
+}
+
+int ImplicitFloatingToInt(double d) {
+  int i = d;
+  return i;
+}
+
+}  // namespace slam

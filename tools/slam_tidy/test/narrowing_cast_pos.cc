@@ -1,0 +1,69 @@
+// slam-narrowing-cast corpus: every narrowing shape in scope, including
+// the template instantiation the regex rule could not see, plus the
+// conversions that must NOT fire (enum scaffolding, widening).
+// RUN-ASSUME-PATH: src/core/corpus_narrow.cc
+
+namespace slam {
+
+enum class Method : int { kScan = 0, kSlamBucket = 1 };
+
+int ExplicitFloatingToInt(double d) {
+  return static_cast<int>(d);  // EXPECT-FINDING: slam-narrowing-cast
+}
+
+int CStyleCast(double d) {
+  return (int)d;  // EXPECT-FINDING: slam-narrowing-cast
+}
+
+double ExplicitDoubleToFloat(double d) {
+  double r = static_cast<float>(d);  // EXPECT-FINDING: slam-narrowing-cast
+  return r;
+}
+
+long long WideSource() { return 1; }
+int ExplicitWideToNarrow() {
+  return static_cast<int>(WideSource());  // EXPECT-FINDING: slam-narrowing-cast
+}
+
+int ImplicitFloatingToInt(double d) {
+  int i = d;  // EXPECT-FINDING: slam-narrowing-cast
+  return i;
+}
+
+int ImplicitWideToNarrow(long long v) {
+  int i = v;  // EXPECT-FINDING: slam-narrowing-cast
+  return i;
+}
+
+// The template case: the cast only narrows once T = double is
+// instantiated; the line regex saw `static_cast<int>(v)` with no type
+// info at all.
+template <typename T>
+int TruncateTemplated(T v) {
+  return static_cast<int>(v);  // EXPECT-FINDING: slam-narrowing-cast
+}
+int InstantiateNarrowing(double d) { return TruncateTemplated(d); }
+
+float GlobalFloat = 0.0f;  // EXPECT-FINDING: slam-narrowing-cast
+
+// --- Non-findings below: must stay silent. ---
+
+// Enum scaffolding is not pixel math.
+int EnumToInt(Method m) { return static_cast<int>(m); }
+
+// Widening is fine.
+double IntToDouble(int i) { return static_cast<double>(i); }
+long long NarrowToWide(int i) { return static_cast<long long>(i); }
+
+// Same-width conversions are -Wconversion's turf, not this check's.
+unsigned SameWidth(int i) { return static_cast<unsigned>(i); }
+
+// int-instantiated template: no narrowing materializes.
+int InstantiateIdentity(int i) { return TruncateTemplated(i); }
+
+// Waived with a reason: sanctioned clamped conversion site.
+int WaivedCast(double d) {
+  return static_cast<int>(d);  // NOLINT(slam-narrowing-cast)
+}
+
+}  // namespace slam

@@ -1,0 +1,14 @@
+// slam-narrowing-cast negatives: core/sweep_state.h is the sanctioned
+// home of the clamped float->index conversions (same exemption the regex
+// rule had).
+// RUN-ASSUME-PATH: src/core/sweep_state.h
+
+namespace slam {
+
+int ClampedBucket(double t, int count) {
+  if (t <= 0.0) return 0;
+  if (t >= static_cast<double>(count)) return count;
+  return static_cast<int>(t);
+}
+
+}  // namespace slam

@@ -1,0 +1,19 @@
+// slam-raw-intrinsics-outside-simd negatives: the same intrinsic uses
+// INSIDE src/simd/ are exactly where they belong.
+// RUN-ASSUME-PATH: src/simd/corpus_intrin.cc
+
+int _mm256_set1_pd(double);
+int _mm256_add_pd(int, int);
+int vld1q_f64(const double *);
+using __m256i = int;
+
+namespace slam {
+
+double BackendKernel(const double *p, double v) {
+  __m256i lanes = 0;
+  int a = vld1q_f64(p);
+  int b = _mm256_set1_pd(v);
+  return _mm256_add_pd(a, b) + lanes;
+}
+
+}  // namespace slam

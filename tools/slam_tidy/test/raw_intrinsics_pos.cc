@@ -1,0 +1,53 @@
+// slam-raw-intrinsics-outside-simd corpus: intrinsic calls and vector
+// types outside src/simd/. Self-contained stubs stand in for the real
+// intrinsic headers (the check keys on names, and real <immintrin.h>
+// findings are filtered as system-header noise anyway).
+// RUN-ASSUME-PATH: src/core/corpus_intrin.cc
+
+// Stubs: scalar-typed prototypes so only the *uses* below are findings.
+int _mm256_set1_pd(double);
+int _mm256_add_pd(int, int);
+int _mm_loadu_pd(const double *);
+int vld1q_f64(const double *);
+int vaddq_f64(int, int);
+using __m256i = int;
+using float64x2_t = double;
+
+namespace slam {
+
+double SumAvx(const double *p, double v) {
+  int a = _mm_loadu_pd(p);  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  int b = _mm256_set1_pd(v);  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  return a + b;
+}
+
+int SumAvxWide(int a, int b) {
+  return _mm256_add_pd(a, b);  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+}
+
+double SumNeon(const double *p) {
+  int a = vld1q_f64(p);  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  int b = vaddq_f64(a, a);  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  return b;
+}
+
+void VectorTypedLocals(double v) {
+  __m256i lanes = 0;  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  float64x2_t pair = v;  // EXPECT-FINDING: slam-raw-intrinsics-outside-simd
+  (void)lanes;
+  (void)pair;
+}
+
+// --- Non-findings below: must stay silent. ---
+
+// Ordinary names that merely resemble intrinsic prefixes.
+int mm_helper(int x);
+int vstore_count(int x);
+int NotIntrinsics(int x) { return mm_helper(x) + vstore_count(x); }
+
+// Waived with a reason: prototype experiment pending backend port.
+int WaivedIntrinsic(int a, int b) {
+  return _mm256_add_pd(a, b);  // NOLINT(slam-raw-intrinsics-outside-simd)
+}
+
+}  // namespace slam

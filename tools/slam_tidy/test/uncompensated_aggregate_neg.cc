@@ -1,0 +1,50 @@
+// slam-uncompensated-aggregate negatives: same member names on unrelated
+// records are fine (the regex rule false-positived on these), plain
+// assignment is fine, and kdv/kernel.h itself is the sanctioned home of
+// the accumulation loops.
+// RUN-ASSUME-PATH: src/kdv/kernel.h
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct RangeAggregates {
+  double count = 0.0;
+  double sum_sq = 0.0;
+  double m_xx = 0.0;
+};
+
+// An unrelated record that happens to share channel names.
+struct Histogram {
+  double count = 0.0;
+  double sum_sq = 0.0;
+};
+
+namespace slam {
+
+// Inside kdv/kernel.h: the Add/Merge/Minus implementations legitimately
+// use += on channels.
+void SanctionedAccumulation(RangeAggregates &agg, double v) {
+  agg.sum_sq += v;
+  agg.count += 1.0;
+}
+
+// Same member names, different record: never a finding regardless of
+// file.
+void UnrelatedRecord(Histogram &h, double v) {
+  h.count += 1.0;
+  h.sum_sq += v;
+}
+
+// Plain assignment (not accumulation) is not the rule's business.
+void PlainAssignment(RangeAggregates &agg, double v) { agg.m_xx = v; }
+
+// Local scalars that merely shadow the channel names.
+void LocalShadow(double v) {
+  double sum_sq = 0.0;
+  sum_sq += v;
+  (void)sum_sq;
+}
+
+}  // namespace slam

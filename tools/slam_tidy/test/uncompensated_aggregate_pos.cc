@@ -1,0 +1,77 @@
+// slam-uncompensated-aggregate corpus: direct channel mutation through
+// every alias shape the regex rule missed.
+// RUN-ASSUME-PATH: src/core/corpus_agg.cc
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  Point &operator+=(const Point &o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+};
+
+struct RangeAggregates {
+  double count = 0.0;
+  Point sum{};
+  double sum_sq = 0.0;
+  Point sum_sq_p{};
+  double sum_quad = 0.0;
+  double m_xx = 0.0;
+  double m_xy = 0.0;
+  double m_yy = 0.0;
+};
+
+struct CompensatedRangeAggregates {
+  RangeAggregates sums;
+  RangeAggregates comps;
+};
+
+namespace slam {
+
+void DirectMutation(RangeAggregates &agg, double v) {
+  agg.sum_sq += v;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Through a reference alias — invisible to a line regex keyed on the
+// variable's declared type.
+void AliasMutation(RangeAggregates &agg) {
+  RangeAggregates &alias = agg;
+  alias.m_xx += 1.0;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Through a pointer.
+void PointerMutation(RangeAggregates *agg, double v) {
+  agg->sum_quad -= v;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Nested member of a Point-valued channel.
+void NestedMutation(RangeAggregates &agg, double v) {
+  agg.sum.x += v;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Overloaded operator+= on a Point-valued channel routes through
+// CXXOperatorCallExpr, not BinaryOperator.
+void OperatorMutation(RangeAggregates &agg, const Point &p) {
+  agg.sum += p;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Channel of the compensated wrapper's inner aggregates.
+void CompensatedInner(CompensatedRangeAggregates &c, double v) {
+  c.sums.sum_sq += v;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+
+// Template function: the mutation only materializes at instantiation.
+template <typename Agg>
+void TemplatedMutation(Agg &agg, double v) {
+  agg.m_yy += v;  // EXPECT-FINDING: slam-uncompensated-aggregate
+}
+void InstantiateTemplate(RangeAggregates &agg) { TemplatedMutation(agg, 1.0); }
+
+// Waived with a reason: test-only fixture seeding exact values.
+void WaivedMutation(RangeAggregates &agg) {
+  agg.count += 1.0;  // NOLINT(slam-uncompensated-aggregate)
+}
+
+}  // namespace slam
